@@ -1,0 +1,40 @@
+"""Shared benchmark helpers: paper-vs-measured reporting."""
+
+import pytest
+
+KB = 1024
+MB = 1024 * 1024
+
+#: the paper's sweep, thinned to keep benchmark wall time reasonable
+SWEEP = [4 * KB, 16 * KB, 64 * KB, 256 * KB, MB, 4 * MB, 16 * MB]
+
+
+def report(title: str, rows, paper_note: str = ""):
+    """Print a Fig./Table-style block that shows up with pytest -s and
+    in the captured benchmark logs."""
+    print()
+    print(f"== {title} ==")
+    if paper_note:
+        print(f"   paper: {paper_note}")
+    for row in rows:
+        print("   " + row)
+
+
+def fmt_series(series) -> list:
+    return [f"{p.size:>9} B  {p.mbit_per_s:7.1f} MBit/s"
+            for p in series.points]
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the workload exactly once under pytest-benchmark timing.
+
+    The simulated benches are deterministic models — re-running them
+    only burns wall time, so one round is the right cost/benefit.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,64 @@
+"""FIG2 — Figure 2: CORBA vs MPI on the functionality/efficiency plane.
+
+Fig. 2 is conceptual: MPI is efficient but its functionality is fixed;
+CORBA is rich but inefficient; the paper's arrow moves CORBA up the
+efficiency axis.  We quantify the efficiency axis on the simulated
+testbed: modelled throughput of a 1 MiB transfer, normalized to the
+raw stream ceiling, for MPI-lite, the unmodified ORB, and the
+zero-copy ORB on both stacks.
+"""
+
+import pytest
+
+from repro.mpi import simulate_mpi_transfer
+from repro.simnet import (GIGABIT_ETHERNET, PENTIUM_II_400, OrbCostConfig,
+                          measure_corba_request, measure_stream,
+                          standard_stack, zero_copy_stack)
+
+from conftest import MB, report
+
+
+def _run():
+    size = MB
+    out = {}
+    for stack_name, stack in (("std", standard_stack()),
+                              ("zc", zero_copy_stack())):
+        ceiling = measure_stream(PENTIUM_II_400, GIGABIT_ETHERNET, size,
+                                 stack).mbit_per_s
+        mpi = simulate_mpi_transfer(PENTIUM_II_400, GIGABIT_ETHERNET,
+                                    size, stack).mbit_per_s
+        corba = measure_corba_request(
+            PENTIUM_II_400, GIGABIT_ETHERNET, size, stack,
+            OrbCostConfig(zero_copy=False)).mbit_per_s
+        zc_corba = measure_corba_request(
+            PENTIUM_II_400, GIGABIT_ETHERNET, size, stack,
+            OrbCostConfig(zero_copy=True)).mbit_per_s
+        out[stack_name] = dict(ceiling=ceiling, mpi=mpi, corba=corba,
+                               zc_corba=zc_corba)
+    return out
+
+
+def test_fig2_efficiency_axis(once):
+    data = once(_run)
+    rows = []
+    for stack_name, vals in data.items():
+        ceiling = vals["ceiling"]
+        for system in ("mpi", "corba", "zc_corba"):
+            eff = vals[system] / ceiling
+            rows.append(f"{stack_name:>4} stack  {system:<9} "
+                        f"{vals[system]:7.1f} MBit/s  "
+                        f"efficiency {eff * 100:5.1f}%")
+    report("Fig. 2 — efficiency axis (1 MiB transfer, PII testbed)", rows,
+           "MPI ~= ceiling; classic CORBA far below; zc-ORB closes the gap")
+
+    for stack_name, vals in data.items():
+        ceiling = vals["ceiling"]
+        # MPI sits essentially at the efficiency ceiling
+        assert vals["mpi"] / ceiling > 0.95
+        # classic CORBA is well below it
+        assert vals["corba"] / ceiling < 0.5
+        # the zero-copy ORB reaches near-MPI efficiency — the paper's
+        # arrow in Fig. 2 ("add efficiency to the ORB implementation")
+        assert vals["zc_corba"] / ceiling > 0.9
+        # ordering
+        assert vals["corba"] < vals["zc_corba"] <= vals["mpi"] * 1.02

@@ -1,0 +1,50 @@
+"""FIG5 — Figure 5: TTCP bandwidths, unoptimized sockets and CORBA.
+
+Paper: "the CORBA-based TTCP implementation runs considerably slower
+than the raw TCP version ... CORBA ... reaches a saturation around
+50 MBit/s ... With the raw TCP socket an application can achieve
+330 MBit/s" (§5.2).
+
+Regenerates both curves of Fig. 5 on the simulated Pentium-II/GigE
+testbed: block sizes 4 KiB .. 16 MiB over the standard (copying)
+stack, for raw TCP and for the unmodified-MICO CORBA model.
+"""
+
+import pytest
+
+from repro.apps.ttcp import run_sim_ttcp
+
+from conftest import SWEEP, fmt_series, report
+
+PAPER_RAW_SAT = 330.0
+PAPER_CORBA_SAT = 50.0
+
+
+def _run_fig5():
+    raw = run_sim_ttcp("raw", stack="standard", sizes=SWEEP)
+    corba = run_sim_ttcp("corba", stack="standard", sizes=SWEEP)
+    return raw, corba
+
+
+def test_fig5_unoptimized_sockets_and_corba(once):
+    raw, corba = once(_run_fig5)
+
+    report("Fig. 5 — raw TCP over standard stack (MBit/s)",
+           fmt_series(raw), f"saturates ~{PAPER_RAW_SAT:.0f} MBit/s")
+    report("Fig. 5 — CORBA (unmodified MICO) over standard stack",
+           fmt_series(corba), f"saturates ~{PAPER_CORBA_SAT:.0f} MBit/s")
+
+    # saturation levels match the paper's anchors
+    assert raw.saturation_mbit == pytest.approx(PAPER_RAW_SAT, rel=0.10)
+    assert corba.saturation_mbit == pytest.approx(PAPER_CORBA_SAT, rel=0.10)
+
+    # shape: CORBA is far below raw at every size, both curves rise
+    for p_raw, p_corba in zip(raw.points, corba.points):
+        assert p_corba.mbit_per_s < p_raw.mbit_per_s
+    assert [p.mbit_per_s for p in raw.points] == sorted(
+        p.mbit_per_s for p in raw.points)
+    assert [p.mbit_per_s for p in corba.points] == sorted(
+        p.mbit_per_s for p in corba.points)
+
+    # "would not even use a Fast Ethernet to its limit" (§5.2)
+    assert corba.saturation_mbit < 100.0

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation figures on the simulated testbed.
+
+Prints Fig. 5, Fig. 6 (left and right) and the §6 CPU-utilization
+numbers as text tables, using the calibrated model of the 2003
+Pentium-II/Gigabit-Ethernet cluster (see DESIGN.md §2 for what is
+calibrated and what emerges).
+
+Run:  python examples/cluster_simulation.py
+"""
+
+from repro.apps.ttcp import default_sizes, format_table, run_sim_ttcp
+from repro.simnet import (GIGABIT_ETHERNET, MODERN_NODE, measure_stream,
+                          standard_stack, zero_copy_stack)
+
+SIZES = default_sizes()  # 4 KiB .. 16 MiB
+
+
+def fig5():
+    print("=" * 76)
+    print("Figure 5 - TTCP, unoptimized sockets and CORBA "
+          "(paper: 330 vs 50 MBit/s)")
+    print("=" * 76)
+    print(format_table([
+        run_sim_ttcp("raw", stack="standard", sizes=SIZES),
+        run_sim_ttcp("corba", stack="standard", sizes=SIZES),
+    ]))
+
+
+def fig6_left():
+    print()
+    print("=" * 76)
+    print("Figure 6 left - raw TCP: standard vs zero-copy sockets "
+          "(paper: ~550 MBit/s)")
+    print("=" * 76)
+    print(format_table([
+        run_sim_ttcp("raw", stack="standard", sizes=SIZES),
+        run_sim_ttcp("raw", stack="zero-copy", sizes=SIZES),
+    ]))
+
+
+def fig6_right():
+    print()
+    print("=" * 76)
+    print("Figure 6 right - the zero-copy ORB "
+          "(paper: zc-ORB+zc-TCP ~ 550 MBit/s, 10x)")
+    print("=" * 76)
+    print(format_table([
+        run_sim_ttcp("corba", stack="standard", sizes=SIZES),
+        run_sim_ttcp("zc-corba", stack="standard", sizes=SIZES),
+        run_sim_ttcp("zc-corba", stack="zero-copy", sizes=SIZES),
+    ]))
+
+
+def cpu_utilization():
+    print()
+    print("=" * 76)
+    print("Section 6 - newer machines: full GigE at 30% CPU vs 100%")
+    print("=" * 76)
+    size = 16 * 1024 * 1024
+    for name, stack in (("standard ", standard_stack(app_touch=True)),
+                        ("zero-copy", zero_copy_stack(app_touch=True))):
+        r = measure_stream(MODERN_NODE, GIGABIT_ETHERNET, size, stack)
+        print(f"  {name} stack: {r.mbit_per_s:6.0f} MBit/s at "
+              f"{r.receiver_util * 100:5.1f}% receiver CPU")
+
+
+if __name__ == "__main__":
+    fig5()
+    fig6_left()
+    fig6_right()
+    cpu_utilization()

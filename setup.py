@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+Allows ``pip install -e . --no-build-isolation --no-use-pep517`` (and
+plain ``python setup.py develop``) where PEP 517 editable installs are
+unavailable offline.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

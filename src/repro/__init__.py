@@ -1,0 +1,31 @@
+"""Zero-Copy for CORBA — a Python reproduction.
+
+Reproduces Kurmann & Stricker, *"Zero-Copy for CORBA — Efficient
+Communication for Distributed Object Middleware"* (HPDC 2003): a
+CORBA-compliant ORB whose bulk data path runs under a strict zero-copy
+regime by separating control- and data transfers (direct deposit) and
+by bypassing marshaling for ``sequence<octet>`` payloads between
+homogeneous endpoints.
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: page-aligned buffers, the
+    ``ZC_Octet``-sequence datatype and the direct-deposit protocol.
+``repro.idl`` / ``repro.cdr`` / ``repro.giop`` / ``repro.orb``
+    The CORBA substrate built from scratch: IDL compiler, CDR
+    marshaling, GIOP/IIOP protocol, and the ORB runtime.
+``repro.transport``
+    Pluggable byte transports: in-process loopback, real TCP sockets,
+    and the simulated testbed transport.
+``repro.simnet``
+    Discrete-event model of the paper's 2003 hardware testbed.
+``repro.mpi``
+    A small message-passing library used as the efficiency baseline of
+    the paper's Fig. 2 discussion.
+``repro.apps``
+    TTCP (the paper's benchmark tool, §5.1) and the MPEG transcoder
+    farm application (§5.4).
+"""
+
+__version__ = "1.0.0"

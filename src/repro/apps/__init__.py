@@ -1,0 +1,12 @@
+"""Applications: the TTCP benchmark tool (§5.1) and the service-based
+parallelization framework with the MPEG transcoder demo (§5.4)."""
+
+from .framework import Farm, FarmError, FarmStats
+from .ttcp import (TTCP_IDL, TTCPPoint, TTCPSeries, default_sizes,
+                   format_table, run_real_ttcp, run_sim_ttcp)
+
+__all__ = [
+    "Farm", "FarmStats", "FarmError",
+    "TTCPPoint", "TTCPSeries", "default_sizes", "format_table",
+    "run_sim_ttcp", "run_real_ttcp", "TTCP_IDL",
+]

@@ -1,0 +1,105 @@
+"""Data-parallel request helpers (the §1.2 "Data Parallel CORBA" trail).
+
+The paper's introduction points at the OMG's Data Parallel CORBA
+specification [14] that grew out of the PARDIS/Cobra line of work:
+instead of wrapping work *items* (the farm), a data-parallel request
+*partitions one large argument* across a group of member objects and
+gathers the partial results.
+
+:class:`ScatterGather` implements that pattern over plain object
+references: a payload (bytes or a 1-D numpy array) is sliced into
+near-equal, page-aligned-friendly parts, each part is sent to one
+member via a caller-supplied invocation function (a zero-copy sequence
+parameter in the intended use), and the partial results are gathered
+back in member order — one logical invocation on a distributed object.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.buffers import PAGE_SIZE
+
+__all__ = ["ScatterGather", "partition_bytes", "partition_array"]
+
+
+def partition_bytes(data, parts: int,
+                    align: int = PAGE_SIZE) -> List[memoryview]:
+    """Slice a bytes-like payload into ``parts`` contiguous views.
+
+    Cut points are rounded to ``align`` so every part but the last can
+    be direct-deposited on page-aligned boundaries.  No copies — the
+    views alias the input.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    view = memoryview(data)
+    if view.format != "B" or view.ndim != 1:
+        view = view.cast("B")
+    n = view.nbytes
+    base = n // parts
+    cuts = [0]
+    for i in range(1, parts):
+        cut = i * base
+        cut -= cut % align if n >= parts * align else 0
+        cuts.append(max(cut, cuts[-1]))
+    cuts.append(n)
+    return [view[cuts[i]:cuts[i + 1]] for i in range(parts)]
+
+
+def partition_array(arr: np.ndarray, parts: int) -> List[np.ndarray]:
+    """Slice a 1-D numpy array into ``parts`` contiguous views."""
+    if arr.ndim != 1:
+        raise ValueError(f"need a 1-D array, got shape {arr.shape}")
+    return [chunk for chunk in np.array_split(arr, parts)]
+
+
+@dataclass
+class ScatterGather:
+    """One data-parallel invocation pattern over member objects.
+
+    ``call(member, part)`` performs the per-member invocation (e.g.
+    ``lambda m, p: m.process(ZCOctetSequence.from_data(p))``);
+    ``combine`` folds the member results (default: list of partials in
+    member order).
+    """
+
+    members: Sequence[Any]
+    call: Callable[[Any, Any], Any]
+    combine: Optional[Callable[[List[Any]], Any]] = None
+
+    def invoke(self, payload: Union[bytes, bytearray, memoryview,
+                                    np.ndarray]) -> Any:
+        if not self.members:
+            raise ValueError("ScatterGather needs at least one member")
+        if isinstance(payload, np.ndarray):
+            parts = partition_array(payload, len(self.members))
+        else:
+            parts = partition_bytes(payload, len(self.members))
+        results: List[Any] = [None] * len(self.members)
+        errors: List[BaseException] = []
+
+        def run(i: int) -> None:
+            try:
+                results[i] = self.call(self.members[i], parts[i])
+            except BaseException as e:  # noqa: BLE001 - re-raised below
+                errors.append(e)
+
+        if len(self.members) == 1:
+            run(0)
+        else:
+            threads = [threading.Thread(target=run, args=(i,), daemon=True)
+                       for i in range(len(self.members))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        if errors:
+            raise errors[0]
+        if self.combine is not None:
+            return self.combine(results)
+        return results

@@ -1,0 +1,21 @@
+"""The MPEG-2 -> MPEG-4 transcoder demonstrator of §5.4: synthetic
+HDTV frames, toy transform codecs, and the CORBA encoder farm."""
+
+from .dct import CodecError, decode_plane, encode_plane
+from .frames import CIF, HDTV, QCIF, FrameSource, VideoFrame
+from .mpeg2 import Mpeg2Stream
+from .mpeg4 import (DELIVERY_QUALITY, Mpeg4Decoder, Mpeg4Encoder,
+                    Mpeg4Stream)
+from .pipeline import (TRANSCODER_IDL, ClusterEstimate,
+                       DistributedTranscoder, TranscodeReport,
+                       TranscoderWorker, estimate_cluster_fps,
+                       transcoder_api)
+
+__all__ = [
+    "VideoFrame", "FrameSource", "HDTV", "CIF", "QCIF",
+    "Mpeg2Stream", "Mpeg4Stream", "Mpeg4Encoder", "Mpeg4Decoder",
+    "DELIVERY_QUALITY", "CodecError", "encode_plane", "decode_plane",
+    "TRANSCODER_IDL", "transcoder_api", "TranscoderWorker",
+    "DistributedTranscoder", "TranscodeReport",
+    "estimate_cluster_fps", "ClusterEstimate",
+]

@@ -1,0 +1,152 @@
+"""Shared transform coding machinery for the toy MPEG codecs.
+
+Fully vectorized 8x8 block DCT (scipy), flat quantization with the
+standard JPEG-style luma matrix, zigzag scan, and a run-length entropy
+code over the zigzag stream.  This is a real (if minimal) transform
+codec: compression ratio depends on image content and quality factor,
+and reconstruction error is bounded by the quantizer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+__all__ = [
+    "BLOCK", "blockize", "unblockize", "forward", "inverse",
+    "zigzag_indices", "encode_plane", "decode_plane", "CodecError",
+]
+
+BLOCK = 8
+
+#: JPEG Annex K luminance quantization matrix
+_QBASE = np.array([
+    [16, 11, 10, 16, 24, 40, 51, 61],
+    [12, 12, 14, 19, 26, 58, 60, 55],
+    [14, 13, 16, 24, 40, 57, 69, 56],
+    [14, 17, 22, 29, 51, 87, 80, 62],
+    [18, 22, 37, 56, 68, 109, 103, 77],
+    [24, 35, 55, 64, 81, 104, 113, 92],
+    [49, 64, 78, 87, 103, 121, 120, 101],
+    [72, 92, 95, 98, 112, 100, 103, 99],
+], dtype=np.float64)
+
+
+class CodecError(ValueError):
+    """Malformed coded plane data."""
+
+
+def _qmatrix(quality: int) -> np.ndarray:
+    """JPEG-style quality (1..100) -> quantization matrix."""
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in 1..100, got {quality}")
+    scale = 5000 / quality if quality < 50 else 200 - 2 * quality
+    q = np.floor((_QBASE * scale + 50) / 100)
+    return np.clip(q, 1, 255)
+
+
+def zigzag_indices() -> np.ndarray:
+    """Flat indices of the 8x8 zigzag scan (JPEG order: 0,1,8,16,9,2...).
+
+    Odd diagonals are walked top-right -> bottom-left (row ascending),
+    even diagonals the other way.
+    """
+    order = sorted(((i, j) for i in range(BLOCK) for j in range(BLOCK)),
+                   key=lambda ij: (ij[0] + ij[1],
+                                   ij[0] if (ij[0] + ij[1]) % 2 else -ij[0]))
+    return np.array([i * BLOCK + j for i, j in order])
+
+_ZIGZAG = zigzag_indices()
+_UNZIGZAG = np.argsort(_ZIGZAG)
+
+
+def blockize(plane: np.ndarray) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """(h, w) plane -> (n_blocks, 8, 8) float64; pads to multiples of 8."""
+    h, w = plane.shape
+    ph = -(-h // BLOCK) * BLOCK
+    pw = -(-w // BLOCK) * BLOCK
+    if (ph, pw) != (h, w):
+        padded = np.empty((ph, pw), dtype=np.float64)
+        padded[:h, :w] = plane
+        padded[h:, :w] = plane[h - 1:h, :]
+        padded[:, w:] = padded[:, w - 1:w]
+    else:
+        padded = plane.astype(np.float64)
+    blocks = padded.reshape(ph // BLOCK, BLOCK, pw // BLOCK, BLOCK)
+    return blocks.transpose(0, 2, 1, 3).reshape(-1, BLOCK, BLOCK), (h, w)
+
+
+def unblockize(blocks: np.ndarray, shape: Tuple[int, int]) -> np.ndarray:
+    """Inverse of :func:`blockize` (crops padding)."""
+    h, w = shape
+    ph = -(-h // BLOCK) * BLOCK
+    pw = -(-w // BLOCK) * BLOCK
+    grid = blocks.reshape(ph // BLOCK, pw // BLOCK, BLOCK, BLOCK)
+    plane = grid.transpose(0, 2, 1, 3).reshape(ph, pw)
+    return plane[:h, :w]
+
+
+def forward(blocks: np.ndarray, quality: int) -> np.ndarray:
+    """DCT + quantize: (n, 8, 8) float -> (n, 8, 8) int16."""
+    coeffs = dctn(blocks - 128.0, axes=(1, 2), norm="ortho")
+    return np.round(coeffs / _qmatrix(quality)).astype(np.int16)
+
+
+def inverse(quantized: np.ndarray, quality: int) -> np.ndarray:
+    """Dequantize + IDCT: (n, 8, 8) int16 -> (n, 8, 8) float."""
+    coeffs = quantized.astype(np.float64) * _qmatrix(quality)
+    return idctn(coeffs, axes=(1, 2), norm="ortho") + 128.0
+
+
+# ---------------------------------------------------------------------------
+# entropy coding: zero-run-length over the zigzag stream
+# ---------------------------------------------------------------------------
+
+_PLANE_HEADER = struct.Struct("<HHBxI")  # h, w, quality, pad, n_tokens
+
+
+def encode_plane(plane: np.ndarray, quality: int) -> bytes:
+    """Transform-code one plane to a self-describing byte string."""
+    blocks, (h, w) = blockize(plane)
+    quantized = forward(blocks, quality)
+    zig = quantized.reshape(len(quantized), -1)[:, _ZIGZAG].ravel()
+    nz = np.flatnonzero(zig)
+    values = zig[nz].astype(np.int16)
+    # runs of zeros before each nonzero value
+    prev = np.concatenate(([-1], nz[:-1]))
+    runs = (nz - prev - 1).astype(np.uint32)
+    header = _PLANE_HEADER.pack(h, w, quality, len(values))
+    tail = struct.pack("<I", len(zig))
+    return header + runs.tobytes() + values.tobytes() + tail
+
+
+def decode_plane(data) -> np.ndarray:
+    """Inverse of :func:`encode_plane`; returns a uint8 plane."""
+    buf = memoryview(data)
+    if buf.nbytes < _PLANE_HEADER.size + 4:
+        raise CodecError("truncated plane header")
+    h, w, quality, n_tokens = _PLANE_HEADER.unpack_from(buf)
+    off = _PLANE_HEADER.size
+    need = off + n_tokens * 4 + n_tokens * 2 + 4
+    if buf.nbytes < need:
+        raise CodecError(f"truncated plane body: {buf.nbytes} < {need}")
+    runs = np.frombuffer(buf, np.uint32, n_tokens, off)
+    off += n_tokens * 4
+    values = np.frombuffer(buf, np.int16, n_tokens, off)
+    off += n_tokens * 2
+    (total,) = struct.unpack_from("<I", buf, off)
+    zig = np.zeros(total, dtype=np.int16)
+    if n_tokens:
+        positions = np.cumsum(runs.astype(np.int64) + 1) - 1
+        if positions[-1] >= total:
+            raise CodecError("token positions exceed coefficient count")
+        zig[positions] = values
+    n_blocks = total // (BLOCK * BLOCK)
+    quantized = zig.reshape(n_blocks, -1)[:, _UNZIGZAG].reshape(
+        n_blocks, BLOCK, BLOCK)
+    blocks = inverse(quantized, quality)
+    plane = unblockize(blocks, (h, w))
+    return np.clip(np.round(plane), 0, 255).astype(np.uint8)

@@ -1,0 +1,139 @@
+"""Synthetic video frames (the HDTV frame-grabber substitute).
+
+The paper's demonstrator transcodes video "either grabbed from a HDTV
+frame grabber or extracted from a DVD MPEG-2 stream" (§5.4).  Neither
+source exists here, so :class:`FrameSource` synthesizes YCbCr 4:2:0
+frames with the two properties that matter to a codec workload:
+spatial structure (smooth gradients + objects, so the DCT compacts
+energy) and temporal coherence (content moves slowly between frames,
+so predictive coding pays off).  Deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["VideoFrame", "FrameSource", "HDTV", "CIF", "QCIF"]
+
+#: (width, height) presets
+HDTV = (1920, 1088)  # 1080 rounded to a macroblock multiple
+CIF = (352, 288)
+QCIF = (176, 144)
+
+_HEADER = struct.Struct("<4sHHI")  # magic, width, height, frame_no
+_MAGIC = b"YV12"
+
+
+@dataclass
+class VideoFrame:
+    """One YCbCr 4:2:0 picture: full-res luma, half-res chroma."""
+
+    frame_no: int
+    y: np.ndarray  #: (h, w) uint8
+    cb: np.ndarray  #: (h//2, w//2) uint8
+    cr: np.ndarray  #: (h//2, w//2) uint8
+
+    def __post_init__(self):
+        h, w = self.y.shape
+        if h % 16 or w % 16:
+            raise ValueError(
+                f"frame dimensions must be macroblock multiples, got "
+                f"{w}x{h}")
+        if self.cb.shape != (h // 2, w // 2) or self.cr.shape != self.cb.shape:
+            raise ValueError("chroma planes must be half resolution")
+
+    @property
+    def width(self) -> int:
+        return self.y.shape[1]
+
+    @property
+    def height(self) -> int:
+        return self.y.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self.y.nbytes + self.cb.nbytes + self.cr.nbytes
+
+    def planes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self.y, self.cb, self.cr
+
+    # -- wire form (what travels through the ORB) -------------------------
+    def to_bytes(self) -> bytes:
+        return (_HEADER.pack(_MAGIC, self.width, self.height,
+                             self.frame_no)
+                + self.y.tobytes() + self.cb.tobytes() + self.cr.tobytes())
+
+    @classmethod
+    def from_bytes(cls, data) -> "VideoFrame":
+        buf = memoryview(data)
+        if buf.nbytes < _HEADER.size:
+            raise ValueError("truncated frame header")
+        magic, w, h, frame_no = _HEADER.unpack_from(buf)
+        if magic != _MAGIC:
+            raise ValueError(f"bad frame magic {magic!r}")
+        need = _HEADER.size + h * w + 2 * (h // 2) * (w // 2)
+        if buf.nbytes < need:
+            raise ValueError(
+                f"truncated frame: {buf.nbytes} < {need} bytes")
+        off = _HEADER.size
+        y = np.frombuffer(buf, np.uint8, h * w, off).reshape(h, w)
+        off += h * w
+        c = (h // 2) * (w // 2)
+        cb = np.frombuffer(buf, np.uint8, c, off).reshape(h // 2, w // 2)
+        off += c
+        cr = np.frombuffer(buf, np.uint8, c, off).reshape(h // 2, w // 2)
+        return cls(frame_no=frame_no, y=y.copy(), cb=cb.copy(),
+                   cr=cr.copy())
+
+    def psnr(self, other: "VideoFrame") -> float:
+        """Luma PSNR in dB against ``other`` (inf for identical)."""
+        a = self.y.astype(np.float64)
+        b = other.y.astype(np.float64)
+        mse = np.mean((a - b) ** 2)
+        if mse == 0:
+            return float("inf")
+        return 10.0 * np.log10(255.0 ** 2 / mse)
+
+
+class FrameSource:
+    """Deterministic synthetic video: drifting gradient + moving disc
+    + low-amplitude noise."""
+
+    def __init__(self, width: int = CIF[0], height: int = CIF[1],
+                 seed: int = 2003, noise: float = 2.0):
+        if width % 16 or height % 16:
+            raise ValueError("dimensions must be macroblock multiples")
+        self.width = width
+        self.height = height
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+        yy, xx = np.mgrid[0:height, 0:width]
+        self._xx = xx
+        self._yy = yy
+
+    def frame(self, n: int) -> VideoFrame:
+        w, h = self.width, self.height
+        # drifting diagonal gradient
+        phase = 0.02 * n
+        base = (128 + 60 * np.sin(2 * np.pi *
+                                  (self._xx / w + self._yy / h + phase)))
+        # a disc orbiting the centre
+        cx = w / 2 + (w / 3) * np.cos(0.05 * n)
+        cy = h / 2 + (h / 3) * np.sin(0.05 * n)
+        r2 = (self._xx - cx) ** 2 + (self._yy - cy) ** 2
+        base = np.where(r2 < (min(w, h) / 8) ** 2, 220.0, base)
+        noise = self._rng.normal(0.0, self.noise, size=base.shape)
+        y = np.clip(base + noise, 0, 255).astype(np.uint8)
+        cb = np.full((h // 2, w // 2),
+                     128 + int(30 * np.sin(0.03 * n)), np.uint8)
+        cr = np.full((h // 2, w // 2),
+                     128 + int(30 * np.cos(0.03 * n)), np.uint8)
+        return VideoFrame(frame_no=n, y=y, cb=cb, cr=cr)
+
+    def frames(self, count: int, start: int = 0) -> Iterator[VideoFrame]:
+        for n in range(start, start + count):
+            yield self.frame(n)

@@ -1,0 +1,103 @@
+"""Toy MPEG-2 codec: intra-only transform coding.
+
+Stands in for the DVD/frame-grabber MPEG-2 input of §5.4.  Every
+picture is coded independently (an all-I-frame stream, which real
+MPEG-2 capture hardware of the era produced too), one coded plane per
+colour component.  The bitstream is self-describing so a coded stream
+is a plain octet payload the ORB can ship around.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .dct import CodecError, decode_plane, encode_plane
+from .frames import VideoFrame
+
+__all__ = ["encode_frame", "decode_frame", "Mpeg2Stream"]
+
+_PIC_HEADER = struct.Struct("<4sIIII")  # magic, frame_no, len_y, len_cb, len_cr
+_MAGIC = b"MP2I"
+_STREAM_HEADER = struct.Struct("<4sI")  # magic, n_pictures
+_STREAM_MAGIC = b"MP2S"
+
+#: capture-grade quality: high fidelity, moderate compression
+CAPTURE_QUALITY = 85
+
+
+def encode_frame(frame: VideoFrame, quality: int = CAPTURE_QUALITY) -> bytes:
+    """Code one picture (all-intra)."""
+    y = encode_plane(frame.y, quality)
+    cb = encode_plane(frame.cb, quality)
+    cr = encode_plane(frame.cr, quality)
+    return (_PIC_HEADER.pack(_MAGIC, frame.frame_no, len(y), len(cb),
+                             len(cr)) + y + cb + cr)
+
+
+def decode_frame(data) -> VideoFrame:
+    """Decode one coded picture back to a frame."""
+    buf = memoryview(data)
+    if buf.nbytes < _PIC_HEADER.size:
+        raise CodecError("truncated MPEG-2 picture header")
+    magic, frame_no, len_y, len_cb, len_cr = _PIC_HEADER.unpack_from(buf)
+    if magic != _MAGIC:
+        raise CodecError(f"bad MPEG-2 picture magic {magic!r}")
+    off = _PIC_HEADER.size
+    if buf.nbytes < off + len_y + len_cb + len_cr:
+        raise CodecError("truncated MPEG-2 picture body")
+    y = decode_plane(buf[off:off + len_y])
+    off += len_y
+    cb = decode_plane(buf[off:off + len_cb])
+    off += len_cb
+    cr = decode_plane(buf[off:off + len_cr])
+    return VideoFrame(frame_no=frame_no, y=y, cb=cb, cr=cr)
+
+
+@dataclass
+class Mpeg2Stream:
+    """A sequence of coded pictures with a tiny container format."""
+
+    pictures: List[bytes]
+
+    @classmethod
+    def from_frames(cls, frames: Iterable[VideoFrame],
+                    quality: int = CAPTURE_QUALITY) -> "Mpeg2Stream":
+        return cls(pictures=[encode_frame(f, quality) for f in frames])
+
+    def decode(self) -> List[VideoFrame]:
+        return [decode_frame(p) for p in self.pictures]
+
+    @property
+    def nbytes(self) -> int:
+        return (_STREAM_HEADER.size
+                + sum(4 + len(p) for p in self.pictures))
+
+    def to_bytes(self) -> bytes:
+        parts = [_STREAM_HEADER.pack(_STREAM_MAGIC, len(self.pictures))]
+        for pic in self.pictures:
+            parts.append(struct.pack("<I", len(pic)))
+            parts.append(pic)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data) -> "Mpeg2Stream":
+        buf = memoryview(data)
+        if buf.nbytes < _STREAM_HEADER.size:
+            raise CodecError("truncated MPEG-2 stream header")
+        magic, count = _STREAM_HEADER.unpack_from(buf)
+        if magic != _STREAM_MAGIC:
+            raise CodecError(f"bad MPEG-2 stream magic {magic!r}")
+        off = _STREAM_HEADER.size
+        pictures = []
+        for _ in range(count):
+            if buf.nbytes < off + 4:
+                raise CodecError("truncated picture length")
+            (n,) = struct.unpack_from("<I", buf, off)
+            off += 4
+            if buf.nbytes < off + n:
+                raise CodecError("truncated picture payload")
+            pictures.append(bytes(buf[off:off + n]))
+            off += n
+        return cls(pictures=pictures)

@@ -1,0 +1,200 @@
+"""The distributed MPEG-2 -> MPEG-4 transcoder (§5.4).
+
+Video arrives as an intra-coded "MPEG-2" stream, is split into GOP-
+sized chunks, and each chunk travels as a CORBA request to an encoder
+object on the cluster, which decodes it and re-encodes it predictively
+("MPEG-4").  The chunks are bulk octet payloads, so the transcoder is
+exactly the workload class the zero-copy ORB targets: per-frame
+megabytes through the middleware.
+
+Two operation flavours are generated from the same IDL — standard
+``sequence<octet>`` and zero-copy ``sequence<ZC_Octet>`` — so the
+application can A/B the ORB data paths without touching its own logic.
+
+:func:`estimate_cluster_fps` maps the measured per-frame compute and
+payload sizes onto the simulated 2003 testbed, reproducing the paper's
+real-time-HDTV feasibility argument (see EXPERIMENTS.md, APP-X10).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ...core import OctetSequence, ZCOctetSequence
+from ...idl import compile_idl
+from ...simnet import (GIGABIT_ETHERNET, LinkProfile, MachineProfile,
+                       OrbCostConfig, StackConfig, measure_corba_request)
+from ..framework import Farm
+from .frames import VideoFrame
+from .mpeg2 import Mpeg2Stream
+from .mpeg4 import DELIVERY_QUALITY, Mpeg4Stream
+
+__all__ = ["TRANSCODER_IDL", "transcoder_api", "TranscoderWorker",
+           "DistributedTranscoder", "TranscodeReport",
+           "estimate_cluster_fps", "ClusterEstimate"]
+
+TRANSCODER_IDL = """
+interface Transcoder {
+    sequence<zc_octet> transcode(in sequence<zc_octet> gop);
+    sequence<octet> transcode_std(in sequence<octet> gop);
+    unsigned long frames_done();
+};
+"""
+
+_api = None
+
+
+def transcoder_api():
+    global _api
+    if _api is None:
+        _api = compile_idl(TRANSCODER_IDL, module_name="_repro_transcoder_idl")
+    return _api
+
+
+def _transcode_chunk(data, quality: int, gop: int) -> bytes:
+    """Decode an MPEG-2 chunk and re-encode it as MPEG-4."""
+    mp2 = Mpeg2Stream.from_bytes(data)
+    frames = mp2.decode()
+    return Mpeg4Stream.from_frames(frames, quality=quality,
+                                   gop=gop).to_bytes()
+
+
+class TranscoderWorker:
+    """One encoder object of the farm (a CORBA servant)."""
+
+    def __new__(cls, quality: int = DELIVERY_QUALITY, gop: int = 12):
+        api = transcoder_api()
+
+        class Impl(api.Transcoder_skel):
+            def __init__(self):
+                self.quality = quality
+                self.gop = gop
+                self._frames = 0
+
+            def _run(self, data) -> bytes:
+                mp2 = Mpeg2Stream.from_bytes(data)
+                frames = mp2.decode()
+                self._frames += len(frames)
+                return Mpeg4Stream.from_frames(
+                    frames, quality=self.quality, gop=self.gop).to_bytes()
+
+            def transcode(self, gop):
+                return ZCOctetSequence.from_data(self._run(gop.view()))
+
+            def transcode_std(self, gop):
+                return OctetSequence(self._run(gop.view()))
+
+            def frames_done(self):
+                return self._frames
+
+        return Impl()
+
+
+@dataclass
+class TranscodeReport:
+    frames: int
+    elapsed_s: float
+    bytes_in: int
+    bytes_out: int
+
+    @property
+    def fps(self) -> float:
+        return self.frames / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def compression_gain(self) -> float:
+        """input bytes / output bytes (>1: MPEG-4 is smaller)."""
+        return self.bytes_in / self.bytes_out if self.bytes_out else 0.0
+
+
+class DistributedTranscoder:
+    """Splits a stream into GOP chunks and farms them to workers."""
+
+    def __init__(self, workers: Sequence, zero_copy: bool = True,
+                 gop: int = 12):
+        if gop < 1:
+            raise ValueError(f"gop must be >= 1, got {gop}")
+        self.zero_copy = zero_copy
+        self.gop = gop
+        if zero_copy:
+            call = (lambda w, chunk:
+                    bytes(w.transcode(
+                        ZCOctetSequence.from_data(chunk)).view()))
+        else:
+            call = (lambda w, chunk:
+                    bytes(w.transcode_std(OctetSequence(chunk)).view()))
+        self.farm = Farm(workers, call)
+        self.last_report: Optional[TranscodeReport] = None
+
+    def chunks_of(self, stream: Mpeg2Stream) -> List[bytes]:
+        out = []
+        for i in range(0, len(stream.pictures), self.gop):
+            out.append(Mpeg2Stream(
+                pictures=stream.pictures[i:i + self.gop]).to_bytes())
+        return out
+
+    def transcode(self, stream: Mpeg2Stream) -> Mpeg4Stream:
+        chunks = self.chunks_of(stream)
+        start = time.perf_counter()
+        coded_chunks = self.farm.process(chunks)
+        elapsed = time.perf_counter() - start
+        pictures: List[bytes] = []
+        for coded in coded_chunks:
+            pictures.extend(Mpeg4Stream.from_bytes(coded).pictures)
+        result = Mpeg4Stream(pictures=pictures, gop=self.gop)
+        self.last_report = TranscodeReport(
+            frames=len(stream.pictures), elapsed_s=elapsed,
+            bytes_in=sum(len(c) for c in chunks),
+            bytes_out=sum(len(c) for c in coded_chunks))
+        return result
+
+
+# ---------------------------------------------------------------------------
+# cluster-scale feasibility on the simulated testbed (APP-X10)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ClusterEstimate:
+    """Achievable transcoder rate on the modelled 2003 cluster."""
+
+    workers: int
+    compute_fps: float  #: aggregate encode capacity of the farm
+    comm_fps: float  #: frames/s the ORB data path can carry
+    orb_label: str
+
+    @property
+    def fps(self) -> float:
+        return min(self.compute_fps, self.comm_fps)
+
+    @property
+    def realtime_25(self) -> bool:
+        return self.fps >= 25.0
+
+
+def estimate_cluster_fps(frame_payload_bytes: int,
+                         encode_ns_per_frame: int,
+                         workers: int,
+                         zero_copy: bool,
+                         stack: StackConfig,
+                         profile: MachineProfile,
+                         link: LinkProfile = GIGABIT_ETHERNET,
+                         frames_per_gop: int = 12) -> ClusterEstimate:
+    """Map the transcoder onto the simulated testbed.
+
+    The master ships one GOP (``frames_per_gop`` coded frames of
+    ``frame_payload_bytes`` each) per CORBA request; workers encode at
+    ``encode_ns_per_frame``.  The achievable frame rate is the minimum
+    of aggregate compute and the master's ORB data path throughput —
+    the same bottleneck analysis the paper's real-time claim rests on.
+    """
+    cfg = OrbCostConfig(zero_copy=zero_copy)
+    gop_bytes = frame_payload_bytes * frames_per_gop
+    rep = measure_corba_request(profile, link, gop_bytes, stack, cfg)
+    comm_fps = frames_per_gop * 1e9 / rep.elapsed_ns
+    compute_fps = workers * 1e9 / encode_ns_per_frame
+    return ClusterEstimate(
+        workers=workers, compute_fps=compute_fps, comm_fps=comm_fps,
+        orb_label=("zc-orb" if zero_copy else "std-orb")
+        + f"/{stack.kind.value}")

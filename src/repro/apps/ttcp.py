@@ -1,0 +1,262 @@
+"""TTCP — the paper's throughput benchmark (§5.1), in all four versions.
+
+The original TTCP measures end-to-end throughput from a transmitter to
+a receiver.  The paper extends it with CORBA variants; we implement the
+same matrix twice:
+
+* **Simulated mode** (:func:`run_sim_ttcp`) drives the calibrated
+  testbed model of :mod:`repro.simnet` and reports the modelled MBit/s
+  for the paper's hardware — this regenerates Figures 5 and 6.
+* **Real mode** (:func:`run_real_ttcp`) moves actual bytes through the
+  real ORB over loopback or TCP sockets and reports wall-clock MBit/s.
+  Absolute numbers reflect the Python interpreter, not a Pentium II;
+  the *ordering* (zero-copy ORB beats copying ORB for large blocks)
+  still holds and is asserted in the benchmark suite.
+
+Versions (``--version``):
+
+``raw``       the classic C TTCP: plain socket writes.
+``zc-raw``    raw transfers over the zero-copy socket stack [10]
+              (simulated mode only — real sockets have no such stack).
+``corba``     TTCP with the BSD socket calls replaced by a CORBA
+              request carrying a ``sequence<octet>`` parameter (§5.1).
+``zc-corba``  the same with ``sequence<ZC_Octet>`` — the optimized ORB.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core import OctetSequence, ZCOctetSequence
+from ..idl import compile_idl
+from ..orb import ORB, ORBConfig
+from ..simnet import (GIGABIT_ETHERNET, PENTIUM_II_400, LinkProfile,
+                      MachineProfile, OrbCostConfig, StackConfig,
+                      TransferReport, measure_corba_request, measure_stream,
+                      standard_stack, zero_copy_stack)
+
+__all__ = [
+    "TTCPPoint", "TTCPSeries", "default_sizes",
+    "run_sim_ttcp", "run_real_ttcp", "TTCP_IDL", "main",
+]
+
+KB = 1024
+MB = 1024 * 1024
+
+#: the TTCP service contract used by the CORBA versions
+TTCP_IDL = """
+interface TTCP {
+    unsigned long send(in sequence<octet> data);
+    unsigned long send_zc(in sequence<zc_octet> data);
+};
+"""
+
+_api = None
+
+
+def _ttcp_api():
+    global _api
+    if _api is None:
+        _api = compile_idl(TTCP_IDL, module_name="_repro_ttcp_idl")
+    return _api
+
+
+@dataclass(frozen=True)
+class TTCPPoint:
+    """One measurement: a transfer of ``size`` bytes."""
+
+    size: int
+    mbit_per_s: float
+    elapsed_ns: int
+    sender_util: float = 0.0
+    receiver_util: float = 0.0
+
+
+@dataclass
+class TTCPSeries:
+    """One curve of a Fig. 5/6-style chart."""
+
+    label: str
+    points: List[TTCPPoint] = field(default_factory=list)
+
+    def at(self, size: int) -> TTCPPoint:
+        for p in self.points:
+            if p.size == size:
+                return p
+        raise KeyError(f"series {self.label!r} has no point at {size}")
+
+    @property
+    def saturation_mbit(self) -> float:
+        """Throughput at the largest measured size."""
+        return self.points[-1].mbit_per_s
+
+    def rows(self) -> List[tuple]:
+        return [(p.size, round(p.mbit_per_s, 1)) for p in self.points]
+
+
+def default_sizes(lo: int = 4 * KB, hi: int = 16 * MB) -> List[int]:
+    """The paper's sweep: 4 KByte to 16 MByte (power-of-two ladder in
+    4 KiB-aligned buffers)."""
+    sizes = []
+    size = lo
+    while size <= hi:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+def _stack_for(name: str, **kw) -> StackConfig:
+    if name in ("standard", "std"):
+        return standard_stack(**kw)
+    if name in ("zero-copy", "zc"):
+        return zero_copy_stack(**kw)
+    raise ValueError(f"unknown stack {name!r} (use 'standard'/'zero-copy')")
+
+
+def run_sim_ttcp(version: str, stack: str = "standard",
+                 sizes: Optional[Sequence[int]] = None,
+                 profile: MachineProfile = PENTIUM_II_400,
+                 link: LinkProfile = GIGABIT_ETHERNET,
+                 orb_cfg: Optional[OrbCostConfig] = None,
+                 app_touch: bool = False) -> TTCPSeries:
+    """One TTCP curve on the simulated testbed."""
+    sizes = list(sizes) if sizes is not None else default_sizes()
+    if version == "zc-raw":
+        version, stack = "raw", "zero-copy"
+    stack_cfg = _stack_for(stack, app_touch=app_touch)
+    label = f"{version}/{stack_cfg.kind.value}"
+    series = TTCPSeries(label=label)
+    for size in sizes:
+        if version == "raw":
+            rep: TransferReport = measure_stream(profile, link, size,
+                                                 stack_cfg)
+        elif version in ("corba", "zc-corba"):
+            cfg = orb_cfg or OrbCostConfig(zero_copy=(version == "zc-corba"))
+            rep = measure_corba_request(profile, link, size, stack_cfg, cfg)
+        else:
+            raise ValueError(f"unknown TTCP version {version!r}")
+        series.points.append(TTCPPoint(
+            size=size, mbit_per_s=rep.mbit_per_s, elapsed_ns=rep.elapsed_ns,
+            sender_util=rep.sender_util, receiver_util=rep.receiver_util))
+    return series
+
+
+# ---------------------------------------------------------------------------
+# real mode
+# ---------------------------------------------------------------------------
+
+class _TTCPServant:
+    """Receiver process of the CORBA TTCP versions."""
+
+    def __new__(cls):
+        api = _ttcp_api()
+
+        class Impl(api.TTCP_skel):
+            def __init__(self):
+                self.received = 0
+
+            def send(self, data):
+                self.received += len(data)
+                return len(data)
+
+            def send_zc(self, data):
+                self.received += len(data)
+                return len(data)
+
+        return Impl()
+
+
+def _real_corba_point(stub, size: int, zero_copy: bool,
+                      repeats: int) -> TTCPPoint:
+    payload_bytes = bytes(size)
+    best = None
+    for _ in range(repeats):
+        if zero_copy:
+            payload = ZCOctetSequence.from_data(payload_bytes)
+        else:
+            payload = OctetSequence(payload_bytes)
+        t0 = time.perf_counter_ns()
+        got = stub.send_zc(payload) if zero_copy else stub.send(payload)
+        elapsed = time.perf_counter_ns() - t0
+        if got != size:
+            raise RuntimeError(f"TTCP length mismatch: {got} != {size}")
+        best = elapsed if best is None else min(best, elapsed)
+    return TTCPPoint(size=size, elapsed_ns=best,
+                     mbit_per_s=size * 8 * 1e3 / best)
+
+
+def run_real_ttcp(version: str, sizes: Optional[Sequence[int]] = None,
+                  scheme: str = "loop", repeats: int = 3) -> TTCPSeries:
+    """One TTCP curve through the real ORB (wall-clock time)."""
+    sizes = list(sizes) if sizes is not None else default_sizes(hi=4 * MB)
+    if version not in ("corba", "zc-corba"):
+        raise ValueError(
+            f"real mode supports 'corba'/'zc-corba', not {version!r}")
+    zero_copy = version == "zc-corba"
+    _ttcp_api()
+    server = ORB(ORBConfig(scheme=scheme))
+    client = ORB(ORBConfig(scheme=scheme, collocated_calls=False))
+    try:
+        servant = _TTCPServant()
+        ref = server.activate(servant)
+        stub = client.string_to_object(server.object_to_string(ref))
+        series = TTCPSeries(label=f"real-{version}/{scheme}")
+        for size in sizes:
+            series.points.append(
+                _real_corba_point(stub, size, zero_copy, repeats))
+        return series
+    finally:
+        client.shutdown()
+        server.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def format_table(series_list: List[TTCPSeries]) -> str:
+    """Fig. 5/6-style text table: one row per size, one column per curve."""
+    sizes = [p.size for p in series_list[0].points]
+    head = "size".rjust(10) + "".join(
+        s.label.rjust(22) for s in series_list)
+    lines = [head, "-" * len(head)]
+    for i, size in enumerate(sizes):
+        row = f"{size:>10}"
+        for s in series_list:
+            row += f"{s.points[i].mbit_per_s:>18.1f} Mb/s"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-ttcp",
+        description="TTCP benchmark (paper §5.1): simulated or real mode")
+    ap.add_argument("--mode", choices=("sim", "real"), default="sim")
+    ap.add_argument("--versions", default="raw,corba,zc-corba",
+                    help="comma list: raw, corba, zc-corba")
+    ap.add_argument("--stack", choices=("standard", "zero-copy"),
+                    default="standard", help="(sim mode) TCP stack model")
+    ap.add_argument("--scheme", choices=("loop", "tcp"), default="loop",
+                    help="(real mode) transport")
+    ap.add_argument("--max-size", type=int, default=16 * MB)
+    args = ap.parse_args(argv)
+    sizes = default_sizes(hi=args.max_size)
+    out = []
+    for version in args.versions.split(","):
+        version = version.strip()
+        if args.mode == "sim":
+            out.append(run_sim_ttcp(version, stack=args.stack, sizes=sizes))
+        else:
+            out.append(run_real_ttcp(version, sizes=sizes,
+                                     scheme=args.scheme))
+    print(format_table(out))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""CDR marshaling: GIOP's Common Data Representation, TypeCodes/TIDs,
+and the TID-selected marshalers including the zero-copy ``TCSeqZCOctet``
+(§4.1, §4.4)."""
+
+from .any import TC_ANY, Any, decode_typecode, encode_typecode
+from .decoder import CDRDecoder, CDRError
+from .encoder import NATIVE_LITTLE, CDREncoder
+from .marshal import (MarshalContext, MarshalError, Marshaller, StructValue,
+                      TCSeqOctet, TCSeqZCOctet, get_marshaller,
+                      lookup_value_class, register_value_class)
+from .typecode import (TC_BOOLEAN, TC_CHAR, TC_DOUBLE, TC_FLOAT, TC_LONG,
+                       TC_LONGLONG, TC_NULL, TC_OCTET, TC_SEQ_OCTET,
+                       TC_SEQ_ZC_OCTET, TC_SHORT, TC_STRING, TC_ULONG,
+                       TC_ULONGLONG, TC_USHORT, TC_VOID, TCKind, TypeCode,
+                       array_tc, enum_tc, exception_tc, sequence_tc,
+                       string_tc, struct_tc, zc_octet_sequence_tc)
+
+__all__ = [
+    "CDREncoder", "CDRDecoder", "CDRError", "NATIVE_LITTLE",
+    "Any", "TC_ANY", "encode_typecode", "decode_typecode",
+    "MarshalContext", "MarshalError", "Marshaller", "StructValue",
+    "TCSeqOctet", "TCSeqZCOctet", "get_marshaller",
+    "register_value_class", "lookup_value_class",
+    "TCKind", "TypeCode",
+    "TC_NULL", "TC_VOID", "TC_BOOLEAN", "TC_OCTET", "TC_CHAR", "TC_SHORT",
+    "TC_USHORT", "TC_LONG", "TC_ULONG", "TC_LONGLONG", "TC_ULONGLONG",
+    "TC_FLOAT", "TC_DOUBLE", "TC_STRING", "TC_SEQ_OCTET", "TC_SEQ_ZC_OCTET",
+    "sequence_tc", "zc_octet_sequence_tc", "string_tc", "array_tc",
+    "struct_tc", "enum_tc", "exception_tc",
+]

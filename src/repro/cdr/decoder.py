@@ -1,0 +1,143 @@
+"""CDR decoder (receiver-makes-right).
+
+Reads the wire format produced by :class:`repro.cdr.encoder.CDREncoder`.
+The decoder works over a :class:`memoryview`, so demarshaling an octet
+stream can return a *slice* of the receive buffer instead of a copy —
+see :meth:`CDRDecoder.get_view` — which the zero-copy demarshaler uses
+when the payload was already landed in its final buffer (§4.5).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .encoder import NATIVE_LITTLE
+
+__all__ = ["CDRDecoder", "CDRError"]
+
+
+class CDRError(ValueError):
+    """Malformed CDR data (truncation, bad length, bad char)."""
+
+
+class CDRDecoder:
+    """Sequential reader over one CDR-encoded message body."""
+
+    def __init__(self, data, little_endian: bool = NATIVE_LITTLE,
+                 offset: int = 0):
+        self._view = memoryview(data)
+        if self._view.format != "B":
+            self._view = self._view.cast("B")
+        self.little_endian = little_endian
+        self._prefix = "<" if little_endian else ">"
+        self._pos = 0
+        self._offset = offset
+
+    # -- low level ------------------------------------------------------------
+    def align(self, n: int) -> None:
+        pad = (-(self._offset + self._pos)) % n
+        self._advance(pad)
+
+    def _advance(self, n: int) -> int:
+        if self._pos + n > len(self._view):
+            raise CDRError(
+                f"CDR underrun: need {n} bytes at {self._pos}, "
+                f"have {len(self._view) - self._pos}")
+        pos = self._pos
+        self._pos += n
+        return pos
+
+    def _unpack(self, fmt: str, size: int):
+        pos = self._advance(size)
+        return struct.unpack_from(self._prefix + fmt, self._view, pos)[0]
+
+    @property
+    def remaining(self) -> int:
+        return len(self._view) - self._pos
+
+    @property
+    def pos(self) -> int:
+        return self._offset + self._pos
+
+    def tell(self) -> int:
+        """Raw cursor for save/restore (pairs with :meth:`seek`)."""
+        return self._pos
+
+    def seek(self, raw_pos: int) -> None:
+        if not 0 <= raw_pos <= len(self._view):
+            raise CDRError(f"seek to {raw_pos} outside buffer")
+        self._pos = raw_pos
+
+    # -- primitives ------------------------------------------------------------
+    def get_octet(self) -> int:
+        return self._unpack("B", 1)
+
+    def get_boolean(self) -> bool:
+        return bool(self._unpack("B", 1))
+
+    def get_char(self) -> str:
+        return chr(self._unpack("B", 1))
+
+    def get_short(self) -> int:
+        self.align(2)
+        return self._unpack("h", 2)
+
+    def get_ushort(self) -> int:
+        self.align(2)
+        return self._unpack("H", 2)
+
+    def get_long(self) -> int:
+        self.align(4)
+        return self._unpack("i", 4)
+
+    def get_ulong(self) -> int:
+        self.align(4)
+        return self._unpack("I", 4)
+
+    def get_longlong(self) -> int:
+        self.align(8)
+        return self._unpack("q", 8)
+
+    def get_ulonglong(self) -> int:
+        self.align(8)
+        return self._unpack("Q", 8)
+
+    def get_float(self) -> float:
+        self.align(4)
+        return self._unpack("f", 4)
+
+    def get_double(self) -> float:
+        self.align(8)
+        return self._unpack("d", 8)
+
+    # -- composite helpers ------------------------------------------------------
+    def get_string(self) -> str:
+        n = self.get_ulong()
+        if n == 0:
+            raise CDRError("CDR string with zero length (missing NUL)")
+        pos = self._advance(n)
+        raw = self._view[pos:pos + n]
+        if raw[-1] != 0:
+            raise CDRError("CDR string not NUL-terminated")
+        return bytes(raw[:-1]).decode("utf-8")
+
+    def get_octets(self) -> bytes:
+        """Length-prefixed octet run, copied out as ``bytes``."""
+        n = self.get_ulong()
+        pos = self._advance(n)
+        return bytes(self._view[pos:pos + n])
+
+    def get_view(self, n: int) -> memoryview:
+        """A zero-copy window of ``n`` raw bytes at the current position."""
+        pos = self._advance(n)
+        return self._view[pos:pos + n]
+
+    def get_encapsulation(self) -> "CDRDecoder":
+        """Enter a CDR encapsulation; returns a fresh decoder for it."""
+        n = self.get_ulong()
+        if n < 1:
+            raise CDRError("empty CDR encapsulation")
+        pos = self._advance(n)
+        body = self._view[pos:pos + n]
+        little = bool(body[0])
+        return CDRDecoder(body[1:], little_endian=little)

@@ -1,0 +1,133 @@
+"""CDR (Common Data Representation) encoder.
+
+Implements GIOP's on-the-wire data representation: primitive types at
+their natural alignment (relative to the start of the message body),
+strings as length-prefixed NUL-terminated byte runs, sequences as a
+``ulong`` count followed by elements, and encapsulations whose first
+octet is the byte-order flag.
+
+Byte-order negotiation matters to the paper: GIOP messages declare the
+sender's endianness and a *receiver-makes-right* reader converts only
+on mismatch, which is what lets homogeneous clusters skip conversion
+entirely (§2.1 "Bypass of Marshaling/Demarshaling").
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+
+__all__ = ["CDREncoder", "NATIVE_LITTLE"]
+
+NATIVE_LITTLE = sys.byteorder == "little"
+
+_PAD = b"\x00" * 8
+
+
+class CDREncoder:
+    """Append-only CDR output buffer.
+
+    ``little_endian`` selects the wire byte order (defaults to the
+    native order, the homogeneous-cluster fast path).  ``offset`` is
+    where this body starts within the enclosing GIOP message, so that
+    alignment is computed relative to the message, not the buffer.
+    """
+
+    def __init__(self, little_endian: bool = NATIVE_LITTLE, offset: int = 0):
+        self.little_endian = little_endian
+        self._prefix = "<" if little_endian else ">"
+        self._buf = bytearray()
+        self._offset = offset
+
+    # -- low level ------------------------------------------------------------
+    def align(self, n: int) -> None:
+        """Pad so the next write lands on an ``n``-byte boundary."""
+        pos = self._offset + len(self._buf)
+        pad = (-pos) % n
+        if pad:
+            self._buf += _PAD[:pad]
+
+    def write_raw(self, data) -> None:
+        self._buf += data
+
+    def _pack(self, fmt: str, value) -> None:
+        self._buf += struct.pack(self._prefix + fmt, value)
+
+    # -- primitives ------------------------------------------------------------
+    def put_octet(self, v: int) -> None:
+        self._pack("B", v)
+
+    def put_boolean(self, v: bool) -> None:
+        self._pack("B", 1 if v else 0)
+
+    def put_char(self, v: str) -> None:
+        b = v.encode("latin-1")
+        if len(b) != 1:
+            raise ValueError(f"char must be a single byte, got {v!r}")
+        self._buf += b
+
+    def put_short(self, v: int) -> None:
+        self.align(2)
+        self._pack("h", v)
+
+    def put_ushort(self, v: int) -> None:
+        self.align(2)
+        self._pack("H", v)
+
+    def put_long(self, v: int) -> None:
+        self.align(4)
+        self._pack("i", v)
+
+    def put_ulong(self, v: int) -> None:
+        self.align(4)
+        self._pack("I", v)
+
+    def put_longlong(self, v: int) -> None:
+        self.align(8)
+        self._pack("q", v)
+
+    def put_ulonglong(self, v: int) -> None:
+        self.align(8)
+        self._pack("Q", v)
+
+    def put_float(self, v: float) -> None:
+        self.align(4)
+        self._pack("f", v)
+
+    def put_double(self, v: float) -> None:
+        self.align(8)
+        self._pack("d", v)
+
+    # -- composite helpers ------------------------------------------------------
+    def put_string(self, v: str) -> None:
+        data = v.encode("utf-8")
+        self.put_ulong(len(data) + 1)
+        self._buf += data
+        self._buf += b"\x00"
+
+    def put_octets(self, data) -> None:
+        """Length-prefixed octet run (``sequence<octet>`` body)."""
+        view = memoryview(data).cast("B") if not isinstance(data, bytes) else data
+        self.put_ulong(len(view))
+        self._buf += view
+
+    def put_encapsulation(self, inner: "CDREncoder") -> None:
+        """Emit ``inner`` as a CDR encapsulation octet sequence."""
+        body = bytearray([1 if inner.little_endian else 0])
+        body += inner.getvalue()
+        self.put_octets(bytes(body))
+
+    # -- results -----------------------------------------------------------------
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def view(self) -> memoryview:
+        return memoryview(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    @property
+    def pos(self) -> int:
+        """Current position relative to the message start."""
+        return self._offset + len(self._buf)

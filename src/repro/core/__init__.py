@@ -1,0 +1,19 @@
+"""The paper's contribution: zero-copy data handling for the ORB.
+
+Page-aligned buffers and pools (§4.3's extended ``SequenceTmpl<>``
+storage), the isomorphic ``sequence<octet>`` / ``sequence<ZC_Octet>``
+datatypes, and the direct-deposit protocol that separates control- and
+data transfers (§3.2, §4.4-4.5).
+"""
+
+from .buffers import PAGE_SIZE, BufferError, BufferPool, ZCBuffer, default_pool
+from .direct_deposit import (DEPOSIT_MAGIC, DepositDescriptor, DepositError,
+                             DepositReceiver, DepositRegistry)
+from .sequences import OctetSequence, ZCOctetSequence, as_octets
+
+__all__ = [
+    "PAGE_SIZE", "ZCBuffer", "BufferPool", "BufferError", "default_pool",
+    "OctetSequence", "ZCOctetSequence", "as_octets",
+    "DepositDescriptor", "DepositRegistry", "DepositReceiver",
+    "DepositError", "DEPOSIT_MAGIC",
+]

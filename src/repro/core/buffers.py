@@ -1,0 +1,210 @@
+"""Page-aligned buffer management for zero-copy transfers.
+
+§4.3: the ``SequenceTmpl<>`` extension adds "two new pointers, one to a
+reserved memory block, another to a page aligned area in this buffer
+and an integer value for the effective buffer size".  §4.5: the
+direct-deposit receiver "allocates an appropriately sized and aligned
+buffer" that packet payloads are landed on.
+
+This module provides that machinery for Python: :class:`ZCBuffer` is a
+page-aligned region with true address alignment (verified through the
+underlying numpy array's data pointer), and :class:`BufferPool` keeps
+freed buffers on per-size-class free lists so steady-state transfers
+allocate nothing ("the buffers are allocated and managed by the
+application or by the stub and skeleton code", §6).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PAGE_SIZE", "ZCBuffer", "BufferPool", "BufferError", "default_pool"]
+
+PAGE_SIZE = 4096
+
+
+class BufferError(RuntimeError):
+    """Misuse of a zero-copy buffer (double release, use after free)."""
+
+
+class ZCBuffer:
+    """A page-aligned, fixed-capacity memory region.
+
+    The region is carved out of a numpy byte array over-allocated by
+    one page; the view starts at the first page boundary, so
+    ``address % PAGE_SIZE == 0`` genuinely holds — the property the
+    speculative-defragmentation receiver needs to land packet payloads
+    by page remapping instead of copying.
+
+    ``capacity`` is the usable aligned size; ``length`` is the live
+    payload size (≤ capacity).  The payload is exposed as a writable
+    :class:`memoryview` so every consumer shares the same storage.
+    """
+
+    __slots__ = ("_base", "_view", "capacity", "_length", "_pool", "_released")
+
+    def __init__(self, capacity: int, pool: Optional["BufferPool"] = None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._base = np.empty(capacity + PAGE_SIZE, dtype=np.uint8)
+        offset = (-self._base.ctypes.data) % PAGE_SIZE
+        self._view = memoryview(self._base)[offset:offset + capacity]
+        self._length = capacity
+        self._pool = pool
+        self._released = False
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def address(self) -> int:
+        """The (real) start address of the aligned region."""
+        self._check_live()
+        return self._base.ctypes.data + ((-self._base.ctypes.data) % PAGE_SIZE)
+
+    @property
+    def is_page_aligned(self) -> bool:
+        return self.address % PAGE_SIZE == 0
+
+    # -- payload ------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def set_length(self, n: int) -> None:
+        """Set the live payload size (the sequence's ``length()`` method)."""
+        self._check_live()
+        if not 0 <= n <= self.capacity:
+            raise ValueError(f"length {n} outside [0, {self.capacity}]")
+        self._length = n
+
+    def view(self) -> memoryview:
+        """Writable view of the live payload — no copy."""
+        self._check_live()
+        return self._view[: self._length]
+
+    def full_view(self) -> memoryview:
+        """Writable view of the whole aligned capacity."""
+        self._check_live()
+        return self._view
+
+    def fill_from(self, data) -> None:
+        """Copy ``data`` in (the *one* permitted producer-side touch)."""
+        self._check_live()
+        src = memoryview(data)
+        if src.nbytes > self.capacity:
+            raise ValueError(
+                f"data of {src.nbytes} bytes exceeds capacity {self.capacity}")
+        self._view[: src.nbytes] = src.cast("B")
+        self._length = src.nbytes
+
+    def tobytes(self) -> bytes:
+        return self.view().tobytes()
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Return the buffer to its pool (or just mark it dead)."""
+        self._check_live()
+        self._released = True
+        if self._pool is not None:
+            self._pool._reclaim(self)
+
+    def _revive(self) -> None:
+        self._released = False
+        self._length = self.capacity
+
+    def _check_live(self) -> None:
+        if self._released:
+            raise BufferError("use of a released ZCBuffer")
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else f"len={self._length}"
+        return f"<ZCBuffer cap={self.capacity} {state} @0x{id(self):x}>"
+
+
+def _size_class(nbytes: int) -> int:
+    """Round up to a whole number of pages, then to a power-of-two page
+    count, so freed buffers are reusable across similar request sizes."""
+    pages = max(1, -(-nbytes // PAGE_SIZE))
+    return PAGE_SIZE * (1 << (pages - 1).bit_length())
+
+
+class BufferPool:
+    """Free lists of :class:`ZCBuffer` keyed by size class.
+
+    Thread-safe; the receiver side of the ORB allocates deposit targets
+    here on every direct-deposit request, so a warm pool removes the
+    per-request allocation cost §2.1 identifies.
+    """
+
+    def __init__(self, max_cached_bytes: int = 256 * 1024 * 1024):
+        self._free: dict[int, list[ZCBuffer]] = {}
+        self._lock = threading.Lock()
+        self.max_cached_bytes = max_cached_bytes
+        self.cached_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.reclaims = 0
+
+    def acquire(self, nbytes: int) -> ZCBuffer:
+        """Get a page-aligned buffer with capacity >= ``nbytes``."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        cls = _size_class(nbytes)
+        with self._lock:
+            free = self._free.get(cls)
+            if free:
+                buf = free.pop()
+                self.cached_bytes -= buf.capacity
+                self.hits += 1
+                buf._revive()
+                buf.set_length(nbytes)
+                return buf
+            self.misses += 1
+        buf = ZCBuffer(cls, pool=self)
+        buf.set_length(nbytes)
+        return buf
+
+    def _reclaim(self, buf: ZCBuffer) -> None:
+        with self._lock:
+            cls = buf.capacity
+            free = self._free.setdefault(cls, [])
+            if buf in free:
+                raise BufferError("double release of a pooled ZCBuffer")
+            if self.cached_bytes + cls <= self.max_cached_bytes:
+                free.append(buf)
+                self.cached_bytes += cls
+                self.reclaims += 1
+            # else: drop the buffer; GC frees the storage
+
+    @property
+    def cached_count(self) -> int:
+        with self._lock:
+            return sum(len(v) for v in self._free.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._free.clear()
+            self.cached_bytes = 0
+
+
+_default_pool: Optional[BufferPool] = None
+_default_pool_lock = threading.Lock()
+
+
+def default_pool() -> BufferPool:
+    """The process-wide pool used when no explicit pool is supplied."""
+    global _default_pool
+    with _default_pool_lock:
+        if _default_pool is None:
+            _default_pool = BufferPool()
+        return _default_pool

@@ -1,0 +1,20 @@
+"""GIOP/IIOP protocol: message formats, service contexts carrying
+deposit descriptors, and Interoperable Object References."""
+
+from .ior import IIOPProfile, IOR, IORError, TAG_INTERNET_IOP
+from .messages import (GIOP_HEADER_SIZE, GIOP_MAGIC, SVC_CTX_DEPOSIT,
+                       CancelRequestHeader, GIOPError, GIOPHeader,
+                       GIOPMessage, LocateReplyHeader, LocateRequestHeader,
+                       LocateStatus, MsgType, ReplyHeader, ReplyStatus,
+                       RequestHeader, ServiceContext, body_offset_for,
+                       decode_body, decode_header, encode_message)
+
+__all__ = [
+    "GIOP_MAGIC", "GIOP_HEADER_SIZE", "SVC_CTX_DEPOSIT",
+    "MsgType", "ReplyStatus", "LocateStatus",
+    "GIOPHeader", "GIOPMessage", "GIOPError", "ServiceContext",
+    "RequestHeader", "ReplyHeader", "CancelRequestHeader",
+    "LocateRequestHeader", "LocateReplyHeader",
+    "encode_message", "decode_header", "decode_body", "body_offset_for",
+    "IOR", "IIOPProfile", "IORError", "TAG_INTERNET_IOP",
+]

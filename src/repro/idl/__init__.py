@@ -1,0 +1,22 @@
+"""IDL compiler: CORBA IDL -> Python stubs and skeletons, with the
+paper's ``zc_octet`` extension type (§4.3)."""
+
+from .ast import (AttributeDecl, ConstDecl, EnumDecl, ExceptionDecl,
+                  InterfaceDecl, ModuleDecl, OperationDecl, Specification,
+                  StructDecl, TypedefDecl)
+from .codegen import CodegenError, generate_source
+from .compiler import compile_idl, idl_to_source, main
+from .lexer import LexError, Token, TokenKind, tokenize
+from .parser import ParseError, parse
+from .preprocess import IncludeError, preprocess
+from .pretty import pretty_print
+
+__all__ = [
+    "compile_idl", "idl_to_source", "main",
+    "parse", "ParseError", "generate_source", "CodegenError",
+    "pretty_print", "preprocess", "IncludeError",
+    "tokenize", "Token", "TokenKind", "LexError",
+    "Specification", "ModuleDecl", "InterfaceDecl", "OperationDecl",
+    "AttributeDecl", "StructDecl", "EnumDecl", "ExceptionDecl",
+    "TypedefDecl", "ConstDecl",
+]

@@ -1,0 +1,116 @@
+"""Declaration tree produced by the IDL parser.
+
+Each node carries the *resolved* :class:`~repro.cdr.typecode.TypeCode`
+for the types it declares, so code generation is a straight traversal.
+Scoped naming: ``scoped`` is the full ``A::B::C`` IDL name; the Python
+identifier used by the code generator is the flattened ``A_B_C``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..cdr.typecode import TypeCode
+from ..orb.signatures import OperationSignature
+
+__all__ = [
+    "Declaration", "ModuleDecl", "TypedefDecl", "ConstDecl", "StructDecl",
+    "UnionDecl", "EnumDecl", "ExceptionDecl", "AttributeDecl", "OperationDecl",
+    "InterfaceDecl", "Specification",
+]
+
+
+@dataclass
+class Declaration:
+    name: str
+    scoped: str  #: fully-scoped IDL name, e.g. "M::Thing"
+
+    @property
+    def py_name(self) -> str:
+        return self.scoped.replace("::", "_")
+
+    @property
+    def repo_id(self) -> str:
+        return f"IDL:{self.scoped.replace('::', '/')}:1.0"
+
+
+@dataclass
+class TypedefDecl(Declaration):
+    tc: TypeCode = None  # type: ignore[assignment]
+
+
+@dataclass
+class ConstDecl(Declaration):
+    tc: TypeCode = None  # type: ignore[assignment]
+    value: object = None
+
+
+@dataclass
+class StructDecl(Declaration):
+    members: List[Tuple[str, TypeCode]] = field(default_factory=list)
+    tc: TypeCode = None  # type: ignore[assignment]
+
+
+@dataclass
+class UnionDecl(Declaration):
+    disc_tc: TypeCode = None  # type: ignore[assignment]
+    #: (label | None for default, member_name, TypeCode)
+    members: List[Tuple] = field(default_factory=list)
+    tc: TypeCode = None  # type: ignore[assignment]
+
+
+@dataclass
+class EnumDecl(Declaration):
+    members: List[str] = field(default_factory=list)
+    tc: TypeCode = None  # type: ignore[assignment]
+
+
+@dataclass
+class ExceptionDecl(Declaration):
+    members: List[Tuple[str, TypeCode]] = field(default_factory=list)
+    tc: TypeCode = None  # type: ignore[assignment]
+
+
+@dataclass
+class AttributeDecl(Declaration):
+    tc: TypeCode = None  # type: ignore[assignment]
+    readonly: bool = False
+
+
+@dataclass
+class OperationDecl(Declaration):
+    signature: OperationSignature = None  # type: ignore[assignment]
+
+
+@dataclass
+class InterfaceDecl(Declaration):
+    bases: List["InterfaceDecl"] = field(default_factory=list)
+    operations: List[OperationDecl] = field(default_factory=list)
+    attributes: List[AttributeDecl] = field(default_factory=list)
+    nested: List[Declaration] = field(default_factory=list)
+    forward_only: bool = False
+
+
+@dataclass
+class ModuleDecl(Declaration):
+    body: List[Declaration] = field(default_factory=list)
+
+
+@dataclass
+class Specification:
+    """The root: every top-level declaration of one IDL source."""
+
+    declarations: List[Declaration] = field(default_factory=list)
+
+    def iter_flat(self):
+        """All declarations, modules flattened, in source order."""
+        def walk(decls):
+            for d in decls:
+                if isinstance(d, ModuleDecl):
+                    yield from walk(d.body)
+                else:
+                    yield d
+                    if isinstance(d, InterfaceDecl):
+                        yield from walk(d.nested)
+        yield from walk(self.declarations)

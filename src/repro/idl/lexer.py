@@ -1,0 +1,209 @@
+"""Tokenizer for the CORBA IDL subset.
+
+Handles ``//`` and ``/* */`` comments, identifiers, keywords,
+integer (decimal/hex/octal), floating, string and character literals,
+and the multi-character punctuation ``::``.  Every token carries its
+source position for error messages.
+
+The keyword set covers the subset this reproduction compiles (see
+``repro.idl.parser``) plus the paper's extension type ``zc_octet``
+(accepted in either spelling, ``zc_octet`` or ``ZC_Octet`` — §4.3
+introduces it as ``ZC_Octet``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["TokenKind", "Token", "LexError", "tokenize", "KEYWORDS"]
+
+
+class LexError(SyntaxError):
+    """Invalid character or malformed literal in IDL source."""
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    CHAR = "char"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "module", "interface", "struct", "enum", "typedef", "exception",
+    "const", "attribute", "readonly", "oneway", "raises",
+    "union", "switch", "case", "default",
+    "in", "out", "inout",
+    "void", "boolean", "char", "octet", "short", "long", "float",
+    "double", "unsigned", "string", "sequence", "any", "Object",
+    "TRUE", "FALSE",
+    # the paper's zero-copy extension (§4.3) and its numeric
+    # generalization (§4.1's "other data types ... sequences or arrays
+    # of basic types")
+    "zc_octet", "ZC_Octet", "zc_short", "zc_ushort", "zc_long",
+    "zc_ulong", "zc_longlong", "zc_ulonglong", "zc_float", "zc_double",
+})
+
+_PUNCT2 = {"::"}
+_PUNCT1 = set("{}()[]<>,;:=+-*/|")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    @property
+    def value(self):
+        """Decoded literal value for INT/FLOAT/STRING/CHAR tokens."""
+        if self.kind is TokenKind.INT:
+            return int(self.text, 0)
+        if self.kind is TokenKind.FLOAT:
+            return float(self.text)
+        if self.kind is TokenKind.STRING:
+            return _decode_escapes(self.text[1:-1])
+        if self.kind is TokenKind.CHAR:
+            decoded = _decode_escapes(self.text[1:-1])
+            if len(decoded) != 1:
+                raise LexError(f"bad char literal {self.text} "
+                               f"at line {self.line}")
+            return decoded
+        return self.text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"
+
+
+def _decode_escapes(s: str) -> str:
+    return (s.replace(r"\n", "\n").replace(r"\t", "\t")
+             .replace(r"\"", '"').replace(r"\'", "'")
+             .replace(r"\\", "\\"))
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize IDL ``source``; the list always ends with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> LexError:
+        return LexError(f"{msg} at line {line}, column {col}")
+
+    while i < n:
+        ch = source[i]
+        # -- whitespace -----------------------------------------------------
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # -- comments -----------------------------------------------------
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated /* comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        start_line, start_col = line, col
+        # -- preprocessor lines (ignored: #include / #pragma) ---------------
+        if ch == "#" and col == 1:
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        # -- identifiers / keywords ------------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # -- numbers -----------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith(("0x", "0X"), i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                if j < n and source[j] == ".":
+                    is_float = True
+                    j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+                if j < n and source[j] in "eE":
+                    is_float = True
+                    j += 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+            text = source[i:j]
+            kind = TokenKind.FLOAT if is_float else TokenKind.INT
+            tokens.append(Token(kind, text, start_line, start_col))
+            col += j - i
+            i = j
+            continue
+        # -- string / char literals ----------------------------------------------
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n and source[j] != quote:
+                if source[j] == "\\":
+                    j += 1
+                if source[j] == "\n":
+                    raise error("newline in literal")
+                j += 1
+            if j >= n:
+                raise error(f"unterminated {quote} literal")
+            text = source[i:j + 1]
+            kind = TokenKind.STRING if quote == '"' else TokenKind.CHAR
+            tokens.append(Token(kind, text, start_line, start_col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # -- punctuation -----------------------------------------------------------
+        if source.startswith("::", i):
+            tokens.append(Token(TokenKind.PUNCT, "::", start_line, start_col))
+            i += 2
+            col += 2
+            continue
+        if ch in _PUNCT1:
+            tokens.append(Token(TokenKind.PUNCT, ch, start_line, start_col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,683 @@
+"""Recursive-descent parser for the CORBA IDL subset.
+
+Supported grammar (close to CORBA 2.x chapter 3, minus unions, ``any``,
+fixed-point and value types):
+
+* ``module`` (nestable), ``interface`` with multiple inheritance and
+  forward declarations,
+* operations (with ``in``/``out``/``inout`` parameters, ``raises``
+  clauses and ``oneway``), ``attribute`` / ``readonly attribute``,
+* ``struct``, ``enum``, ``exception``, ``typedef`` (with array
+  declarators), ``const`` with constant expressions (+ - * / and
+  scoped-name references),
+* types: all the basic types, ``string`` / ``string<N>``,
+  ``sequence<T>`` / ``sequence<T, N>``, scoped names, interfaces as
+  object references — and the paper's ``zc_octet`` element type, which
+  makes ``sequence<zc_octet>`` the zero-copy stream of §4.3.
+
+Name resolution is single-pass (declare before use), with proper
+scoping for nested modules and interfaces.  The parser returns a
+:class:`~repro.idl.ast.Specification` whose nodes carry resolved
+TypeCodes and operation signatures, ready for code generation.
+
+``promote_octet_sequences=True`` reproduces the paper's modified IDL
+compiler mode where plain ``sequence<octet>`` is compiled as the
+zero-copy type ("we had to tell the IDL compiler to generate ZC_Octet
+stubs and ZC_Octet skeletons", §4.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..cdr.typecode import (TC_BOOLEAN, TC_CHAR, TC_DOUBLE, TC_FLOAT,
+                            TC_LONG, TC_LONGLONG, TC_OCTET, TC_SHORT,
+                            TC_ULONG, TC_ULONGLONG, TC_USHORT, TC_VOID,
+                            TCKind, TypeCode, array_tc, enum_tc,
+                            exception_tc, objref_tc, sequence_tc, string_tc,
+                            struct_tc, union_tc, zc_octet_sequence_tc,
+                            zc_sequence_tc)
+from ..orb.signatures import OperationSignature, Param, ParamMode
+from .ast import (AttributeDecl, ConstDecl, Declaration, EnumDecl,
+                  ExceptionDecl, InterfaceDecl, ModuleDecl, OperationDecl,
+                  Specification, StructDecl, TypedefDecl, UnionDecl)
+from .lexer import Token, TokenKind, tokenize
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(SyntaxError):
+    """IDL syntax or semantic error, with source position."""
+
+
+class _Scope:
+    """One lexical scope: name -> (kind, payload)."""
+
+    def __init__(self, name: str, parent: Optional["_Scope"] = None):
+        self.name = name
+        self.parent = parent
+        self.entries: dict[str, tuple[str, object]] = {}
+
+    @property
+    def scoped_prefix(self) -> str:
+        parts = []
+        scope: Optional[_Scope] = self
+        while scope is not None and scope.name:
+            parts.append(scope.name)
+            scope = scope.parent
+        return "::".join(reversed(parts))
+
+    def declare(self, name: str, kind: str, payload: object,
+                tok: Token) -> None:
+        existing = self.entries.get(name)
+        if existing is not None:
+            # redeclaring a forward-declared interface is legal
+            if kind == "interface" and existing[0] == "interface" \
+                    and getattr(existing[1], "forward_only", False):
+                self.entries[name] = (kind, payload)
+                return
+            raise ParseError(
+                f"duplicate declaration of {name!r} at line {tok.line}")
+        self.entries[name] = (kind, payload)
+
+    def lookup(self, name: str) -> Optional[tuple[str, object]]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            hit = scope.entries.get(name)
+            if hit is not None:
+                return hit
+            scope = scope.parent
+        return None
+
+    def lookup_path(self, path: List[str],
+                    absolute: bool) -> Optional[tuple[str, object]]:
+        if absolute:
+            scope: Optional[_Scope] = self
+            while scope.parent is not None:
+                scope = scope.parent
+            hit = scope.entries.get(path[0])
+        else:
+            hit = self.lookup(path[0])
+        for part in path[1:]:
+            if hit is None or hit[0] not in ("module", "interface"):
+                return None
+            container = hit[1]
+            inner: dict = getattr(container, "_scope_entries", {})
+            hit = inner.get(part)
+        return hit
+
+
+# "long" is handled by its own branch ("long", "long long", "long double")
+_BASIC = {
+    "octet": TC_OCTET, "boolean": TC_BOOLEAN, "char": TC_CHAR,
+    "short": TC_SHORT, "float": TC_FLOAT, "double": TC_DOUBLE,
+}
+
+#: zero-copy sequence element keywords -> element TypeCode (§4.1 ext.)
+_ZC_ELEMENTS = {
+    "zc_octet": TC_OCTET, "ZC_Octet": TC_OCTET,
+    "zc_short": TC_SHORT, "zc_ushort": TC_USHORT,
+    "zc_long": TC_LONG, "zc_ulong": TC_ULONG,
+    "zc_longlong": TC_LONGLONG, "zc_ulonglong": TC_ULONGLONG,
+    "zc_float": TC_FLOAT, "zc_double": TC_DOUBLE,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], promote_octet_sequences: bool):
+        self.tokens = tokens
+        self.pos = 0
+        self.promote = promote_octet_sequences
+        self.root = _Scope("")
+
+    # -- token plumbing ----------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def at(self, text: str) -> bool:
+        tok = self.peek()
+        return tok.text == text and tok.kind in (TokenKind.KEYWORD,
+                                                 TokenKind.PUNCT)
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.next()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.peek()
+        if not self.at(text):
+            raise ParseError(
+                f"expected {text!r}, found {tok.text!r} at line {tok.line}")
+        return self.next()
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier, found {tok.text!r} at line {tok.line}")
+        return self.next()
+
+    # -- entry point ----------------------------------------------------------
+    def parse_specification(self) -> Specification:
+        spec = Specification()
+        while self.peek().kind is not TokenKind.EOF:
+            spec.declarations.append(self.parse_definition(self.root))
+        return spec
+
+    # -- definitions ----------------------------------------------------------
+    def parse_definition(self, scope: _Scope) -> Declaration:
+        if self.at("module"):
+            return self.parse_module(scope)
+        if self.at("interface"):
+            return self.parse_interface(scope)
+        if self.at("typedef"):
+            return self.parse_typedef(scope)
+        if self.at("struct"):
+            return self.parse_struct(scope)
+        if self.at("union"):
+            return self.parse_union(scope)
+        if self.at("enum"):
+            return self.parse_enum(scope)
+        if self.at("exception"):
+            return self.parse_exception(scope)
+        if self.at("const"):
+            return self.parse_const(scope)
+        tok = self.peek()
+        raise ParseError(
+            f"expected a definition, found {tok.text!r} at line {tok.line}")
+
+    def parse_module(self, scope: _Scope) -> ModuleDecl:
+        self.expect("module")
+        name_tok = self.expect_ident()
+        inner = _Scope(name_tok.text, parent=scope)
+        decl = ModuleDecl(name=name_tok.text, scoped=inner.scoped_prefix)
+        decl._scope_entries = inner.entries  # type: ignore[attr-defined]
+        scope.declare(name_tok.text, "module", decl, name_tok)
+        self.expect("{")
+        while not self.at("}"):
+            decl.body.append(self.parse_definition(inner))
+        if not decl.body:
+            raise ParseError(
+                f"module {decl.name!r} must contain at least one "
+                f"definition (line {name_tok.line})")
+        self.expect("}")
+        self.expect(";")
+        return decl
+
+    # -- types ---------------------------------------------------------------
+    def parse_type(self, scope: _Scope, allow_void: bool = False) -> TypeCode:
+        tok = self.peek()
+        if tok.text == "void":
+            if not allow_void:
+                raise ParseError(f"void not allowed here, line {tok.line}")
+            self.next()
+            return TC_VOID
+        if tok.text in _BASIC:
+            self.next()
+            return _BASIC[tok.text]
+        if tok.text in _ZC_ELEMENTS:
+            raise ParseError(
+                f"{tok.text} is only valid as a sequence element "
+                f"(line {tok.line}); use sequence<{tok.text}>")
+        if tok.text == "unsigned":
+            self.next()
+            if self.accept("short"):
+                return TC_USHORT
+            if self.accept("long"):
+                if self.accept("long"):
+                    return TC_ULONGLONG
+                return TC_ULONG
+            bad = self.peek()
+            raise ParseError(
+                f"expected short/long after unsigned, found {bad.text!r} "
+                f"at line {bad.line}")
+        if tok.text == "long":
+            self.next()
+            if self.accept("long"):
+                return TC_LONGLONG
+            if self.accept("double"):
+                return TC_DOUBLE  # long double folded to double
+            return TC_LONG
+        if tok.text == "string":
+            self.next()
+            bound = 0
+            if self.accept("<"):
+                bound = self.parse_positive_int(scope)
+                self.expect(">")
+            return string_tc(bound)
+        if tok.text == "sequence":
+            self.next()
+            self.expect("<")
+            elem_tok = self.peek()
+            zc_elem = _ZC_ELEMENTS.get(elem_tok.text)
+            if zc_elem is not None:
+                self.next()
+                elem: Optional[TypeCode] = None
+            else:
+                elem = self.parse_type(scope)
+            bound = 0
+            if self.accept(","):
+                bound = self.parse_positive_int(scope)
+            self.expect(">")
+            if elem is None:
+                return zc_sequence_tc(zc_elem, bound)
+            if self.promote and elem.kind is TCKind.tk_octet:
+                return zc_octet_sequence_tc(bound)
+            return sequence_tc(elem, bound)
+        if tok.text == "any":
+            self.next()
+            from ..cdr.any import TC_ANY
+            return TC_ANY
+        if tok.text == "Object":
+            self.next()
+            return objref_tc("IDL:omg.org/CORBA/Object:1.0", "Object")
+        if tok.kind is TokenKind.IDENT or tok.text == "::":
+            return self.parse_named_type(scope)
+        raise ParseError(
+            f"expected a type, found {tok.text!r} at line {tok.line}")
+
+    def parse_scoped_name(self, scope: _Scope) -> tuple[List[str], bool, Token]:
+        absolute = self.accept("::")
+        first = self.expect_ident()
+        path = [first.text]
+        while self.accept("::"):
+            path.append(self.expect_ident().text)
+        return path, absolute, first
+
+    def parse_named_type(self, scope: _Scope) -> TypeCode:
+        path, absolute, tok = self.parse_scoped_name(scope)
+        hit = scope.lookup_path(path, absolute)
+        if hit is None:
+            raise ParseError(
+                f"unknown type {'::'.join(path)!r} at line {tok.line}")
+        kind, payload = hit
+        if kind == "type":
+            return payload  # typedef/struct/enum TypeCode
+        if kind == "interface":
+            decl = payload
+            return objref_tc(decl.repo_id, decl.name)
+        raise ParseError(
+            f"{'::'.join(path)!r} is a {kind}, not a type "
+            f"(line {tok.line})")
+
+    # -- constant expressions ----------------------------------------------------
+    def parse_positive_int(self, scope: _Scope) -> int:
+        value = self.parse_const_expr(scope)
+        if not isinstance(value, int) or value <= 0:
+            raise ParseError(
+                f"expected a positive integer bound, got {value!r} at "
+                f"line {self.peek().line}")
+        return value
+
+    def parse_const_expr(self, scope: _Scope):
+        value = self.parse_const_term(scope)
+        while self.at("+") or self.at("-") or self.at("|"):
+            op = self.next().text
+            rhs = self.parse_const_term(scope)
+            if op == "+":
+                value = value + rhs
+            elif op == "-":
+                value = value - rhs
+            else:
+                value = value | rhs
+        return value
+
+    def parse_const_term(self, scope: _Scope):
+        value = self.parse_const_factor(scope)
+        while self.at("*") or self.at("/"):
+            op = self.next().text
+            rhs = self.parse_const_factor(scope)
+            if op == "*":
+                value = value * rhs
+            else:
+                if isinstance(value, int) and isinstance(rhs, int):
+                    value = value // rhs
+                else:
+                    value = value / rhs
+        return value
+
+    def parse_const_factor(self, scope: _Scope):
+        tok = self.peek()
+        if self.accept("("):
+            value = self.parse_const_expr(scope)
+            self.expect(")")
+            return value
+        if self.accept("-"):
+            return -self.parse_const_factor(scope)
+        if tok.kind in (TokenKind.INT, TokenKind.FLOAT, TokenKind.STRING,
+                        TokenKind.CHAR):
+            self.next()
+            return tok.value
+        if tok.text in ("TRUE", "FALSE"):
+            self.next()
+            return tok.text == "TRUE"
+        if tok.kind is TokenKind.IDENT or tok.text == "::":
+            path, absolute, name_tok = self.parse_scoped_name(scope)
+            hit = scope.lookup_path(path, absolute)
+            if hit is None or hit[0] != "const":
+                raise ParseError(
+                    f"unknown constant {'::'.join(path)!r} at line "
+                    f"{name_tok.line}")
+            return hit[1].value
+        raise ParseError(
+            f"expected a constant, found {tok.text!r} at line {tok.line}")
+
+    # -- declarations -------------------------------------------------------------
+    def _scoped(self, scope: _Scope, name: str) -> str:
+        prefix = scope.scoped_prefix
+        return f"{prefix}::{name}" if prefix else name
+
+    def parse_typedef(self, scope: _Scope) -> TypedefDecl:
+        self.expect("typedef")
+        base = self.parse_type(scope)
+        decls = []
+        while True:
+            name_tok = self.expect_ident()
+            dims = []
+            while self.accept("["):
+                dims.append(self.parse_positive_int(scope))
+                self.expect("]")
+            tc = base
+            for length in reversed(dims):  # outermost dim written first
+                tc = array_tc(tc, length)
+            decl = TypedefDecl(name=name_tok.text,
+                               scoped=self._scoped(scope, name_tok.text),
+                               tc=tc)
+            scope.declare(name_tok.text, "type", tc, name_tok)
+            decls.append(decl)
+            if not self.accept(","):
+                break
+        self.expect(";")
+        if len(decls) > 1:
+            # surface every declarator; the first carries the rest
+            first = decls[0]
+            first.extra = decls[1:]  # type: ignore[attr-defined]
+        return decls[0]
+
+    def parse_struct(self, scope: _Scope) -> StructDecl:
+        self.expect("struct")
+        name_tok = self.expect_ident()
+        scoped = self._scoped(scope, name_tok.text)
+        members = self.parse_member_block(scope)
+        self.expect(";")
+        decl = StructDecl(name=name_tok.text, scoped=scoped, members=members)
+        decl.tc = struct_tc(decl.py_name, members, repo_id=decl.repo_id)
+        scope.declare(name_tok.text, "type", decl.tc, name_tok)
+        return decl
+
+    def parse_union(self, scope: _Scope) -> UnionDecl:
+        self.expect("union")
+        name_tok = self.expect_ident()
+        scoped = self._scoped(scope, name_tok.text)
+        self.expect("switch")
+        self.expect("(")
+        disc_tc = self.parse_type(scope)
+        self.expect(")")
+        self.expect("{")
+        members: List[Tuple] = []
+        seen_default = False
+        while not self.at("}"):
+            labels: List = []
+            while True:
+                if self.accept("default"):
+                    if seen_default:
+                        raise ParseError(
+                            f"union {name_tok.text!r}: duplicate default "
+                            f"at line {self.peek().line}")
+                    seen_default = True
+                    labels.append(None)
+                    self.expect(":")
+                elif self.accept("case"):
+                    labels.append(self.parse_const_expr(scope))
+                    self.expect(":")
+                else:
+                    break
+            if not labels:
+                tok = self.peek()
+                raise ParseError(
+                    f"expected case/default in union, found "
+                    f"{tok.text!r} at line {tok.line}")
+            member_tc = self.parse_type(scope)
+            member_tok = self.expect_ident()
+            dims = []
+            while self.accept("["):
+                dims.append(self.parse_positive_int(scope))
+                self.expect("]")
+            for length in reversed(dims):
+                member_tc = array_tc(member_tc, length)
+            self.expect(";")
+            for label in labels:
+                members.append((label, member_tok.text, member_tc))
+        self.expect("}")
+        self.expect(";")
+        if not members:
+            raise ParseError(
+                f"union {name_tok.text!r} needs at least one arm "
+                f"(line {name_tok.line})")
+        decl = UnionDecl(name=name_tok.text, scoped=scoped,
+                         disc_tc=disc_tc, members=members)
+        try:
+            decl.tc = union_tc(decl.py_name, disc_tc, members,
+                               repo_id=decl.repo_id)
+        except ValueError as e:
+            raise ParseError(f"{e} (line {name_tok.line})") from e
+        scope.declare(name_tok.text, "type", decl.tc, name_tok)
+        return decl
+
+    def parse_exception(self, scope: _Scope) -> ExceptionDecl:
+        self.expect("exception")
+        name_tok = self.expect_ident()
+        scoped = self._scoped(scope, name_tok.text)
+        members = self.parse_member_block(scope)
+        self.expect(";")
+        decl = ExceptionDecl(name=name_tok.text, scoped=scoped,
+                             members=members)
+        decl.tc = exception_tc(decl.py_name, members, repo_id=decl.repo_id)
+        scope.declare(name_tok.text, "exception", decl, name_tok)
+        return decl
+
+    def parse_member_block(self, scope: _Scope) -> List[Tuple[str, TypeCode]]:
+        self.expect("{")
+        members: List[Tuple[str, TypeCode]] = []
+        while not self.at("}"):
+            base = self.parse_type(scope)
+            while True:
+                name_tok = self.expect_ident()
+                dims = []
+                while self.accept("["):
+                    dims.append(self.parse_positive_int(scope))
+                    self.expect("]")
+                tc = base
+                for length in reversed(dims):
+                    tc = array_tc(tc, length)
+                if any(name == name_tok.text for name, _ in members):
+                    raise ParseError(
+                        f"duplicate member {name_tok.text!r} at line "
+                        f"{name_tok.line}")
+                members.append((name_tok.text, tc))
+                if not self.accept(","):
+                    break
+            self.expect(";")
+        self.expect("}")
+        return members
+
+    def parse_enum(self, scope: _Scope) -> EnumDecl:
+        self.expect("enum")
+        name_tok = self.expect_ident()
+        scoped = self._scoped(scope, name_tok.text)
+        self.expect("{")
+        members: List[str] = []
+        while True:
+            m = self.expect_ident()
+            if m.text in members:
+                raise ParseError(
+                    f"duplicate enumerator {m.text!r} at line {m.line}")
+            members.append(m.text)
+            if not self.accept(","):
+                break
+        self.expect("}")
+        self.expect(";")
+        decl = EnumDecl(name=name_tok.text, scoped=scoped, members=members)
+        decl.tc = enum_tc(decl.py_name, members, repo_id=decl.repo_id)
+        scope.declare(name_tok.text, "type", decl.tc, name_tok)
+        # enumerators are constants in the enclosing scope
+        for i, m in enumerate(members):
+            const = ConstDecl(name=m, scoped=self._scoped(scope, m),
+                              tc=decl.tc, value=i)
+            scope.declare(m, "const", const, name_tok)
+        return decl
+
+    def parse_const(self, scope: _Scope) -> ConstDecl:
+        self.expect("const")
+        tc = self.parse_type(scope)
+        name_tok = self.expect_ident()
+        self.expect("=")
+        value = self.parse_const_expr(scope)
+        self.expect(";")
+        decl = ConstDecl(name=name_tok.text,
+                         scoped=self._scoped(scope, name_tok.text),
+                         tc=tc, value=value)
+        scope.declare(name_tok.text, "const", decl, name_tok)
+        return decl
+
+    # -- interfaces ---------------------------------------------------------------
+    def parse_interface(self, scope: _Scope) -> InterfaceDecl:
+        self.expect("interface")
+        name_tok = self.expect_ident()
+        scoped = self._scoped(scope, name_tok.text)
+        decl = InterfaceDecl(name=name_tok.text, scoped=scoped)
+        if self.accept(";"):  # forward declaration
+            decl.forward_only = True
+            existing = scope.lookup(name_tok.text)
+            if existing is None:
+                scope.declare(name_tok.text, "interface", decl, name_tok)
+            return decl
+        if self.accept(":"):
+            while True:
+                path, absolute, base_tok = self.parse_scoped_name(scope)
+                hit = scope.lookup_path(path, absolute)
+                if hit is None or hit[0] != "interface":
+                    raise ParseError(
+                        f"unknown base interface {'::'.join(path)!r} at "
+                        f"line {base_tok.line}")
+                base = hit[1]
+                if base.forward_only:
+                    raise ParseError(
+                        f"cannot inherit from forward-declared "
+                        f"{base.name!r} (line {base_tok.line})")
+                decl.bases.append(base)
+                if not self.accept(","):
+                    break
+        scope.declare(name_tok.text, "interface", decl, name_tok)
+        inner = _Scope(name_tok.text, parent=scope)
+        decl._scope_entries = inner.entries  # type: ignore[attr-defined]
+        self.expect("{")
+        while not self.at("}"):
+            self.parse_export(inner, decl)
+        self.expect("}")
+        self.expect(";")
+        return decl
+
+    def parse_export(self, scope: _Scope, iface: InterfaceDecl) -> None:
+        if self.at("typedef"):
+            iface.nested.append(self.parse_typedef(scope))
+            return
+        if self.at("struct"):
+            iface.nested.append(self.parse_struct(scope))
+            return
+        if self.at("union"):
+            iface.nested.append(self.parse_union(scope))
+            return
+        if self.at("enum"):
+            iface.nested.append(self.parse_enum(scope))
+            return
+        if self.at("exception"):
+            iface.nested.append(self.parse_exception(scope))
+            return
+        if self.at("const"):
+            iface.nested.append(self.parse_const(scope))
+            return
+        if self.at("readonly") or self.at("attribute"):
+            self.parse_attribute(scope, iface)
+            return
+        self.parse_operation(scope, iface)
+
+    def parse_attribute(self, scope: _Scope, iface: InterfaceDecl) -> None:
+        readonly = self.accept("readonly")
+        self.expect("attribute")
+        tc = self.parse_type(scope)
+        while True:
+            name_tok = self.expect_ident()
+            attr = AttributeDecl(name=name_tok.text,
+                                 scoped=self._scoped(scope, name_tok.text),
+                                 tc=tc, readonly=readonly)
+            iface.attributes.append(attr)
+            if not self.accept(","):
+                break
+        self.expect(";")
+
+    def parse_operation(self, scope: _Scope, iface: InterfaceDecl) -> None:
+        oneway = self.accept("oneway")
+        result_tc = self.parse_type(scope, allow_void=True)
+        name_tok = self.expect_ident()
+        self.expect("(")
+        params: List[Param] = []
+        if not self.at(")"):
+            while True:
+                mode_tok = self.peek()
+                if self.accept("in"):
+                    mode = ParamMode.IN
+                elif self.accept("out"):
+                    mode = ParamMode.OUT
+                elif self.accept("inout"):
+                    mode = ParamMode.INOUT
+                else:
+                    raise ParseError(
+                        f"expected in/out/inout, found {mode_tok.text!r} "
+                        f"at line {mode_tok.line}")
+                ptc = self.parse_type(scope)
+                pname = self.expect_ident()
+                params.append(Param(pname.text, mode, ptc))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        raises: List[TypeCode] = []
+        if self.accept("raises"):
+            self.expect("(")
+            while True:
+                path, absolute, exc_tok = self.parse_scoped_name(scope)
+                hit = scope.lookup_path(path, absolute)
+                if hit is None or hit[0] != "exception":
+                    raise ParseError(
+                        f"unknown exception {'::'.join(path)!r} at line "
+                        f"{exc_tok.line}")
+                raises.append(hit[1].tc)
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        self.expect(";")
+        try:
+            sig = OperationSignature(name=name_tok.text,
+                                     params=tuple(params),
+                                     result_tc=result_tc,
+                                     raises=tuple(raises), oneway=oneway)
+        except ValueError as e:
+            raise ParseError(f"{e} (line {name_tok.line})") from e
+        iface.operations.append(OperationDecl(
+            name=name_tok.text, scoped=self._scoped(scope, name_tok.text),
+            signature=sig))
+
+
+def parse(source: str, promote_octet_sequences: bool = False
+          ) -> Specification:
+    """Parse IDL ``source`` into a resolved declaration tree."""
+    tokens = tokenize(source)
+    return _Parser(tokens, promote_octet_sequences).parse_specification()

@@ -1,0 +1,84 @@
+"""Minimal IDL preprocessor: ``#include`` inlining.
+
+Real-world IDL is split across files (``orb.idl``, service contracts,
+shared type libraries) stitched together with ``#include``.  This
+preprocessor textually inlines quoted includes with once-only
+semantics (every file contributes at most once per compilation, the
+effect of the universal include-guard convention) and cycle detection.
+``#pragma`` and any other directives are dropped, matching the
+lexer's behaviour for stray ``#`` lines.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+__all__ = ["preprocess", "IncludeError"]
+
+
+class IncludeError(FileNotFoundError):
+    """An ``#include`` could not be satisfied, or includes cycle."""
+
+
+_INCLUDE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]\s*$')
+_DIRECTIVE = re.compile(r"^\s*#")
+
+
+def _default_loader(include_dirs: Sequence[Path]):
+    def load(name: str) -> str:
+        for base in include_dirs:
+            candidate = Path(base) / name
+            if candidate.is_file():
+                return candidate.read_text(encoding="utf-8")
+        searched = ", ".join(str(d) for d in include_dirs) or "(none)"
+        raise IncludeError(
+            f"cannot find include {name!r} (searched: {searched})")
+
+    return load
+
+
+def preprocess(source: str,
+               include_dirs: Sequence = (),
+               loader: Optional[Callable[[str], str]] = None,
+               max_depth: int = 32) -> str:
+    """Expand ``#include`` directives in ``source``.
+
+    ``loader(name)`` returns the text of an included file; the default
+    loader searches ``include_dirs`` on disk.  Each distinct include
+    name is expanded once (once-only semantics); deeper repeats become
+    empty.  Line structure of the including file is preserved so lexer
+    positions stay meaningful.
+    """
+    load = loader or _default_loader([Path(d) for d in include_dirs])
+    seen: set = set()
+
+    def expand(text: str, depth: int, stack: tuple) -> List[str]:
+        if depth > max_depth:
+            raise IncludeError(
+                f"includes nested deeper than {max_depth}: "
+                f"{' -> '.join(stack)}")
+        out: List[str] = []
+        for line in text.splitlines():
+            m = _INCLUDE.match(line)
+            if m is not None:
+                name = m.group(2)
+                if name in stack:
+                    raise IncludeError(
+                        f"include cycle: {' -> '.join(stack)} -> {name}")
+                if name in seen:
+                    out.append(f"// #include {name!r} (already included)")
+                    continue
+                seen.add(name)
+                included = load(name)
+                out.append(f"// begin #include {name!r}")
+                out.extend(expand(included, depth + 1, stack + (name,)))
+                out.append(f"// end #include {name!r}")
+            elif _DIRECTIVE.match(line):
+                out.append(f"// {line.strip()}")
+            else:
+                out.append(line)
+        return out
+
+    return "\n".join(expand(source, 0, ("<main>",))) + "\n"

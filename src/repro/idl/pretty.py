@@ -1,0 +1,190 @@
+"""IDL pretty-printer: declaration tree -> canonical IDL text.
+
+The inverse of the parser (modulo formatting and constant folding),
+used for tooling and for the parse/print round-trip property test: the
+printed form of a parsed specification must parse back to an
+equivalent specification.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cdr.typecode import TCKind, TypeCode
+from ..orb.signatures import OperationSignature, ParamMode
+from .ast import (AttributeDecl, ConstDecl, Declaration, EnumDecl,
+                  ExceptionDecl, InterfaceDecl, ModuleDecl, Specification,
+                  StructDecl, TypedefDecl, UnionDecl)
+
+__all__ = ["pretty_print"]
+
+_PRIMITIVES = {
+    TCKind.tk_void: "void", TCKind.tk_boolean: "boolean",
+    TCKind.tk_char: "char", TCKind.tk_octet: "octet",
+    TCKind.tk_short: "short", TCKind.tk_ushort: "unsigned short",
+    TCKind.tk_long: "long", TCKind.tk_ulong: "unsigned long",
+    TCKind.tk_longlong: "long long",
+    TCKind.tk_ulonglong: "unsigned long long",
+    TCKind.tk_float: "float", TCKind.tk_double: "double",
+}
+
+_ZC_NAMES = {
+    TCKind.tk_octet: "zc_octet", TCKind.tk_short: "zc_short",
+    TCKind.tk_ushort: "zc_ushort", TCKind.tk_long: "zc_long",
+    TCKind.tk_ulong: "zc_ulong", TCKind.tk_longlong: "zc_longlong",
+    TCKind.tk_ulonglong: "zc_ulonglong", TCKind.tk_float: "zc_float",
+    TCKind.tk_double: "zc_double",
+}
+
+
+def _type_name(tc: TypeCode) -> str:
+    kind = tc.kind
+    if kind in _PRIMITIVES:
+        return _PRIMITIVES[kind]
+    if kind is TCKind.tk_any:
+        return "any"
+    if kind is TCKind.tk_string:
+        return f"string<{tc.length}>" if tc.length else "string"
+    if kind is TCKind.tk_zc_sequence:
+        elem = _ZC_NAMES[tc.content.kind]
+        if tc.length:
+            return f"sequence<{elem}, {tc.length}>"
+        return f"sequence<{elem}>"
+    if kind is TCKind.tk_sequence:
+        inner = _type_name(tc.content)
+        if tc.length:
+            return f"sequence<{inner}, {tc.length}>"
+        return f"sequence<{inner}>"
+    if kind in (TCKind.tk_struct, TCKind.tk_enum, TCKind.tk_except,
+                TCKind.tk_objref, TCKind.tk_union):
+        # reference by scoped name (repo id IDL:A/B:1.0 -> ::A::B)
+        inner = tc.repo_id[len("IDL:"):-len(":1.0")]
+        return "::" + inner.replace("/", "::")
+    if kind is TCKind.tk_array:
+        raise ValueError(
+            "anonymous arrays only occur in declarators; handled by "
+            "_declarator()")
+    raise ValueError(f"cannot name TypeCode kind {kind.name}")
+
+
+def _declarator(name: str, tc: TypeCode) -> tuple[str, TypeCode]:
+    """Peel array dimensions into the declarator suffix."""
+    dims = []
+    while tc.kind is TCKind.tk_array:
+        dims.append(tc.length)
+        tc = tc.content
+    suffix = "".join(f"[{d}]" for d in dims)
+    return name + suffix, tc
+
+
+class _Printer:
+    def __init__(self):
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def w(self, text: str = "") -> None:
+        self.lines.append("  " * self.depth + text if text else "")
+
+    # -- declarations -------------------------------------------------------
+    def print_spec(self, spec: Specification) -> str:
+        for decl in spec.declarations:
+            self.print_decl(decl)
+        return "\n".join(self.lines) + "\n"
+
+    def print_decl(self, decl: Declaration) -> None:
+        if isinstance(decl, ModuleDecl):
+            self.w(f"module {decl.name} {{")
+            self.depth += 1
+            for inner in decl.body:
+                self.print_decl(inner)
+            self.depth -= 1
+            self.w("};")
+        elif isinstance(decl, TypedefDecl):
+            name, base = _declarator(decl.name, decl.tc)
+            self.w(f"typedef {_type_name(base)} {name};")
+            for extra in getattr(decl, "extra", []):
+                self.print_decl(extra)
+        elif isinstance(decl, ConstDecl):
+            self.w(f"const {_type_name(decl.tc)} {decl.name} = "
+                   f"{_const_value(decl.value)};")
+        elif isinstance(decl, StructDecl):
+            self.w(f"struct {decl.name} {{")
+            self.depth += 1
+            for member, tc in decl.members:
+                name, base = _declarator(member, tc)
+                self.w(f"{_type_name(base)} {name};")
+            self.depth -= 1
+            self.w("};")
+        elif isinstance(decl, UnionDecl):
+            self.w(f"union {decl.name} switch "
+                   f"({_type_name(decl.disc_tc)}) {{")
+            self.depth += 1
+            for label, mname, mtc in decl.members:
+                prefix = ("default:" if label is None
+                          else f"case {_const_value(label)}:")
+                name, base = _declarator(mname, mtc)
+                self.w(f"{prefix} {_type_name(base)} {name};")
+            self.depth -= 1
+            self.w("};")
+        elif isinstance(decl, EnumDecl):
+            self.w(f"enum {decl.name} {{ {', '.join(decl.members)} }};")
+        elif isinstance(decl, ExceptionDecl):
+            self.w(f"exception {decl.name} {{")
+            self.depth += 1
+            for member, tc in decl.members:
+                name, base = _declarator(member, tc)
+                self.w(f"{_type_name(base)} {name};")
+            self.depth -= 1
+            self.w("};")
+        elif isinstance(decl, InterfaceDecl):
+            self.print_interface(decl)
+        else:
+            raise ValueError(f"cannot print {type(decl).__name__}")
+
+    def print_interface(self, decl: InterfaceDecl) -> None:
+        if decl.forward_only:
+            self.w(f"interface {decl.name};")
+            return
+        bases = ""
+        if decl.bases:
+            bases = " : " + ", ".join(
+                "::" + b.scoped.replace("::", "::") if False else
+                "::" + b.scoped for b in decl.bases)
+            bases = bases.replace("::", "::")
+        self.w(f"interface {decl.name}{bases} {{")
+        self.depth += 1
+        for nested in decl.nested:
+            self.print_decl(nested)
+        for attr in decl.attributes:
+            ro = "readonly " if attr.readonly else ""
+            self.w(f"{ro}attribute {_type_name(attr.tc)} {attr.name};")
+        for op in decl.operations:
+            self.w(self._operation(op.signature))
+        self.depth -= 1
+        self.w("};")
+
+    def _operation(self, sig: OperationSignature) -> str:
+        params = ", ".join(
+            f"{p.mode.value} {_type_name(p.tc)} {p.name}"
+            for p in sig.params)
+        raises = ""
+        if sig.raises:
+            names = ", ".join(_type_name(tc) for tc in sig.raises)
+            raises = f" raises ({names})"
+        oneway = "oneway " if sig.oneway else ""
+        return (f"{oneway}{_type_name(sig.result_tc)} {sig.name}"
+                f"({params}){raises};")
+
+
+def _const_value(value) -> str:
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(value)
+
+
+def pretty_print(spec: Specification) -> str:
+    """Render a parsed specification back to IDL source."""
+    return _Printer().print_spec(spec)

@@ -1,0 +1,27 @@
+"""MPI-lite: the message-passing baseline of the paper's Fig. 2.
+
+Figure 2 places middleware on a functionality/efficiency plane: MPI is
+efficient but fixed-function, CORBA is rich but inefficient, and the
+paper's contribution moves CORBA toward MPI's efficiency.  To measure
+that plane we need an MPI to compare against, so this package provides
+a small in-process message-passing library in the mpi4py mold:
+
+* lowercase ``send``/``recv`` — the *pickle path* (arbitrary objects,
+  copies and serialization);
+* uppercase ``Send``/``Recv`` — the *buffer path* (buffer-protocol
+  objects moved without serialization), plus non-blocking ``Isend`` /
+  ``Irecv`` and the collectives ``bcast``/``barrier``/``gather``/
+  ``scatter``/``reduce``.
+
+Ranks are threads inside one process connected by queues; the simulated
+efficiency comparison charges the same :mod:`repro.simnet` cost model
+as the ORB benches (an MPI transfer = one pipelined stream plus a
+rendezvous control message, no middleware per-byte costs).
+"""
+
+from .comm import (Comm, Intracomm, MPIError, Request, Status, World,
+                   run_world)
+from .simcost import simulate_mpi_transfer
+
+__all__ = ["Comm", "Intracomm", "World", "run_world", "Request", "Status",
+           "MPIError", "simulate_mpi_transfer"]

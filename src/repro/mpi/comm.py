@@ -1,0 +1,333 @@
+"""In-process MPI-lite communicator.
+
+Ranks are threads; each pair of ranks shares an ordered message queue
+per direction, with tag matching.  The buffer path (uppercase methods)
+moves ``memoryview`` references between ranks and copies once into the
+receiver's buffer — the same "one wire touch" discipline as the ORB's
+direct deposit, which is exactly why the paper calls MPI the
+efficiency reference point (§1.2).
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["MPIError", "Status", "Request", "Comm", "Intracomm", "World",
+           "run_world", "ANY_TAG", "ANY_SOURCE"]
+
+ANY_TAG = -1
+ANY_SOURCE = -1
+
+
+class MPIError(RuntimeError):
+    """Communicator misuse (bad rank, truncation, double wait)."""
+
+
+@dataclass
+class Status:
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    count: int = 0
+
+
+@dataclass
+class _Envelope:
+    source: int
+    tag: int
+    payload: Any  #: bytes (pickle path) or memoryview (buffer path)
+    pickled: bool
+
+
+class Request:
+    """Handle for a non-blocking operation."""
+
+    def __init__(self):
+        self._done = threading.Event()
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+
+    def _complete(self, value: Any = None,
+                  exc: Optional[BaseException] = None) -> None:
+        self._value = value
+        self._exc = exc
+        self._done.set()
+
+    def test(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = 30.0) -> Any:
+        if not self._done.wait(timeout):
+            raise MPIError("request did not complete (deadlock?)")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+
+class _Mailbox:
+    """Tag-matched, source-ordered message store for one receiver."""
+
+    def __init__(self):
+        self._lock = threading.Condition()
+        self._messages: List[_Envelope] = []
+
+    def put(self, env: _Envelope) -> None:
+        with self._lock:
+            self._messages.append(env)
+            self._lock.notify_all()
+
+    def get(self, source: int, tag: int,
+            timeout: Optional[float] = 30.0) -> _Envelope:
+        def match() -> Optional[int]:
+            for i, env in enumerate(self._messages):
+                if source != ANY_SOURCE and env.source != source:
+                    continue
+                if tag != ANY_TAG and env.tag != tag:
+                    continue
+                return i
+            return None
+
+        with self._lock:
+            deadline_hit = self._lock.wait_for(
+                lambda: match() is not None, timeout)
+            if not deadline_hit:
+                raise MPIError(
+                    f"recv(source={source}, tag={tag}) timed out")
+            return self._messages.pop(match())
+
+
+class Comm:
+    """Point-to-point + collective surface for one rank."""
+
+    def __init__(self, world: "World", rank: int):
+        self._world = world
+        self.rank = rank
+
+    # -- mpi4py-style accessors -------------------------------------------
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self._world.size
+
+    @property
+    def size(self) -> int:
+        return self._world.size
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._world.size:
+            raise MPIError(f"rank {rank} outside world of "
+                           f"{self._world.size}")
+
+    # -- pickle path ----------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest)
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self._world.mailbox(dest).put(
+            _Envelope(self.rank, tag, data, pickled=True))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             status: Optional[Status] = None) -> Any:
+        env = self._world.mailbox(self.rank).get(source, tag)
+        if not env.pickled:
+            raise MPIError("recv() got a buffer-path message; use Recv()")
+        if status is not None:
+            status.source, status.tag = env.source, env.tag
+            status.count = len(env.payload)
+        return pickle.loads(env.payload)
+
+    # -- buffer path ----------------------------------------------------------
+    def Send(self, buf, dest: int, tag: int = 0) -> None:
+        """Reference hand-off: no serialization, no staging copy."""
+        self._check_rank(dest)
+        view = memoryview(buf)
+        if view.format != "B" or view.ndim != 1:
+            view = view.cast("B")
+        self._world.mailbox(dest).put(
+            _Envelope(self.rank, tag, view, pickled=False))
+
+    def Recv(self, buf, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             status: Optional[Status] = None) -> None:
+        """One copy into the caller's buffer — the wire touch."""
+        env = self._world.mailbox(self.rank).get(source, tag)
+        if env.pickled:
+            raise MPIError("Recv() got a pickle-path message; use recv()")
+        view = memoryview(buf)
+        if view.format != "B" or view.ndim != 1:
+            view = view.cast("B")
+        src: memoryview = env.payload
+        if src.nbytes > view.nbytes:
+            raise MPIError(
+                f"Recv buffer of {view.nbytes} bytes too small for "
+                f"{src.nbytes}-byte message (truncation)")
+        view[:src.nbytes] = src
+        if status is not None:
+            status.source, status.tag = env.source, env.tag
+            status.count = src.nbytes
+
+    # -- non-blocking -----------------------------------------------------------
+    def Isend(self, buf, dest: int, tag: int = 0) -> Request:
+        req = Request()
+        try:
+            self.Send(buf, dest, tag)
+            req._complete()
+        except MPIError as e:
+            req._complete(exc=e)
+        return req
+
+    def Irecv(self, buf, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> Request:
+        req = Request()
+
+        def worker():
+            try:
+                status = Status()
+                self.Recv(buf, source, tag, status)
+                req._complete(status)
+            except MPIError as e:
+                req._complete(exc=e)
+
+        threading.Thread(target=worker, daemon=True).start()
+        return req
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        req = Request()
+        try:
+            self.send(obj, dest, tag)
+            req._complete()
+        except MPIError as e:
+            req._complete(exc=e)
+        return req
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        req = Request()
+
+        def worker():
+            try:
+                req._complete(self.recv(source, tag))
+            except MPIError as e:
+                req._complete(exc=e)
+
+        threading.Thread(target=worker, daemon=True).start()
+        return req
+
+    # -- collectives -----------------------------------------------------------
+    # Each collective call consumes one sequence number; since SPMD code
+    # must issue collectives in the same order on every rank, the
+    # per-call tag keeps back-to-back collectives from stealing each
+    # other's messages.
+    _COLL_TAG = -1000  #: reserved tag band for collectives
+
+    def _coll_tag(self, kind: int) -> int:
+        seq = getattr(self, "_coll_seq", 0)
+        self._coll_seq = seq + 1
+        return self._COLL_TAG - seq * 4 - kind
+
+    def barrier(self) -> None:
+        self._world.barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        tag = self._coll_tag(0)
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(obj, dest, tag=tag)
+            return obj
+        return self.recv(source=root, tag=tag)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        tag = self._coll_tag(1)
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = obj
+            for _ in range(self.size - 1):
+                status = Status()
+                value = self.recv(tag=tag, status=status)
+                out[status.source] = value
+            return out
+        self.send(obj, root, tag=tag)
+        return None
+
+    def scatter(self, values: Optional[Sequence[Any]],
+                root: int = 0) -> Any:
+        tag = self._coll_tag(2)
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise MPIError(
+                    f"scatter needs exactly {self.size} values at root")
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(values[dest], dest, tag=tag)
+            return values[root]
+        return self.recv(source=root, tag=tag)
+
+    def reduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
+               root: int = 0) -> Optional[Any]:
+        import operator
+        op = op or operator.add
+        gathered = self.gather(value, root)
+        if gathered is None:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, value: Any,
+                  op: Callable[[Any, Any], Any] = None) -> Any:
+        total = self.reduce(value, op, root=0)
+        return self.bcast(total, root=0)
+
+
+#: mpi4py naming compatibility
+Intracomm = Comm
+
+
+class World:
+    """A set of ranks sharing mailboxes and a barrier."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise MPIError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self._mailboxes = [_Mailbox() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+
+    def mailbox(self, rank: int) -> _Mailbox:
+        return self._mailboxes[rank]
+
+    def comm(self, rank: int) -> Comm:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"no rank {rank} in world of {self.size}")
+        return Comm(self, rank)
+
+
+def run_world(size: int, fn: Callable[[Comm], Any],
+              timeout: float = 60.0) -> List[Any]:
+    """SPMD driver: run ``fn(comm)`` on ``size`` rank threads; return
+    each rank's result (exceptions re-raised at the caller)."""
+    world = World(size)
+    results: List[Any] = [None] * size
+    errors: List[Optional[BaseException]] = [None] * size
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = fn(world.comm(rank))
+        except BaseException as e:  # noqa: BLE001 - reported to caller
+            errors[rank] = e
+
+    threads = [threading.Thread(target=runner, args=(r,), daemon=True)
+               for r in range(size)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():
+            raise MPIError("rank thread did not finish (deadlock?)")
+    for e in errors:
+        if e is not None:
+            raise e
+    return results

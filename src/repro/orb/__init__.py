@@ -1,0 +1,38 @@
+"""The ORB runtime: connections, dispatch, proxies, object adapter.
+
+Python renditions of the MICO classes on the data path of Figs. 3/4 —
+``IIOPProxy``, ``GIOPConn``, ``IIOPServer``, the method dispatcher and
+the compiler-facing stub/skeleton bases — plus CORBA system/user
+exceptions and the ORB facade."""
+
+from .async_invoke import AsyncInvoker, invoke_async
+from .connection import ConnStats, GIOPConn, ReceivedMessage
+from .dii import DynRequest
+from .interceptors import (AccountingInterceptor, InterceptorRegistry,
+                           RequestInfo, RequestInterceptor)
+from .dispatcher import MethodDispatcher
+from .exceptions import (BAD_OPERATION, BAD_PARAM, COMM_FAILURE, INTERNAL,
+                         INV_OBJREF, MARSHAL, NO_IMPLEMENT, OBJECT_NOT_EXIST,
+                         TIMEOUT, TRANSIENT, UNKNOWN, CompletionStatus,
+                         SystemException, UserException)
+from .object_adapter import POA, Servant
+from .orb import ORB, ORBConfig
+from .proxy import IIOPProxy
+from .server import IIOPServer
+from .signatures import (InterfaceDef, OperationSignature, Param, ParamMode)
+from .stubs import ObjectStub, lookup_stub_class, register_stub_class
+
+__all__ = [
+    "ORB", "ORBConfig", "DynRequest", "AsyncInvoker", "invoke_async",
+    "RequestInterceptor", "RequestInfo", "InterceptorRegistry",
+    "AccountingInterceptor",
+    "GIOPConn", "ReceivedMessage", "ConnStats",
+    "IIOPProxy", "IIOPServer", "MethodDispatcher",
+    "POA", "Servant", "ObjectStub",
+    "register_stub_class", "lookup_stub_class",
+    "InterfaceDef", "OperationSignature", "Param", "ParamMode",
+    "SystemException", "UserException", "CompletionStatus",
+    "UNKNOWN", "BAD_PARAM", "COMM_FAILURE", "INV_OBJREF", "INTERNAL",
+    "MARSHAL", "NO_IMPLEMENT", "BAD_OPERATION", "TRANSIENT",
+    "OBJECT_NOT_EXIST", "TIMEOUT",
+]

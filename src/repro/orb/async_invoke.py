@@ -1,0 +1,95 @@
+"""Deferred (AMI-style) invocation: futures over the synchronous core.
+
+CORBA Messaging added asynchronous method invocation after this
+paper's era; real applications wanted it for exactly the farm pattern
+of §5.4 — submit GOPs to every worker, then collect.  This module
+provides the polling model over our synchronous proxy: each deferred
+call runs on a dispatcher thread per target endpoint, so calls to
+*different* servers genuinely overlap (calls to the same server
+serialize on its connection, matching the GIOP request/reply
+discipline of this ORB).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, Optional, Sequence
+
+from .exceptions import BAD_PARAM
+from .signatures import OperationSignature
+from .stubs import ObjectStub
+
+__all__ = ["AsyncInvoker", "invoke_async"]
+
+
+class AsyncInvoker:
+    """Per-endpoint dispatcher threads for deferred invocations."""
+
+    def __init__(self, max_workers_per_endpoint: int = 1):
+        self._executors: Dict[tuple, ThreadPoolExecutor] = {}
+        self._lock = threading.Lock()
+        self._max = max_workers_per_endpoint
+        self._closed = False
+
+    def _executor_for(self, endpoint: tuple) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise BAD_PARAM(message="AsyncInvoker is shut down")
+            ex = self._executors.get(endpoint)
+            if ex is None:
+                ex = ThreadPoolExecutor(
+                    max_workers=self._max,
+                    thread_name_prefix=f"ami-{endpoint[1]}:{endpoint[2]}")
+                self._executors[endpoint] = ex
+            return ex
+
+    def submit(self, target: ObjectStub, operation: str,
+               args: Sequence[Any] = ()) -> "Future[Any]":
+        """Start ``target.<operation>(*args)``; returns a Future."""
+        if not isinstance(target, ObjectStub):
+            raise BAD_PARAM(message=(
+                f"AMI target must be an object reference, got "
+                f"{type(target).__name__}"))
+        sig = target._signature(operation)
+        endpoint = target.ior.iiop_profile().endpoint
+        orb = target._orb
+
+        def call():
+            return orb.invoke(target.ior, sig, list(args))
+
+        return self._executor_for(endpoint).submit(call)
+
+    def map_unordered(self, calls) -> list:
+        """Submit ``(target, operation, args)`` triples; gather all."""
+        futures = [self.submit(t, op, args) for t, op, args in calls]
+        return [f.result(timeout=120) for f in futures]
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._closed = True
+            executors = list(self._executors.values())
+            self._executors.clear()
+        for ex in executors:
+            ex.shutdown(wait=True)
+
+    def __enter__(self) -> "AsyncInvoker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+_default: Optional[AsyncInvoker] = None
+_default_lock = threading.Lock()
+
+
+def invoke_async(target: ObjectStub, operation: str,
+                 args: Sequence[Any] = ()) -> "Future[Any]":
+    """One-shot deferred call through a process-wide invoker."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = AsyncInvoker()
+        invoker = _default
+    return invoker.submit(target, operation, args)

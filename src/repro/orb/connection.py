@@ -1,0 +1,265 @@
+"""GIOPConn: GIOP message framing and direct-deposit choreography.
+
+The class mirrors MICO's ``GIOPConn`` (§4.2).  Its send side implements
+§4.4 (the direct-deposit sender): the control message — GIOP header,
+request/reply header with deposit descriptors in the service context,
+and the marshaled non-bulk parameters — is gather-written together with
+the registered zero-copy payloads, which never pass through any staging
+buffer.  Its receive side implements §4.5 (the direct-deposit
+receiver): after parsing the control message it allocates page-aligned
+buffers from the pool and reads each payload *directly into* its final
+buffer, then hands the landed buffers to demarshaling, which only sets
+references.
+
+Framing note: like GIOP 1.2, the parameter body is aligned to 8 bytes
+after the message header so in- and out-of-band parts compose; this is
+a self-consistent deviation from 1.0/1.1 padding (documented in
+DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..cdr import CDREncoder, MarshalContext, NATIVE_LITTLE
+from ..core.buffers import BufferPool, ZCBuffer, default_pool
+from ..core.direct_deposit import DepositReceiver, DepositRegistry
+from ..giop import (GIOP_HEADER_SIZE, GIOPError, GIOPHeader, GIOPMessage,
+                    MsgType, ServiceContext, decode_body, decode_header)
+from ..transport.base import Stream, TransportError
+from .exceptions import COMM_FAILURE, MARSHAL
+
+__all__ = ["GIOPConn", "ReceivedMessage", "ConnStats"]
+
+_BODY_ALIGN = 8
+
+
+@dataclass
+class ConnStats:
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    deposits_sent: int = 0
+    deposits_received: int = 0
+    deposit_bytes_sent: int = 0
+    deposit_bytes_received: int = 0
+
+
+@dataclass
+class ReceivedMessage:
+    """A fully received GIOP message with its landed deposits."""
+
+    msg: GIOPMessage
+    deposits: Dict[int, ZCBuffer] = field(default_factory=dict)
+    deposit_flags: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def header(self) -> GIOPHeader:
+        return self.msg.header
+
+    def make_demarshal_context(self, on_bytes=None,
+                               generic_loop: bool = False,
+                               orb=None) -> MarshalContext:
+        return MarshalContext(deposits=self.deposits, on_bytes=on_bytes,
+                              generic_loop=generic_loop, orb=orb,
+                              deposit_flags=self.deposit_flags)
+
+    def params_decoder(self):
+        """The body decoder, aligned to the parameter data.
+
+        The sender only pads when parameters follow the body header, so
+        an empty-parameter message ends right after the header.
+        """
+        body = self.msg.body
+        if body is not None and body.remaining > 0:
+            body.align(_BODY_ALIGN)
+        return body
+
+
+class GIOPConn:
+    """One GIOP connection over a transport stream."""
+
+    def __init__(self, stream: Stream, *, pool: Optional[BufferPool] = None,
+                 zero_copy: bool = True, generic_loop: bool = False,
+                 little_endian: bool = NATIVE_LITTLE,
+                 on_bytes: Optional[Callable[[str, int], None]] = None,
+                 orb=None, fragment_size: int = 0):
+        self.stream = stream
+        self.pool = pool or default_pool()
+        self.zero_copy = zero_copy
+        self.generic_loop = generic_loop
+        self.little_endian = little_endian
+        self.on_bytes = on_bytes
+        self.orb = orb
+        #: GIOP 1.1 fragmentation: split control messages whose body
+        #: exceeds this many bytes (0 = never fragment).  Deposit
+        #: payloads are never fragmented — they are the data path.
+        self.fragment_size = fragment_size
+        self.stats = ConnStats()
+        self._req_ids = itertools.count(1)
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    # -- request ids ------------------------------------------------------------
+    def next_request_id(self) -> int:
+        return next(self._req_ids)
+
+    # -- marshaling contexts ------------------------------------------------------
+    def make_marshal_context(self) -> MarshalContext:
+        """Context for marshaling one outgoing message's parameters."""
+        registry = DepositRegistry() if self.zero_copy else None
+        return MarshalContext(registry=registry, on_bytes=self.on_bytes,
+                              generic_loop=self.generic_loop, orb=self.orb)
+
+    def body_encoder(self) -> CDREncoder:
+        """Parameter encoder; offset 0 is 8-aligned by framing."""
+        return CDREncoder(little_endian=self.little_endian, offset=0)
+
+    # -- sending ---------------------------------------------------------------
+    def send_message(self, body_header, params: bytes = b"",
+                     ctx: Optional[MarshalContext] = None) -> None:
+        """Encode and write one message plus its deposit payloads."""
+        deposits = []
+        if ctx is not None and ctx.descriptors:
+            if ctx.registry is None:
+                raise MARSHAL(message="deposit descriptors without registry")
+            contexts = getattr(body_header, "service_contexts", None)
+            if contexts is None:
+                raise MARSHAL(message=(
+                    f"{type(body_header).__name__} cannot carry deposits"))
+            for desc in ctx.descriptors:
+                contexts.append(ServiceContext.for_deposit(desc))
+            deposits = ctx.registry.drain()
+
+        head_enc = CDREncoder(little_endian=self.little_endian, offset=0)
+        body_header.encode(head_enc)
+        head = bytearray(head_enc.getvalue())
+        if params:
+            head += b"\x00" * ((-len(head)) % _BODY_ALIGN)
+        body = bytes(head) + params
+        chunks = self._frame(body_header.MSG_TYPE, body)
+        for _, view in deposits:
+            chunks.append(view)
+        try:
+            with self._send_lock:
+                self.stream.sendv(chunks)
+        except TransportError as e:
+            self._closed = True
+            raise COMM_FAILURE(message=str(e)) from e
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += GIOP_HEADER_SIZE + len(body)
+        for _, view in deposits:
+            self.stats.deposits_sent += 1
+            self.stats.deposit_bytes_sent += view.nbytes
+            if self.on_bytes is not None:
+                self.on_bytes("deposit-send", view.nbytes)
+
+    def _frame(self, msg_type: MsgType, body: bytes) -> list:
+        """GIOP-frame ``body``, fragmenting per GIOP 1.1 if configured."""
+        if not self.fragment_size or len(body) <= self.fragment_size:
+            header = GIOPHeader(msg_type=msg_type, size=len(body),
+                                little_endian=self.little_endian)
+            return [header.encode(), body]
+        chunks: list = []
+        pieces = [body[i:i + self.fragment_size]
+                  for i in range(0, len(body), self.fragment_size)]
+        for i, piece in enumerate(pieces):
+            more = i < len(pieces) - 1
+            mtype = msg_type if i == 0 else MsgType.Fragment
+            header = GIOPHeader(msg_type=mtype, size=len(piece),
+                                little_endian=self.little_endian,
+                                more_fragments=more)
+            chunks.append(header.encode())
+            chunks.append(piece)
+        return chunks
+
+    def send_close(self) -> None:
+        header = GIOPHeader(msg_type=MsgType.CloseConnection, size=0,
+                            little_endian=self.little_endian)
+        try:
+            with self._send_lock:
+                self.stream.send(header.encode())
+        except TransportError:
+            pass
+        self._closed = True
+
+    def send_error(self) -> None:
+        header = GIOPHeader(msg_type=MsgType.MessageError, size=0,
+                            little_endian=self.little_endian)
+        with self._send_lock:
+            self.stream.send(header.encode())
+
+    # -- receiving ---------------------------------------------------------------
+    def read_message(self) -> ReceivedMessage:
+        """Block for the next message; land its deposits (the MICO
+        ``do_read`` path with the direct-deposit callback of §4.5)."""
+        try:
+            raw_header = self.stream.recv_exact(GIOP_HEADER_SIZE)
+            header = decode_header(raw_header)
+            body = self.stream.recv_exact(header.size) if header.size \
+                else memoryview(b"")
+            while header.more_fragments:
+                # GIOP 1.1 reassembly: Fragment messages continue the body
+                frag_header = decode_header(
+                    self.stream.recv_exact(GIOP_HEADER_SIZE))
+                if frag_header.msg_type is not MsgType.Fragment:
+                    raise GIOPError(
+                        f"expected Fragment continuation, got "
+                        f"{frag_header.msg_type.name}")
+                frag = self.stream.recv_exact(frag_header.size)
+                assembled = bytearray(body)
+                assembled += frag
+                body = memoryview(assembled)
+                self.stats.bytes_received += GIOP_HEADER_SIZE \
+                    + frag_header.size
+                header = GIOPHeader(
+                    msg_type=header.msg_type, size=len(body),
+                    little_endian=header.little_endian,
+                    major=header.major, minor=header.minor,
+                    more_fragments=frag_header.more_fragments)
+        except TransportError as e:
+            self._closed = True
+            raise COMM_FAILURE(message=str(e)) from e
+        self.stats.messages_received += 1
+        self.stats.bytes_received += GIOP_HEADER_SIZE + header.size
+        msg = decode_body(header, body)
+
+        deposits: Dict[int, ZCBuffer] = {}
+        deposit_flags: Dict[int, int] = {}
+        descriptors = getattr(msg.body_header, "deposit_descriptors", None)
+        if descriptors is not None:
+            receiver = DepositReceiver(self.pool)
+            try:
+                for desc in descriptors():
+                    receiver.prepare(desc)
+                for desc, buf in receiver.pending_in_order():
+                    # land the payload directly in its final buffer
+                    self.stream.recv_into(buf.view())
+                    if self.on_bytes is not None:
+                        self.on_bytes("deposit-recv", desc.size)
+                for desc, _ in list(receiver.pending_in_order()):
+                    deposits[desc.deposit_id] = receiver.complete(
+                        desc.deposit_id)
+                    deposit_flags[desc.deposit_id] = desc.flags
+            except TransportError as e:
+                receiver.abort()
+                self._closed = True
+                raise COMM_FAILURE(message=str(e)) from e
+            self.stats.deposits_received += len(deposits)
+            self.stats.deposit_bytes_received += sum(
+                b.length for b in deposits.values())
+        return ReceivedMessage(msg=msg, deposits=deposits,
+                               deposit_flags=deposit_flags)
+
+    # -- lifecycle ---------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self._closed = True
+        self.stream.close()

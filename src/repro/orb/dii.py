@@ -1,0 +1,89 @@
+"""Dynamic Invocation Interface (DII-lite).
+
+The static path of Fig. 3 goes through compiler-generated stubs; CORBA
+also defines a dynamic path where the client names the operation and
+supplies TypeCodes at runtime.  This is how generic tools (bridges,
+scripting consoles, monitoring probes) call objects they have no stubs
+for.
+
+The dynamic request reuses the exact same marshal/deposit machinery as
+the static path — a zero-copy sequence passed through DII still rides
+the data path, which demonstrates the paper's point that the
+optimization is a property of the *ORB*, not of generated code.
+
+Example::
+
+    req = DynRequest(ref, "put",
+                     result_tc=TC_ULONG) \\
+        .add_in_arg(payload, TC_SEQ_ZC_OCTET)
+    n = req.invoke()
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..cdr.typecode import TC_VOID, TypeCode
+from .exceptions import BAD_PARAM
+from .signatures import OperationSignature, Param, ParamMode
+from .stubs import ObjectStub
+
+__all__ = ["DynRequest"]
+
+
+class DynRequest:
+    """One dynamically-described invocation on an object reference."""
+
+    def __init__(self, target: ObjectStub, operation: str,
+                 result_tc: TypeCode = TC_VOID,
+                 raises: Tuple[TypeCode, ...] = (),
+                 oneway: bool = False):
+        if not isinstance(target, ObjectStub):
+            raise BAD_PARAM(message=(
+                f"DII target must be an object reference, got "
+                f"{type(target).__name__}"))
+        self.target = target
+        self.operation = operation
+        self.result_tc = result_tc
+        self.raises = tuple(raises)
+        self.oneway = oneway
+        self._params: List[Param] = []
+        self._args: List[Any] = []
+        self._invoked = False
+        self.result: Any = None
+
+    # -- argument assembly ---------------------------------------------------
+    def add_in_arg(self, value: Any, tc: TypeCode) -> "DynRequest":
+        self._params.append(Param(f"arg{len(self._params)}",
+                                  ParamMode.IN, tc))
+        self._args.append(value)
+        return self
+
+    def add_inout_arg(self, value: Any, tc: TypeCode) -> "DynRequest":
+        self._params.append(Param(f"arg{len(self._params)}",
+                                  ParamMode.INOUT, tc))
+        self._args.append(value)
+        return self
+
+    def add_out_arg(self, tc: TypeCode) -> "DynRequest":
+        self._params.append(Param(f"arg{len(self._params)}",
+                                  ParamMode.OUT, tc))
+        return self
+
+    # -- invocation ----------------------------------------------------------
+    def signature(self) -> OperationSignature:
+        return OperationSignature(name=self.operation,
+                                  params=tuple(self._params),
+                                  result_tc=self.result_tc,
+                                  raises=self.raises,
+                                  oneway=self.oneway)
+
+    def invoke(self) -> Any:
+        """Send the request; returns (and stores) the result."""
+        if self._invoked:
+            raise BAD_PARAM(message="DynRequest cannot be re-invoked")
+        self._invoked = True
+        orb = self.target._orb
+        self.result = orb.invoke(self.target.ior, self.signature(),
+                                 self._args)
+        return self.result

@@ -1,0 +1,127 @@
+"""CORBA system and user exceptions.
+
+System exceptions follow the OMG shapes: a repository id of the form
+``IDL:omg.org/CORBA/<NAME>:1.0``, a minor code and a completion
+status; they cross the wire in ``SYSTEM_EXCEPTION`` replies.  User
+exceptions are declared in IDL (``raises`` clauses), generated as
+Python classes by the IDL compiler and marshaled by TypeCode.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Type
+
+from ..cdr import CDRDecoder, CDREncoder
+
+__all__ = [
+    "CompletionStatus", "SystemException", "UserException",
+    "UNKNOWN", "BAD_PARAM", "NO_MEMORY", "IMP_LIMIT", "COMM_FAILURE",
+    "INV_OBJREF", "NO_PERMISSION", "INTERNAL", "MARSHAL", "INITIALIZE",
+    "NO_IMPLEMENT", "BAD_TYPECODE", "BAD_OPERATION", "NO_RESOURCES",
+    "NO_RESPONSE", "TRANSIENT", "OBJECT_NOT_EXIST", "TIMEOUT",
+    "encode_system_exception", "decode_system_exception",
+    "system_exception_class",
+]
+
+
+class CompletionStatus(enum.IntEnum):
+    COMPLETED_YES = 0
+    COMPLETED_NO = 1
+    COMPLETED_MAYBE = 2
+
+
+class SystemException(Exception):
+    """Base of all CORBA system exceptions."""
+
+    #: overridden per subclass
+    NAME = "SystemException"
+
+    def __init__(self, minor: int = 0,
+                 completed: CompletionStatus = CompletionStatus.COMPLETED_NO,
+                 message: str = ""):
+        self.minor = minor
+        self.completed = CompletionStatus(completed)
+        self.message = message
+        detail = f": {message}" if message else ""
+        super().__init__(
+            f"{self.NAME}(minor={minor}, {self.completed.name}){detail}")
+
+    @property
+    def repo_id(self) -> str:
+        return f"IDL:omg.org/CORBA/{self.NAME}:1.0"
+
+
+class UserException(Exception):
+    """Base of IDL-declared exceptions (subclassed by generated code).
+
+    Generated subclasses set ``TYPECODE`` (a ``tk_except`` TypeCode)
+    and accept their members as keyword arguments.
+    """
+
+    TYPECODE = None  # set by the IDL compiler
+
+    def __init__(self, **members):
+        self.__dict__.update(members)
+        super().__init__(
+            f"{type(self).__name__}({', '.join(f'{k}={v!r}' for k, v in members.items())})")
+
+    @property
+    def repo_id(self) -> str:
+        if self.TYPECODE is None:
+            raise TypeError(
+                f"{type(self).__name__} has no TYPECODE; was it generated "
+                f"by the IDL compiler?")
+        return self.TYPECODE.repo_id
+
+
+_SYSTEM_CLASSES: Dict[str, Type[SystemException]] = {}
+
+
+def _make(name: str) -> Type[SystemException]:
+    cls = type(name, (SystemException,), {"NAME": name, "__doc__":
+               f"CORBA::{name} system exception."})
+    _SYSTEM_CLASSES[f"IDL:omg.org/CORBA/{name}:1.0"] = cls
+    return cls
+
+
+UNKNOWN = _make("UNKNOWN")
+BAD_PARAM = _make("BAD_PARAM")
+NO_MEMORY = _make("NO_MEMORY")
+IMP_LIMIT = _make("IMP_LIMIT")
+COMM_FAILURE = _make("COMM_FAILURE")
+INV_OBJREF = _make("INV_OBJREF")
+NO_PERMISSION = _make("NO_PERMISSION")
+INTERNAL = _make("INTERNAL")
+MARSHAL = _make("MARSHAL")
+INITIALIZE = _make("INITIALIZE")
+NO_IMPLEMENT = _make("NO_IMPLEMENT")
+BAD_TYPECODE = _make("BAD_TYPECODE")
+BAD_OPERATION = _make("BAD_OPERATION")
+NO_RESOURCES = _make("NO_RESOURCES")
+NO_RESPONSE = _make("NO_RESPONSE")
+TRANSIENT = _make("TRANSIENT")
+OBJECT_NOT_EXIST = _make("OBJECT_NOT_EXIST")
+TIMEOUT = _make("TIMEOUT")
+
+
+def system_exception_class(repo_id: str) -> Type[SystemException]:
+    return _SYSTEM_CLASSES.get(repo_id, UNKNOWN)
+
+
+def encode_system_exception(enc: CDREncoder, exc: SystemException) -> None:
+    enc.put_string(exc.repo_id)
+    enc.put_ulong(exc.minor)
+    enc.put_ulong(int(exc.completed))
+
+
+def decode_system_exception(dec: CDRDecoder) -> SystemException:
+    repo_id = dec.get_string()
+    minor = dec.get_ulong()
+    completed = dec.get_ulong()
+    cls = system_exception_class(repo_id)
+    try:
+        status = CompletionStatus(completed)
+    except ValueError:
+        status = CompletionStatus.COMPLETED_MAYBE
+    return cls(minor=minor, completed=status)

@@ -1,0 +1,256 @@
+"""The ORB: object activation, reference resolution, invocation routing.
+
+One :class:`ORB` per logical node.  It owns a POA, an IIOP server
+(created lazily on first activation), a cache of client connections,
+and the configuration switches the paper's experiments flip:
+
+* ``zero_copy`` — enable the ``TCSeqZCOctet`` direct-deposit path
+  (§4.4/4.5); off = every sequence is marshaled by copy;
+* ``generic_loop`` — marshal plain octet sequences with MICO's
+  authentic per-element loop instead of a bulk copy (the unoptimized
+  behaviour profiled in §5.2);
+* ``collocated_calls`` — bypass marshaling for same-process objects
+  (§2.1).
+
+Instrumentation: assign :attr:`ORB.on_bytes` before creating
+connections to observe every byte-touching event (used by the overhead
+-breakdown benchmark and the simulated transport).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Type
+
+from ..core.buffers import BufferPool, default_pool
+from ..giop import IIOPProfile, IOR
+from ..transport.base import Endpoint, TransportRegistry
+from ..transport.base import registry as default_registry
+from .connection import GIOPConn
+from .exceptions import INV_OBJREF, OBJECT_NOT_EXIST
+from .object_adapter import POA, Servant
+from .proxy import IIOPProxy
+from .server import IIOPServer
+from .signatures import OperationSignature
+from .stubs import ObjectStub, lookup_stub_class
+
+__all__ = ["ORB", "ORBConfig"]
+
+_orb_ids = itertools.count(1)
+
+
+@dataclass
+class ORBConfig:
+    """Per-ORB behaviour switches (see module docstring)."""
+
+    scheme: str = "loop"
+    host: str = ""  #: '' = auto (loopback token / 127.0.0.1)
+    port: int = 0  #: 0 = auto-assign
+    zero_copy: bool = True
+    generic_loop: bool = False
+    collocated_calls: bool = True
+    #: GIOP 1.1 fragmentation threshold for control messages (0 = off)
+    fragment_size: int = 0
+    #: wire byte order; flip to emulate a foreign-endian peer (the
+    #: receiver-makes-right path of §2.1's architecture negotiation)
+    wire_little_endian: bool | None = None
+
+
+class ORB:
+    """A CORBA Object Request Broker."""
+
+    def __init__(self, config: Optional[ORBConfig] = None,
+                 transports: Optional[TransportRegistry] = None,
+                 pool: Optional[BufferPool] = None,
+                 on_bytes: Optional[Callable[[str, int], None]] = None):
+        self.config = config or ORBConfig()
+        self.transports = transports or default_registry()
+        self.pool = pool or default_pool()
+        self.on_bytes = on_bytes
+        self.orb_id = next(_orb_ids)
+        self.poa = POA(name=f"POA{self.orb_id}")
+        self._server: Optional[IIOPServer] = None
+        self._endpoint: Optional[Endpoint] = None
+        self._proxies: Dict[Endpoint, IIOPProxy] = {}
+        self._initial_refs: Dict[str, ObjectStub] = {}
+        from .interceptors import InterceptorRegistry
+        self.interceptors = InterceptorRegistry()
+        self._lock = threading.Lock()
+        self._shutdown = False
+
+    # -- server side ------------------------------------------------------------
+    def _ensure_server(self) -> IIOPServer:
+        with self._lock:
+            if self._server is not None:
+                return self._server
+            cfg = self.config
+            transport = self.transports.get(cfg.scheme)
+            host = cfg.host or (f"orb{self.orb_id}" if cfg.scheme != "tcp"
+                                else "127.0.0.1")
+            server = IIOPServer(self.poa, pool=self.pool,
+                                zero_copy=cfg.zero_copy,
+                                generic_loop=cfg.generic_loop,
+                                on_bytes=self.on_bytes, orb=self,
+                                fragment_size=cfg.fragment_size,
+                                wire_little_endian=cfg.wire_little_endian)
+            listener = server.listen_on(transport, host, cfg.port)
+            self._server = server
+            self._endpoint = listener.endpoint
+            return server
+
+    @property
+    def endpoint(self) -> Optional[Endpoint]:
+        return self._endpoint
+
+    def activate(self, servant: Servant,
+                 stub_cls: Optional[Type[ObjectStub]] = None) -> ObjectStub:
+        """Activate ``servant`` and return a client stub for it."""
+        self._ensure_server()
+        key = self.poa.activate_object(servant)
+        ior = self._make_ior(servant, key)
+        return self._stub_for(ior, stub_cls)
+
+    def deactivate(self, ref: ObjectStub) -> None:
+        profile = ref.ior.iiop_profile()
+        self.poa.deactivate_object(profile.object_key)
+
+    def _make_ior(self, servant: Servant, key: bytes) -> IOR:
+        assert self._endpoint is not None
+        scheme, host, port = self._endpoint
+        wire_host = host if scheme == "tcp" else f"{scheme}!{host}"
+        profile = IIOPProfile(host=wire_host, port=port, object_key=key)
+        return IOR.for_object(servant._interface().repo_id, profile)
+
+    # -- initial references (CORBA::ORB bootstrapping) --------------------
+    def register_initial_reference(self, name: str,
+                                   ref: ObjectStub) -> None:
+        """Expose ``ref`` under ``resolve_initial_references(name)`` —
+        the standard bootstrap hook (e.g. "NameService")."""
+        with self._lock:
+            self._initial_refs[name] = ref
+
+    def resolve_initial_references(self, name: str) -> ObjectStub:
+        with self._lock:
+            ref = self._initial_refs.get(name)
+        if ref is None:
+            known = ", ".join(sorted(self._initial_refs)) or "(none)"
+            raise INV_OBJREF(message=(
+                f"no initial reference {name!r} (known: {known})"))
+        return ref
+
+    # -- stringified references ------------------------------------------------
+    def object_to_string(self, ref: ObjectStub) -> str:
+        return ref.ior.to_string()
+
+    def string_to_object(self, s: str,
+                         stub_cls: Optional[Type[ObjectStub]] = None
+                         ) -> ObjectStub:
+        ior = IOR.from_string(s)
+        return self._stub_for(ior, stub_cls)
+
+    def _stub_for(self, ior: IOR,
+                  stub_cls: Optional[Type[ObjectStub]]) -> ObjectStub:
+        if stub_cls is None:
+            stub_cls = lookup_stub_class(ior.type_id)
+        if stub_cls is None:
+            raise INV_OBJREF(message=(
+                f"no stub class registered for {ior.type_id!r}; pass "
+                f"stub_cls or import the generated module first"))
+        return stub_cls(self, ior)
+
+    # -- invocation routing ----------------------------------------------------
+    def invoke(self, ior: IOR, sig: OperationSignature,
+               args: Sequence[Any]) -> Any:
+        """Route one call: collocated bypass or remote via IIOPProxy."""
+        servant = self.find_local_servant(ior) \
+            if self.config.collocated_calls else None
+        if servant is not None:
+            method = getattr(servant, sig.name, None)
+            if method is None:
+                raise OBJECT_NOT_EXIST(message=(
+                    f"local servant lacks operation {sig.name!r}"))
+            return method(*args)
+        profile = ior.iiop_profile()
+        proxy = self._proxy_for(profile.endpoint)
+        return proxy.invoke(profile.object_key, sig, args)
+
+    def locate(self, ref: ObjectStub) -> bool:
+        """GIOP LocateRequest: is the referenced object reachable and
+        known to its server?  (OBJECT_HERE -> True.)"""
+        from ..giop import (LocateReplyHeader, LocateRequestHeader,
+                            LocateStatus, MsgType)
+        ior = ref.ior
+        if self.find_local_servant(ior) is not None:
+            return True
+        profile = ior.iiop_profile()
+        proxy = self._proxy_for(profile.endpoint)
+        conn = proxy.conn
+        with proxy._call_lock:
+            request = LocateRequestHeader(
+                request_id=conn.next_request_id(),
+                object_key=profile.object_key)
+            conn.send_message(request)
+            while True:
+                rm = conn.read_message()
+                if rm.header.msg_type is MsgType.LocateReply:
+                    reply = rm.msg.body_header
+                    assert isinstance(reply, LocateReplyHeader)
+                    if reply.request_id == request.request_id:
+                        return reply.locate_status is \
+                            LocateStatus.OBJECT_HERE
+                elif rm.header.msg_type is MsgType.CloseConnection:
+                    conn.close()
+                    return False
+
+    def find_local_servant(self, ior: IOR) -> Optional[Servant]:
+        if self._endpoint is None:
+            return None
+        profile = ior.iiop_profile()
+        if profile.endpoint != self._endpoint:
+            return None
+        return self.poa.find_servant(profile.object_key)
+
+    def _proxy_for(self, endpoint: Endpoint) -> IIOPProxy:
+        with self._lock:
+            proxy = self._proxies.get(endpoint)
+            if proxy is not None and not proxy.conn.closed:
+                return proxy
+            transport = self.transports.get(endpoint[0])
+            stream = transport.connect(endpoint)
+            kw = {}
+            if self.config.wire_little_endian is not None:
+                kw["little_endian"] = self.config.wire_little_endian
+            conn = GIOPConn(stream, pool=self.pool,
+                            zero_copy=self.config.zero_copy,
+                            generic_loop=self.config.generic_loop,
+                            on_bytes=self.on_bytes, orb=self,
+                            fragment_size=self.config.fragment_size, **kw)
+            proxy = IIOPProxy(conn)
+            self._proxies[endpoint] = proxy
+            return proxy
+
+    # -- lifecycle ---------------------------------------------------------------
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            proxies = list(self._proxies.values())
+            self._proxies.clear()
+            server = self._server
+        for proxy in proxies:
+            try:
+                proxy.conn.send_close()
+            except Exception:
+                pass
+            proxy.conn.close()
+        if server is not None:
+            server.shutdown()
+
+    def __enter__(self) -> "ORB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

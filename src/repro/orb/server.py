@@ -1,0 +1,141 @@
+"""IIOPServer: inbound connection handling and the message loop.
+
+MICO's ``IIOPServer`` (Fig. 3) wired to our transports.  Loopback
+streams are pumped synchronously from the sender's thread (their
+``set_data_handler`` hook); blocking streams (TCP) get one reader
+thread each, which is the 2003-era connection-per-thread model.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from ..core.buffers import BufferPool
+from ..giop import (GIOPError, LocateReplyHeader, LocateRequestHeader,
+                    LocateStatus, MsgType)
+from .connection import GIOPConn, ReceivedMessage
+from .dispatcher import MethodDispatcher
+from .exceptions import COMM_FAILURE, SystemException
+from .object_adapter import POA
+
+__all__ = ["IIOPServer"]
+
+
+class IIOPServer:
+    """Accepts GIOP connections and dispatches their requests."""
+
+    def __init__(self, poa: POA, *, pool: Optional[BufferPool] = None,
+                 zero_copy: bool = True, generic_loop: bool = False,
+                 on_bytes: Optional[Callable[[str, int], None]] = None,
+                 orb=None, fragment_size: int = 0,
+                 wire_little_endian=None):
+        self.poa = poa
+        self.orb = orb
+        self.pool = pool
+        self.zero_copy = zero_copy
+        self.generic_loop = generic_loop
+        self.on_bytes = on_bytes
+        self.fragment_size = fragment_size
+        self.wire_little_endian = wire_little_endian
+        self.dispatcher = MethodDispatcher(poa, on_bytes=on_bytes)
+        self.listeners: List = []
+        self._conns: List[GIOPConn] = []
+        self._lock = threading.Lock()
+        self._shutdown = False
+
+    # -- transport plumbing ------------------------------------------------------
+    def listen_on(self, transport, host: str, port: int):
+        listener = transport.listen(host, port, self._on_accept)
+        self.listeners.append(listener)
+        return listener
+
+    def _on_accept(self, stream) -> None:
+        kw = {}
+        if self.wire_little_endian is not None:
+            kw["little_endian"] = self.wire_little_endian
+        conn = GIOPConn(stream, pool=self.pool, zero_copy=self.zero_copy,
+                        generic_loop=self.generic_loop,
+                        on_bytes=self.on_bytes, orb=self.orb,
+                        fragment_size=self.fragment_size, **kw)
+        with self._lock:
+            if self._shutdown:
+                conn.close()
+                return
+            self._conns.append(conn)
+        set_handler = getattr(stream, "set_data_handler", None)
+        if set_handler is not None:
+            # synchronous loopback: pump whenever bytes arrive
+            set_handler(lambda: self._pump(conn, stream))
+        else:
+            threading.Thread(target=self._read_loop, args=(conn,),
+                             name=f"iiop-server-{stream.peer}",
+                             daemon=True).start()
+
+    # -- message loops ---------------------------------------------------------
+    def _read_one(self, conn: GIOPConn):
+        """Read the next message; on wire trouble close the connection
+        (a MessageError first, if the peer merely sent garbage)."""
+        try:
+            return conn.read_message()
+        except GIOPError:
+            try:
+                conn.send_error()
+            except SystemException:
+                pass
+            conn.close()
+            return None
+        except SystemException:
+            conn.close()
+            return None
+
+    def _pump(self, conn: GIOPConn, stream) -> None:
+        while not conn.closed and getattr(stream, "available", 0) > 0:
+            rm = self._read_one(conn)
+            if rm is None:
+                return
+            self._handle(conn, rm)
+
+    def _read_loop(self, conn: GIOPConn) -> None:
+        while not conn.closed and not self._shutdown:
+            rm = self._read_one(conn)
+            if rm is None:
+                return
+            self._handle(conn, rm)
+
+    def _handle(self, conn: GIOPConn, rm: ReceivedMessage) -> None:
+        mtype = rm.header.msg_type
+        if mtype is MsgType.Request:
+            self.dispatcher.dispatch(conn, rm)
+        elif mtype is MsgType.LocateRequest:
+            req = rm.msg.body_header
+            assert isinstance(req, LocateRequestHeader)
+            status = (LocateStatus.OBJECT_HERE
+                      if self.poa.find_servant(req.object_key) is not None
+                      else LocateStatus.UNKNOWN_OBJECT)
+            conn.send_message(LocateReplyHeader(
+                request_id=req.request_id, locate_status=status))
+        elif mtype is MsgType.CancelRequest:
+            pass  # nothing in flight survives our synchronous dispatch
+        elif mtype in (MsgType.CloseConnection, MsgType.MessageError):
+            conn.close()
+        elif mtype is MsgType.Reply:
+            pass  # server role does not await replies; drop stale ones
+        else:
+            conn.send_error()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def shutdown(self) -> None:
+        with self._lock:
+            self._shutdown = True
+            conns = list(self._conns)
+            self._conns.clear()
+        for listener in self.listeners:
+            listener.close()
+        self.listeners.clear()
+        for conn in conns:
+            try:
+                conn.send_close()
+            except SystemException:
+                pass
+            conn.close()

@@ -1,0 +1,178 @@
+"""Operation signatures: the typed bridge between stubs and skeletons.
+
+An :class:`OperationSignature` is what the IDL compiler knows about one
+operation — parameter modes and TypeCodes, result type, raisable user
+exceptions, onewayness.  Both the client stub (marshal in-args,
+demarshal results) and the server skeleton (the reverse) drive their
+marshaling from the same signature object, which is how the generated
+code stays a thin veneer (§4.2's "compiler generated object stub /
+skeleton").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cdr import (CDRDecoder, CDREncoder, MarshalContext, TypeCode,
+                   get_marshaller)
+from ..cdr.typecode import TC_VOID, TCKind
+from .exceptions import BAD_PARAM, MARSHAL, UserException
+
+__all__ = ["ParamMode", "Param", "OperationSignature", "InterfaceDef"]
+
+
+class ParamMode(enum.Enum):
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+    @property
+    def sends(self) -> bool:
+        """Travels client -> server in the request."""
+        return self in (ParamMode.IN, ParamMode.INOUT)
+
+    @property
+    def returns(self) -> bool:
+        """Travels server -> client in the reply."""
+        return self in (ParamMode.OUT, ParamMode.INOUT)
+
+
+@dataclass(frozen=True)
+class Param:
+    name: str
+    mode: ParamMode
+    tc: TypeCode
+
+
+@dataclass(frozen=True)
+class OperationSignature:
+    """Everything needed to marshal one operation's request and reply."""
+
+    name: str
+    params: Tuple[Param, ...] = ()
+    result_tc: TypeCode = TC_VOID
+    raises: Tuple[TypeCode, ...] = ()  #: tk_except TypeCodes
+    oneway: bool = False
+
+    def __post_init__(self):
+        if self.oneway and (self.result_tc.kind is not TCKind.tk_void
+                            or any(p.mode.returns for p in self.params)
+                            or self.raises):
+            raise ValueError(
+                f"oneway operation {self.name!r} cannot have results, "
+                f"out/inout parameters or raises clauses")
+
+    # -- request side -----------------------------------------------------------
+    def marshal_request(self, enc: CDREncoder, args: Sequence[Any],
+                        ctx: MarshalContext) -> None:
+        sending = [p for p in self.params if p.mode.sends]
+        if len(args) != len(sending):
+            raise BAD_PARAM(message=(
+                f"{self.name}() takes {len(sending)} in/inout arguments, "
+                f"got {len(args)}"))
+        for param, value in zip(sending, args):
+            get_marshaller(param.tc).marshal(enc, value, ctx)
+
+    def demarshal_request(self, dec: CDRDecoder,
+                          ctx: MarshalContext) -> List[Any]:
+        return [get_marshaller(p.tc).demarshal(dec, ctx)
+                for p in self.params if p.mode.sends]
+
+    # -- reply side ---------------------------------------------------------------
+    def marshal_reply(self, enc: CDREncoder, result: Any,
+                      out_values: Sequence[Any], ctx: MarshalContext) -> None:
+        if self.result_tc.kind is not TCKind.tk_void:
+            get_marshaller(self.result_tc).marshal(enc, result, ctx)
+        returning = [p for p in self.params if p.mode.returns]
+        if len(out_values) != len(returning):
+            raise MARSHAL(message=(
+                f"{self.name}() must produce {len(returning)} out/inout "
+                f"values, servant returned {len(out_values)}"))
+        for param, value in zip(returning, out_values):
+            get_marshaller(param.tc).marshal(enc, value, ctx)
+
+    def demarshal_reply(self, dec: CDRDecoder, ctx: MarshalContext) -> Any:
+        result = None
+        if self.result_tc.kind is not TCKind.tk_void:
+            result = get_marshaller(self.result_tc).demarshal(dec, ctx)
+        outs = [get_marshaller(p.tc).demarshal(dec, ctx)
+                for p in self.params if p.mode.returns]
+        return self.pack_results(result, outs)
+
+    def pack_results(self, result: Any, outs: Sequence[Any]) -> Any:
+        """Python calling convention: result, or (result, *outs)."""
+        has_result = self.result_tc.kind is not TCKind.tk_void
+        if not outs:
+            return result if has_result else None
+        values = ([result] if has_result else []) + list(outs)
+        return values[0] if len(values) == 1 else tuple(values)
+
+    def split_servant_return(self, value: Any) -> Tuple[Any, List[Any]]:
+        """Inverse of :meth:`pack_results` for the server side."""
+        has_result = self.result_tc.kind is not TCKind.tk_void
+        n_out = sum(1 for p in self.params if p.mode.returns)
+        expected = (1 if has_result else 0) + n_out
+        if expected == 0:
+            return None, []
+        if expected == 1:
+            return (value, []) if has_result else (None, [value])
+        if not isinstance(value, tuple) or len(value) != expected:
+            raise MARSHAL(message=(
+                f"{self.name}(): servant must return a {expected}-tuple "
+                f"(result + out params), got {value!r}"))
+        values = list(value)
+        if has_result:
+            return values[0], values[1:]
+        return None, values
+
+    # -- exceptions ---------------------------------------------------------------
+    def exception_tc_for(self, exc: UserException) -> Optional[TypeCode]:
+        for tc in self.raises:
+            if exc.TYPECODE is not None and tc.repo_id == exc.TYPECODE.repo_id:
+                return tc
+        return None
+
+    def exception_tc_by_id(self, repo_id: str) -> Optional[TypeCode]:
+        for tc in self.raises:
+            if tc.repo_id == repo_id:
+                return tc
+        return None
+
+
+@dataclass(frozen=True)
+class InterfaceDef:
+    """One IDL interface: repository id + operation table.
+
+    ``bases`` supports IDL interface inheritance — the operation lookup
+    walks base interfaces depth-first, like MICO skeleton dispatch.
+    """
+
+    repo_id: str
+    name: str
+    operations: Tuple[OperationSignature, ...] = ()
+    bases: Tuple["InterfaceDef", ...] = ()
+
+    def find_operation(self, name: str) -> Optional[OperationSignature]:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        for base in self.bases:
+            found = base.find_operation(name)
+            if found is not None:
+                return found
+        return None
+
+    def all_operations(self) -> Dict[str, OperationSignature]:
+        ops: Dict[str, OperationSignature] = {}
+        for base in reversed(self.bases):
+            ops.update(base.all_operations())
+        for op in self.operations:
+            ops[op.name] = op
+        return ops
+
+    def is_a(self, repo_id: str) -> bool:
+        if self.repo_id == repo_id:
+            return True
+        return any(base.is_a(repo_id) for base in self.bases)

@@ -1,0 +1,97 @@
+"""Client stubs: compiler-generated proxies for remote objects.
+
+A stub instance pairs an object reference (IOR) with the ORB that can
+reach it.  Generated stub classes add one thin method per IDL
+operation, each delegating to :meth:`ObjectStub._invoke` with the
+operation's signature — the ``StaticRequest invoke interface`` of
+Fig. 3.
+
+Collocated calls: when the referenced object lives in this process's
+POA and the ORB allows it, the invocation bypasses marshaling and the
+transport entirely — §2.1's observation that "when calls are local ...
+the extra data copying that is involved by marshaling and demarshaling
+can be skipped".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Type
+
+from ..giop import IOR
+from .exceptions import BAD_OPERATION, INV_OBJREF
+from .signatures import InterfaceDef, OperationSignature
+
+__all__ = ["ObjectStub", "register_stub_class", "lookup_stub_class"]
+
+_STUB_CLASSES: Dict[str, Type["ObjectStub"]] = {}
+
+
+def register_stub_class(repo_id: str, cls: Type["ObjectStub"]) -> None:
+    """Code-generator hook: make ``string_to_object`` find this stub."""
+    _STUB_CLASSES[repo_id] = cls
+
+
+def lookup_stub_class(repo_id: str) -> Optional[Type["ObjectStub"]]:
+    return _STUB_CLASSES.get(repo_id)
+
+
+class ObjectStub:
+    """Base of all generated stubs (and usable generically via narrow)."""
+
+    _INTERFACE: Optional[InterfaceDef] = None
+
+    def __init__(self, orb, ior: IOR):
+        self._orb = orb
+        self._ior = ior
+
+    # -- reference surface ------------------------------------------------------
+    @property
+    def ior(self) -> IOR:
+        return self._ior
+
+    def _narrow(self, stub_cls: Type["ObjectStub"]) -> "ObjectStub":
+        """Re-type this reference (after checking ``_is_a``)."""
+        iface = stub_cls._INTERFACE
+        if iface is not None and not self._is_a(iface.repo_id):
+            raise INV_OBJREF(message=(
+                f"object is not a {iface.repo_id}"))
+        return stub_cls(self._orb, self._ior)
+
+    # -- invocation ---------------------------------------------------------------
+    def _signature(self, name: str) -> OperationSignature:
+        iface = self._INTERFACE
+        sig = iface.find_operation(name) if iface is not None else None
+        if sig is None:
+            raise BAD_OPERATION(message=(
+                f"{type(self).__name__} has no operation {name!r}"))
+        return sig
+
+    def _invoke(self, name: str, args: Sequence[Any]) -> Any:
+        return self._orb.invoke(self._ior, self._signature(name), args)
+
+    # -- implicit object operations -------------------------------------------------
+    _IS_A_SIG = None  # populated lazily below
+
+    def _is_a(self, repo_id: str) -> bool:
+        iface = self._INTERFACE
+        if iface is not None and iface.is_a(repo_id):
+            return True
+        return bool(self._orb.invoke(self._ior, _implicit_is_a(), [repo_id]))
+
+    def _non_existent(self) -> bool:
+        return bool(self._orb.invoke(self._ior, _implicit_non_existent(), []))
+
+    def __repr__(self) -> str:
+        prof = self._ior.iiop_profile()
+        return (f"<{type(self).__name__} {self._ior.type_id} @ "
+                f"{prof.host}:{prof.port}>")
+
+
+def _implicit_is_a() -> OperationSignature:
+    from .dispatcher import _IS_A
+    return _IS_A
+
+
+def _implicit_non_existent() -> OperationSignature:
+    from .dispatcher import _NON_EXISTENT
+    return _NON_EXISTENT

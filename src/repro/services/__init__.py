@@ -1,0 +1,13 @@
+"""Common Object Services built on this ORB: a CosNaming-style Name
+Service and a CosEvents-style push Event Channel — both ordinary CORBA
+objects defined in this package's own IDL."""
+
+from .events import EVENTS_IDL, EventChannelImpl, QueueingConsumer, events_api
+from .naming import (NAMING_IDL, NameClient, NamingContextImpl, naming_api,
+                     start_name_service)
+
+__all__ = [
+    "NAMING_IDL", "naming_api", "NamingContextImpl", "NameClient",
+    "start_name_service",
+    "EVENTS_IDL", "events_api", "EventChannelImpl", "QueueingConsumer",
+]

@@ -1,0 +1,129 @@
+"""A push-model Event Channel (CosEventChannel-lite) for bulk streams.
+
+The transcoder pipeline of §5.4 moves video as request parameters;
+CORBA deployments of the era often decoupled producers from consumers
+with the Event Service instead.  This channel carries *octet payloads*
+(the zero-copy type), so it is another bulk-data workload for the ORB:
+a supplier pushes a frame once, the channel fans it out to every
+connected consumer by reference.
+
+Everything is ordinary CORBA: the channel, suppliers' proxy and the
+consumers are objects defined in IDL below; consumers register their
+own object references with the channel (callbacks across the ORB).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..core import ZCOctetSequence
+from ..idl import compile_idl
+from ..orb import ORB, ObjectStub
+
+__all__ = ["EVENTS_IDL", "events_api", "EventChannelImpl",
+           "QueueingConsumer"]
+
+EVENTS_IDL = """
+module Events {
+    exception Disconnected { string why; };
+
+    // implemented by consumers; the channel calls back into these
+    interface PushConsumer {
+        oneway void push(in sequence<zc_octet> event);
+    };
+
+    interface EventChannel {
+        void connect_consumer(in PushConsumer consumer);
+        void disconnect_consumer(in PushConsumer consumer);
+        // supplier side: one push fans out to all consumers
+        void push(in sequence<zc_octet> event) raises (Disconnected);
+        unsigned long n_consumers();
+        unsigned long long events_delivered();
+    };
+};
+"""
+
+_api = None
+
+
+def events_api():
+    global _api
+    if _api is None:
+        _api = compile_idl(EVENTS_IDL, module_name="_repro_events_idl")
+    return _api
+
+
+class EventChannelImpl:
+    """Channel servant factory: fan-out by reference.
+
+    The payload arrives once (direct deposit) and the same landed
+    buffer is pushed to every consumer — within one process that is
+    zero additional copies per consumer; across processes each consumer
+    link carries one deposit.
+    """
+
+    def __new__(cls):
+        api = events_api()
+
+        class Impl(api.Events_EventChannel_skel):
+            def __init__(self):
+                self._consumers: List = []
+                self._lock = threading.Lock()
+                self._delivered = 0
+                self._closed = False
+
+            def connect_consumer(self, consumer):
+                with self._lock:
+                    self._consumers.append(consumer)
+
+            def disconnect_consumer(self, consumer):
+                with self._lock:
+                    self._consumers = [
+                        c for c in self._consumers
+                        if c.ior.iiop_profile().object_key
+                        != consumer.ior.iiop_profile().object_key]
+
+            def push(self, event):
+                if self._closed:
+                    raise api.Events_Disconnected(why="channel closed")
+                with self._lock:
+                    consumers = list(self._consumers)
+                for consumer in consumers:
+                    consumer.push(event)
+                    self._delivered += 1
+
+            def n_consumers(self):
+                with self._lock:
+                    return len(self._consumers)
+
+            def events_delivered(self):
+                return self._delivered
+
+        return Impl()
+
+
+class QueueingConsumer:
+    """A consumer servant that queues received events for the app."""
+
+    def __new__(cls, maxlen: Optional[int] = None):
+        api = events_api()
+
+        class Impl(api.Events_PushConsumer_skel):
+            def __init__(self):
+                self.events: Deque[bytes] = deque(maxlen=maxlen)
+                self.received = 0
+
+            def push(self, event):
+                # copy out: the deposit buffer belongs to the request
+                self.events.append(event.tobytes())
+                self.received += 1
+
+            def pop(self) -> Optional[bytes]:
+                try:
+                    return self.events.popleft()
+                except IndexError:
+                    return None
+
+        return Impl()

@@ -1,0 +1,183 @@
+"""A CosNaming-style Name Service, built on this ORB's own IDL.
+
+Distributed CORBA deployments of the paper's era bootstrapped through
+the OMG Naming Service: servers ``bind`` object references under
+hierarchical names, clients ``resolve`` them — no IOR strings change
+hands out of band.  The transcoder farm example uses it to discover
+its encoder objects.
+
+The service is itself an ordinary CORBA object defined in IDL and
+served by this package's ORB — the whole middleware stack eats its own
+dog food, object references included (contexts return sub-context
+*references*, so a naming tree can span processes).
+
+Names are ``/``-separated paths of simple strings, e.g.
+``"encoders/node3/Transcoder"``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..idl import compile_idl
+from ..orb import ORB, ObjectStub
+from ..orb.exceptions import UserException
+
+__all__ = ["NAMING_IDL", "naming_api", "NamingContextImpl",
+           "start_name_service", "NameClient"]
+
+NAMING_IDL = """
+module Naming {
+    exception NotFound { string rest_of_name; };
+    exception AlreadyBound { string name; };
+    exception InvalidName { string why; };
+
+    interface NamingContext {
+        // bind an object (or context) under a simple name
+        void bind(in string name, in Object obj)
+            raises (AlreadyBound, InvalidName);
+        void rebind(in string name, in Object obj) raises (InvalidName);
+        Object resolve(in string name) raises (NotFound, InvalidName);
+        void unbind(in string name) raises (NotFound, InvalidName);
+        // create (or fetch) a child context
+        NamingContext bind_new_context(in string name)
+            raises (AlreadyBound, InvalidName);
+        // simple-name listing of this context
+        sequence<string> list_names();
+        unsigned long n_bindings();
+    };
+};
+"""
+
+_api = None
+
+
+def naming_api():
+    global _api
+    if _api is None:
+        _api = compile_idl(NAMING_IDL, module_name="_repro_naming_idl")
+    return _api
+
+
+def _check_simple(api, name: str) -> None:
+    if not name or "/" in name or name in (".", ".."):
+        raise api.Naming_InvalidName(why=f"bad simple name {name!r}")
+
+
+class NamingContextImpl:
+    """One node of the naming tree (a servant factory)."""
+
+    def __new__(cls, orb: ORB):
+        api = naming_api()
+
+        class Impl(api.Naming_NamingContext_skel):
+            def __init__(self):
+                self._bindings: dict = {}
+
+            # -- leaf bindings ------------------------------------------
+            def bind(self, name, obj):
+                _check_simple(api, name)
+                if name in self._bindings:
+                    raise api.Naming_AlreadyBound(name=name)
+                self._bindings[name] = obj
+
+            def rebind(self, name, obj):
+                _check_simple(api, name)
+                self._bindings[name] = obj
+
+            def resolve(self, name):
+                _check_simple(api, name)
+                try:
+                    return self._bindings[name]
+                except KeyError:
+                    raise api.Naming_NotFound(rest_of_name=name) from None
+
+            def unbind(self, name):
+                _check_simple(api, name)
+                if name not in self._bindings:
+                    raise api.Naming_NotFound(rest_of_name=name)
+                del self._bindings[name]
+
+            # -- sub-contexts --------------------------------------------
+            def bind_new_context(self, name):
+                _check_simple(api, name)
+                if name in self._bindings:
+                    raise api.Naming_AlreadyBound(name=name)
+                child = NamingContextImpl(orb)
+                ref = orb.activate(child)
+                self._bindings[name] = ref
+                return ref
+
+            # -- introspection ---------------------------------------------
+            def list_names(self):
+                return sorted(self._bindings)
+
+            def n_bindings(self):
+                return len(self._bindings)
+
+        return Impl()
+
+
+def start_name_service(orb: ORB) -> ObjectStub:
+    """Activate a root naming context on ``orb`` and register it as the
+    ORB's ``NameService`` initial reference.  Returns the root stub."""
+    root = orb.activate(NamingContextImpl(orb))
+    orb.register_initial_reference("NameService", root)
+    return root
+
+
+class NameClient:
+    """Path-walking convenience over NamingContext references.
+
+    ``NameClient(root).bind("a/b/Service", ref)`` creates intermediate
+    contexts as needed; ``resolve`` walks them; every hop is a real
+    CORBA invocation on (possibly remote) context objects.
+    """
+
+    def __init__(self, root: ObjectStub):
+        self.api = naming_api()
+        self.root = root
+
+    def _split(self, path: str) -> List[str]:
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            raise self.api.Naming_InvalidName(why=f"empty path {path!r}")
+        return parts
+
+    def _walk(self, parts: List[str], create: bool):
+        ctx = self.root
+        for i, part in enumerate(parts):
+            try:
+                nxt = ctx.resolve(part)
+            except self.api.Naming_NotFound:
+                if not create:
+                    raise self.api.Naming_NotFound(
+                        rest_of_name="/".join(parts[i:])) from None
+                nxt = ctx.bind_new_context(part)
+            ctx = nxt._narrow(self.api.Naming_NamingContext) \
+                if not isinstance(nxt, self.api.Naming_NamingContext) \
+                else nxt
+        return ctx
+
+    def bind(self, path: str, ref, rebind: bool = False) -> None:
+        *dirs, leaf = self._split(path)
+        ctx = self._walk(dirs, create=True)
+        if rebind:
+            ctx.rebind(leaf, ref)
+        else:
+            ctx.bind(leaf, ref)
+
+    def resolve(self, path: str):
+        *dirs, leaf = self._split(path)
+        ctx = self._walk(dirs, create=False)
+        return ctx.resolve(leaf)
+
+    def unbind(self, path: str) -> None:
+        *dirs, leaf = self._split(path)
+        ctx = self._walk(dirs, create=False)
+        ctx.unbind(leaf)
+
+    def list(self, path: str = "") -> List[str]:
+        parts = [p for p in path.split("/") if p]
+        ctx = self._walk(parts, create=False) if parts else self.root
+        return list(ctx.list_names())

@@ -1,0 +1,36 @@
+"""Simulated cluster substrate replacing the paper's 2003 testbed.
+
+The paper measured on 400 MHz Pentium II PCs over Gigabit Ethernet with
+a custom zero-copy NIC driver (§5).  This package models that hardware
+as a discrete-event simulation: per-byte copy/checksum/marshal costs,
+per-packet and per-syscall overheads, PCI DMA bandwidth, Ethernet
+framing, and the two TCP stack variants (standard copying vs.
+speculative-defragmentation zero-copy).  See DESIGN.md §2 for the
+substitution rationale and calibration anchors.
+"""
+
+from .engine import (AllOf, Interrupted, Process, Request, Resource,
+                     SimulationError, Simulator, Timeout)
+from .memory import CopyKind, MemorySystem
+from .node import PhaseCharge, SimNode
+from .orbcost import OrbCostConfig, corba_request_steps, measure_corba_request
+from .profiles import (FAST_ETHERNET, GIGABIT_ETHERNET, MODERN_NODE, PAGE_SIZE,
+                       PENTIUM_II_400, LinkProfile, MachineProfile)
+from .stacks import StackConfig, StackKind, standard_stack, zero_copy_stack
+from .trace import TraceEvent, TraceRecorder
+from .transfer import (LatencyStep, StreamStep, Testbed, TransferReport,
+                       measure_stream, run_scenario)
+
+__all__ = [
+    "Simulator", "Process", "Resource", "Request", "Timeout", "AllOf",
+    "SimulationError", "Interrupted",
+    "CopyKind", "MemorySystem",
+    "SimNode", "PhaseCharge",
+    "MachineProfile", "LinkProfile", "PENTIUM_II_400", "MODERN_NODE",
+    "GIGABIT_ETHERNET", "FAST_ETHERNET", "PAGE_SIZE",
+    "StackConfig", "StackKind", "standard_stack", "zero_copy_stack",
+    "TransferReport", "StreamStep", "LatencyStep", "Testbed",
+    "measure_stream", "run_scenario",
+    "OrbCostConfig", "corba_request_steps", "measure_corba_request",
+    "TraceRecorder", "TraceEvent",
+]

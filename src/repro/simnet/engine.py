@@ -1,0 +1,352 @@
+"""Discrete-event simulation engine.
+
+A small process-based DES kernel (in the spirit of SimPy) used by
+:mod:`repro.simnet` to model the paper's 2003 testbed: CPU and memory
+costs, PCI/DMA stages, Ethernet links, and TCP stacks are all modelled
+as *resources* with service times, and transfers are *processes* that
+flow chunks through those resources.
+
+Time is kept in integer nanoseconds to avoid floating-point drift in
+long runs; all public APIs accept and return ints (ns).
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(env):
+...     yield env.timeout(100)
+...     return env.now
+>>> p = sim.process(hello(sim))
+>>> sim.run()
+>>> p.value
+100
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Request",
+    "Resource",
+    "AllOf",
+    "SimulationError",
+    "Interrupted",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. negative delay)."""
+
+
+class Interrupted(Exception):
+    """Raised inside a process that has been interrupted.
+
+    The ``cause`` attribute carries the value given to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _BaseEvent:
+    """An occurrence in simulated time that processes can wait on.
+
+    Lifecycle: *pending* -> *scheduled* (trigger requested, fire time on
+    the event queue) -> *fired* (callbacks delivered, value readable).
+    Waiters registered before the fire are delivered at fire time;
+    waiters registered after it are delivered on the next kernel step.
+    """
+
+    __slots__ = ("sim", "_scheduled", "_fired", "_value", "_callbacks", "_ok")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._scheduled = False
+        self._fired = False
+        self._ok = True
+        self._value: Any = None
+        self._callbacks: list[Callable[["_BaseEvent"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has fired (value is available)."""
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def _succeed(self, value: Any = None, delay: int = 0) -> "_BaseEvent":
+        if self._scheduled:
+            raise SimulationError("event already triggered")
+        self._scheduled = True
+        self._value = value
+        self.sim._schedule_event(self, delay=delay)
+        return self
+
+    def _fail(self, exc: BaseException) -> "_BaseEvent":
+        if self._scheduled:
+            raise SimulationError("event already triggered")
+        self._scheduled = True
+        self._ok = False
+        self._value = exc
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, cb: Callable[["_BaseEvent"], None]) -> None:
+        if self._fired:
+            # Already fired: deliver on the next kernel step.
+            self.sim._schedule_call(lambda: cb(self))
+        else:
+            self._callbacks.append(cb)
+
+
+class Timeout(_BaseEvent):
+    """An event that fires ``delay`` ns after it is created."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = int(delay)
+        self._succeed(value, delay=self.delay)
+
+
+class Request(_BaseEvent):
+    """A pending claim on a :class:`Resource` slot.
+
+    Fires when the resource grants a slot.  Must be released with
+    :meth:`Resource.release` (or used as a context manager inside a
+    process via ``with``-less yield/release pairing).
+    """
+
+    __slots__ = ("resource", "_granted_at")
+
+    def __init__(self, sim: "Simulator", resource: "Resource"):
+        super().__init__(sim)
+        self.resource = resource
+        self._granted_at: Optional[int] = None
+
+
+class AllOf(_BaseEvent):
+    """Fires once all child events have fired; value is their values."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[_BaseEvent]):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            self._succeed([])
+            return
+        values: list[Any] = [None] * len(events)
+
+        def make_cb(i: int) -> Callable[[_BaseEvent], None]:
+            def cb(ev: _BaseEvent) -> None:
+                values[i] = ev.value
+                self._pending -= 1
+                if self._pending == 0 and not self._scheduled:
+                    self._succeed(values)
+
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+
+
+class Process(_BaseEvent):
+    """A generator-driven simulation process.
+
+    The generator yields events (:class:`Timeout`, :class:`Request`,
+    another :class:`Process`, or :class:`AllOf`); the kernel resumes it
+    with the event's value once the event fires.  The process itself is
+    an event that fires (with the generator's return value) when the
+    generator finishes.
+    """
+
+    __slots__ = ("gen", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[_BaseEvent] = None
+        sim._schedule_call(lambda: self._resume(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._scheduled
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at the current time."""
+        if self._scheduled:
+            return
+        target = self._waiting_on
+        self._waiting_on = None
+        if isinstance(target, Request) and not target._scheduled:
+            target.resource._cancel(target)
+        self.sim._schedule_call(lambda: self._resume(None, Interrupted(cause)))
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._scheduled:
+            return
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self._succeed(stop.value)
+            return
+        except Interrupted:
+            # Process chose not to handle its interruption: treat as done.
+            self._succeed(None)
+            return
+        except Exception as exc:
+            # The generator raised: the process fails with that exception
+            # (a joining parent re-raises it; otherwise value holds it).
+            self._fail(exc)
+            return
+        if not isinstance(target, _BaseEvent):
+            self._fail(SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+    def _on_event(self, ev: _BaseEvent) -> None:
+        if self._waiting_on is not ev:
+            return  # stale wake-up after an interrupt
+        if ev._ok:
+            self._resume(ev.value, None)
+        else:
+            self._resume(None, ev.value)
+
+
+class Resource:
+    """A FIFO multi-server resource with utilization accounting.
+
+    ``capacity`` slots serve requests in arrival order.  Busy time is
+    tracked per-slot so that ``utilization(elapsed)`` reports the mean
+    fraction of time slots were held.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._queue: list[Request] = []
+        self._in_use: set[Request] = set()
+        self.busy_ns = 0  # total slot-held nanoseconds
+        self.grant_count = 0
+
+    def request(self) -> Request:
+        req = Request(self.sim, self)
+        if len(self._in_use) < self.capacity:
+            self._grant(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        if req not in self._in_use:
+            raise SimulationError("releasing a request that is not held")
+        self._in_use.discard(req)
+        assert req._granted_at is not None
+        self.busy_ns += self.sim.now - req._granted_at
+        if self._queue:
+            self._grant(self._queue.pop(0))
+
+    def _grant(self, req: Request) -> None:
+        self._in_use.add(req)
+        req._granted_at = self.sim.now
+        self.grant_count += 1
+        req._succeed(self)
+
+    def _cancel(self, req: Request) -> None:
+        try:
+            self._queue.remove(req)
+        except ValueError:
+            pass
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Mean fraction of slot-time held over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.busy_ns / (elapsed_ns * self.capacity)
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, seq) ordered events."""
+
+    def __init__(self):
+        self.now = 0
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._running = False
+
+    # -- factory helpers ------------------------------------------------
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def resource(self, capacity: int = 1, name: str = "") -> Resource:
+        return Resource(self, capacity, name=name)
+
+    def all_of(self, events: Iterable[_BaseEvent]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- kernel ---------------------------------------------------------
+    def _schedule_call(self, fn: Callable[[], None], delay: int = 0) -> None:
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def _schedule_event(self, ev: _BaseEvent, delay: int = 0) -> None:
+        def fire() -> None:
+            ev._fired = True
+            callbacks, ev._callbacks = ev._callbacks, []
+            for cb in callbacks:
+                cb(ev)
+
+        self._schedule_call(fire, delay=delay)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the event queue drains (or ``until`` ns). Returns now."""
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                t, _, fn = self._heap[0]
+                if until is not None and t > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                if t < self.now:
+                    raise SimulationError("event scheduled in the past")
+                self.now = t
+                fn()
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now

@@ -1,0 +1,70 @@
+"""A simulated cluster node: CPU, PCI bus, memory system, NIC metrics."""
+
+from __future__ import annotations
+
+from .engine import Simulator, Resource
+from .memory import MemorySystem
+from .profiles import MachineProfile
+
+__all__ = ["SimNode"]
+
+
+class SimNode:
+    """One PC of the simulated cluster.
+
+    Holds the two contended per-node resources of the model — the CPU
+    (protocol processing, copies, marshaling) and the PCI/DMA bus
+    (NIC <-> memory transfers) — plus the memory ledger.  A node is
+    bound to one :class:`~repro.simnet.engine.Simulator`; create fresh
+    nodes per measurement for clean utilization accounting.
+    """
+
+    def __init__(self, sim: Simulator, profile: MachineProfile, name: str):
+        self.sim = sim
+        self.profile = profile
+        self.name = name
+        self.cpu: Resource = sim.resource(1, name=f"{name}.cpu")
+        self.pci: Resource = sim.resource(1, name=f"{name}.pci")
+        self.memory = MemorySystem(profile)
+        #: extra CPU ns charged outside resource holds (sequential phases)
+        self.phase_cpu_ns = 0
+
+    # -- sequential (non-pipelined) CPU work -------------------------------
+    def cpu_phase(self, cost_ns: int, label: str = "") -> "PhaseCharge":
+        """Describe a sequential CPU phase of ``cost_ns`` (e.g. MICO
+        marshaling a whole request buffer before any byte is sent).
+
+        Returns a :class:`PhaseCharge`; the caller runs it through the
+        simulator (see :func:`repro.simnet.transfer.run_phases`).
+        """
+        if cost_ns < 0:
+            raise ValueError(f"negative phase cost: {cost_ns}")
+        return PhaseCharge(self, int(cost_ns), label)
+
+    def cpu_busy_ns(self) -> int:
+        """Total CPU-busy time: resource holds plus sequential phases."""
+        return self.cpu.busy_ns + self.phase_cpu_ns
+
+    def cpu_utilization(self, elapsed_ns: int) -> float:
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.cpu_busy_ns() / elapsed_ns)
+
+
+class PhaseCharge:
+    """A sequential CPU phase on one node (see :meth:`SimNode.cpu_phase`)."""
+
+    __slots__ = ("node", "cost_ns", "label")
+
+    def __init__(self, node: SimNode, cost_ns: int, label: str):
+        self.node = node
+        self.cost_ns = cost_ns
+        self.label = label
+
+    def run(self):
+        """Process generator: hold the CPU for the phase duration."""
+        req = self.node.cpu.request()
+        yield req
+        yield self.node.sim.timeout(self.cost_ns)
+        self.node.cpu.release(req)
+        self.node.phase_cpu_ns += 0  # busy time already tracked by resource

@@ -1,0 +1,140 @@
+"""ORB-level cost scenarios: the data paths of Figs. 3 and 4.
+
+Builds :func:`repro.simnet.transfer.run_scenario` step lists for one
+synchronous CORBA invocation carrying an ``nbytes`` octet-sequence
+parameter, in two variants:
+
+* **standard MICO path (Fig. 3)** — the client marshals the payload
+  into a freshly allocated GIOP request buffer with MICO's generic
+  per-element loop, *then* streams the whole buffer; the server reads
+  it into an ORB buffer, demarshals (another generic-loop copy into a
+  newly allocated sequence), demultiplexes and dispatches.
+
+* **zero-copy path (Fig. 4)** — marshaling is bypassed
+  (``TCSeqZCOctet`` just records a reference); the GIOP header travels
+  as a small *control* message; the receiver allocates a page-aligned
+  buffer from a pool and the payload is *deposited* directly into it by
+  the (optionally zero-copy) stack; demarshaling sets a pointer.
+
+Ablation knobs (see DESIGN.md §5): control/data separation can be
+switched off (forcing a receive-side staging copy), the generic
+marshal loop can be replaced by an optimized bulk copy, the deposit
+buffer pool can be cold, and deposit buffers can be misaligned (which
+defeats page remapping and forces fallback copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .memory import CopyKind
+from .node import SimNode
+from .profiles import LinkProfile, MachineProfile, PAGE_SIZE
+from .stacks import StackConfig
+from .transfer import (LatencyStep, StreamStep, Testbed, TransferReport)
+
+__all__ = ["OrbCostConfig", "corba_request_steps", "measure_corba_request"]
+
+
+@dataclass(frozen=True)
+class OrbCostConfig:
+    """Variant selection for one modelled CORBA invocation."""
+
+    zero_copy: bool = False
+    #: §3.2 separation of control- and data transfers; switching it off
+    #: while keeping the zc datatype forces the receiver to stage the
+    #: payload in a generic buffer and copy it out (the "combined
+    #: control and data message may involve buffering" case)
+    separate_control_data: bool = True
+    #: replace MICO's generic loop with a specialized bulk copy
+    #: ("optimized contiguous memory-to-memory copy using MMX", §5.2)
+    bulk_marshal: bool = False
+    #: deposit-buffer pool already holds a buffer of the right size
+    pool_warm: bool = True
+    #: deposit buffers are page-aligned (misaligned defeats remapping)
+    aligned_buffers: bool = True
+    header_bytes: int = 128  #: GIOP header + request header on the wire
+    reply_bytes: int = 64  #: GIOP reply for a void result
+    dispatch_ns: int = 2_000  #: skeleton -> servant upcall
+
+    def with_(self, **kw) -> "OrbCostConfig":
+        return replace(self, **kw)
+
+
+def _alloc_ns(node: SimNode, nbytes: int, warm: bool) -> int:
+    p = node.profile
+    if warm:
+        return p.malloc_ns
+    pages = -(-nbytes // PAGE_SIZE)
+    return p.malloc_ns + pages * p.malloc_ns_per_page
+
+
+def corba_request_steps(bed: Testbed, nbytes: int, stack: StackConfig,
+                        cfg: OrbCostConfig) -> list:
+    """Step list for one synchronous request with an octet payload."""
+    client, server, link = bed.sender, bed.receiver, bed.link
+    p_client, p_server = client.profile, server.profile
+    steps: list = []
+
+    if not cfg.zero_copy:
+        marshal_kind = (CopyKind.MARSHAL_BULK if cfg.bulk_marshal
+                        else CopyKind.MARSHAL)
+        # client: allocate request buffer, marshal payload into it
+        alloc = _alloc_ns(client, nbytes, warm=False)
+        marshal = client.memory.touch(marshal_kind, nbytes)
+        steps.append(client.cpu_phase(
+            p_client.request_header_ns + alloc + marshal, "client-marshal"))
+        # one combined GIOP message: header + payload
+        steps.append(bed.stream(cfg.header_bytes + nbytes, stack))
+        # server: demux, allocate sequence, demarshal (copy out of the
+        # request buffer), dispatch
+        alloc = _alloc_ns(server, nbytes, warm=False)
+        demarshal = server.memory.touch(marshal_kind, nbytes)
+        steps.append(server.cpu_phase(
+            p_server.demux_ns + alloc + demarshal + cfg.dispatch_ns,
+            "server-demarshal"))
+    else:
+        # client: header only; payload is passed by reference (§4.4)
+        steps.append(client.cpu_phase(
+            p_client.request_header_ns, "client-header"))
+        if cfg.separate_control_data:
+            # control message first so the receiver can set up the
+            # deposit buffer before data arrives (§4.5)
+            steps.append(bed.stream(cfg.header_bytes, stack))
+            steps.append(server.cpu_phase(
+                p_server.demux_ns
+                + _alloc_ns(server, nbytes, warm=cfg.pool_warm),
+                "server-prepare-deposit"))
+            if cfg.aligned_buffers:
+                data_stack = stack
+            else:
+                # misaligned target: page remapping impossible, every
+                # chunk falls back to a copy
+                data_stack = stack.with_(defrag_success=0.0) \
+                    if stack.is_zero_copy else stack
+            steps.append(bed.stream(nbytes, data_stack))
+            steps.append(server.cpu_phase(cfg.dispatch_ns, "dispatch"))
+        else:
+            # combined message: receiver cannot pre-allocate, so it
+            # stages the payload in a generic ORB buffer and copies it
+            # into the sequence afterwards
+            steps.append(bed.stream(cfg.header_bytes + nbytes, stack))
+            stage_copy = server.memory.touch(CopyKind.USER_KERNEL, nbytes)
+            steps.append(server.cpu_phase(
+                p_server.demux_ns + _alloc_ns(server, nbytes, warm=False)
+                + stage_copy + cfg.dispatch_ns, "server-staging-copy"))
+
+    # reply: a small control message back to the client
+    steps.append(server.cpu_phase(p_server.request_header_ns // 2, "reply-build"))
+    steps.append(bed.reverse_stream(cfg.reply_bytes, stack))
+    steps.append(client.cpu_phase(p_client.request_header_ns // 2, "reply-parse"))
+    return steps
+
+
+def measure_corba_request(profile: MachineProfile, link: LinkProfile,
+                          nbytes: int, stack: StackConfig,
+                          cfg: OrbCostConfig) -> TransferReport:
+    """One CORBA invocation on a fresh testbed; returns its report."""
+    bed = Testbed(profile, link)
+    steps = corba_request_steps(bed, nbytes, stack, cfg)
+    return bed.run(steps, nbytes)

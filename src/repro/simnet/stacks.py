@@ -1,0 +1,131 @@
+"""TCP/IP stack models: standard (copying) and zero-copy sockets.
+
+Two stack variants from the paper (§5):
+
+* **standard** — the stock Linux 2.2 path.  Sender: ``write()`` copies
+  user -> kernel socket buffers and computes the TCP checksum; NIC DMAs
+  from kernel memory.  Receiver: NIC DMAs fragments into kernel
+  buffers, the commodity-GigE driver performs a *defragmentation copy*
+  (§1.1), ``read()`` copies kernel -> user and checksums.
+
+* **zero-copy** — the authors' stack built on *speculative
+  defragmentation* [10].  Sender: pages are pinned and DMA'd straight
+  from user memory (a page-remap instead of a copy).  Receiver: the
+  driver speculatively lands packet payloads on page-aligned buffers
+  that are then remapped into user space; a *misprediction* (packet
+  reordering, unexpected interleaving) falls back to a copy.  The
+  zero-copy socket API also has a much cheaper ``read()``/``write()``
+  path (§5.3: "a big improvement in the overhead of the read() and
+  write() system calls").
+
+Costs are charged per *chunk* (default one 4 KiB page, matching the
+paper's 4 KiB-aligned TTCP buffers) so the transfer pipeline in
+:mod:`repro.simnet.transfer` can overlap stages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from .memory import CopyKind
+from .node import SimNode
+from .profiles import LinkProfile, PAGE_SIZE
+
+__all__ = ["StackKind", "StackConfig", "standard_stack", "zero_copy_stack"]
+
+
+class StackKind(enum.Enum):
+    STANDARD = "standard"
+    ZERO_COPY = "zero-copy"
+
+
+@dataclass(frozen=True)
+class StackConfig:
+    """Tunable parameters of one stack variant.
+
+    ``defrag_success`` is the hit rate of speculative defragmentation;
+    the expected fallback-copy cost ``(1 - p) * memcpy`` is charged
+    deterministically so simulations are reproducible (the ABL-spec
+    ablation sweeps ``p``).
+    """
+
+    kind: StackKind
+    #: multiplier on the profile's syscall cost (the zc socket API
+    #: bypasses most of the socket layer)
+    syscall_factor: float = 1.0
+    #: speculative defragmentation success probability (zc only)
+    defrag_success: float = 0.95
+    #: NIC computes checksums (not available on the paper's GNIC-II)
+    checksum_offload: bool = False
+    #: receiver application makes one read pass over the data (used for
+    #: the CPU-utilization experiment; plain TTCP discards data unread)
+    app_touch: bool = False
+
+    @property
+    def is_zero_copy(self) -> bool:
+        return self.kind is StackKind.ZERO_COPY
+
+    def with_(self, **kw) -> "StackConfig":
+        return replace(self, **kw)
+
+    # -- per-chunk CPU costs ------------------------------------------------
+    def tx_chunk_cost_ns(self, node: SimNode, nbytes: int, link: LinkProfile) -> int:
+        """Sender-CPU cost to hand ``nbytes`` to the NIC."""
+        p = node.profile
+        mem = node.memory
+        frames = link.frames_for(nbytes)
+        cost = int(p.syscall_ns * self.syscall_factor)
+        cost += frames * p.per_packet_ns
+        if self.kind is StackKind.STANDARD:
+            cost += mem.touch(CopyKind.USER_KERNEL, nbytes)
+            if not self.checksum_offload:
+                cost += mem.touch(CopyKind.CHECKSUM, nbytes)
+        else:
+            # pin/remap user pages for DMA; no data pass by the CPU
+            cost += self._pages(nbytes) * p.page_remap_ns
+            if not self.checksum_offload:
+                cost += mem.touch(CopyKind.CHECKSUM, nbytes)
+        mem.touch(CopyKind.DMA, nbytes)
+        return cost
+
+    def rx_chunk_cost_ns(self, node: SimNode, nbytes: int, link: LinkProfile) -> int:
+        """Receiver-CPU cost to deliver ``nbytes`` to the application."""
+        p = node.profile
+        mem = node.memory
+        frames = link.frames_for(nbytes)
+        mem.touch(CopyKind.DMA, nbytes)
+        cost = int(p.syscall_ns * self.syscall_factor)
+        cost += frames * p.per_packet_ns
+        if self.kind is StackKind.STANDARD:
+            cost += mem.touch(CopyKind.DRIVER_DEFRAG, nbytes)
+            cost += mem.touch(CopyKind.USER_KERNEL, nbytes)
+            if not self.checksum_offload:
+                cost += mem.touch(CopyKind.CHECKSUM, nbytes)
+        else:
+            cost += self._pages(nbytes) * p.page_remap_ns
+            if not self.checksum_offload:
+                cost += mem.touch(CopyKind.CHECKSUM, nbytes)
+            miss = 1.0 - self.defrag_success
+            if miss > 0.0:
+                # expected fallback: a fraction of chunks must be copied
+                fallback_bytes = int(nbytes * miss)
+                cost += mem.touch(CopyKind.FALLBACK, fallback_bytes)
+        if self.app_touch:
+            cost += mem.touch(CopyKind.APP_TOUCH, nbytes)
+        return cost
+
+    @staticmethod
+    def _pages(nbytes: int) -> int:
+        return -(-nbytes // PAGE_SIZE)
+
+
+def standard_stack(**kw) -> StackConfig:
+    """The stock copying TCP/IP stack."""
+    return StackConfig(kind=StackKind.STANDARD, **kw)
+
+
+def zero_copy_stack(**kw) -> StackConfig:
+    """The speculative-defragmentation zero-copy stack of [10]."""
+    kw.setdefault("syscall_factor", 0.3)
+    return StackConfig(kind=StackKind.ZERO_COPY, **kw)

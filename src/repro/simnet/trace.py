@@ -1,0 +1,113 @@
+"""Per-chunk stage tracing for simulated transfers.
+
+Recording every (chunk, stage, start, end) event of a pipelined stream
+makes the mechanism of Figs. 5/6 *visible*: the steady-state plateau is
+the busiest stage's service rate, and the ramp-up region of the curves
+is the pipeline-fill time.  Used by tests and the overhead-breakdown
+benchmark's timeline output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+#: canonical stage order of one stream
+STAGES = ("tx-cpu", "tx-pci", "wire", "rx-pci", "rx-cpu")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    chunk: int
+    stage: str
+    start_ns: int
+    end_ns: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+class TraceRecorder:
+    """Collects stage events; answers timeline questions."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+
+    def record(self, chunk: int, stage: str, start_ns: int,
+               end_ns: int) -> None:
+        if end_ns < start_ns:
+            raise ValueError(f"event ends before it starts: "
+                             f"{start_ns}..{end_ns}")
+        self.events.append(TraceEvent(chunk, stage, start_ns, end_ns))
+
+    # -- queries ------------------------------------------------------------
+    def stage_busy_ns(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for ev in self.events:
+            out[ev.stage] = out.get(ev.stage, 0) + ev.duration_ns
+        return out
+
+    def bottleneck_stage(self) -> str:
+        busy = self.stage_busy_ns()
+        return max(busy, key=busy.get)
+
+    def elapsed_ns(self) -> int:
+        if not self.events:
+            return 0
+        return max(e.end_ns for e in self.events) - min(
+            e.start_ns for e in self.events)
+
+    def pipeline_fill_ns(self) -> int:
+        """Time until the last stage first becomes busy — the ramp-up
+        that dominates small transfers."""
+        last_stage_starts = [e.start_ns for e in self.events
+                             if e.stage == STAGES[-1]]
+        if not last_stage_starts:
+            return self.elapsed_ns()
+        return min(last_stage_starts) - min(e.start_ns
+                                            for e in self.events)
+
+    def chunk_latency_ns(self, chunk: int) -> int:
+        """End-to-end latency of one chunk through all stages."""
+        spans = [e for e in self.events if e.chunk == chunk]
+        if not spans:
+            raise KeyError(f"no events for chunk {chunk}")
+        return max(e.end_ns for e in spans) - min(e.start_ns
+                                                  for e in spans)
+
+    def stage_gaps_ns(self, stage: str) -> int:
+        """Idle time inside one stage's busy window (bubbles)."""
+        spans = sorted((e.start_ns, e.end_ns) for e in self.events
+                       if e.stage == stage)
+        if not spans:
+            return 0
+        gaps = 0
+        _, prev_end = spans[0]
+        for start, end in spans[1:]:
+            if start > prev_end:
+                gaps += start - prev_end
+            prev_end = max(prev_end, end)
+        return gaps
+
+    def timeline(self, width: int = 64) -> str:
+        """A coarse text Gantt: one row per stage."""
+        if not self.events:
+            return "(no events)"
+        t0 = min(e.start_ns for e in self.events)
+        t1 = max(e.end_ns for e in self.events)
+        span = max(t1 - t0, 1)
+        rows = []
+        for stage in STAGES:
+            cells = [" "] * width
+            for ev in self.events:
+                if ev.stage != stage:
+                    continue
+                a = int((ev.start_ns - t0) * width / span)
+                b = max(a + 1, int((ev.end_ns - t0) * width / span))
+                for i in range(a, min(b, width)):
+                    cells[i] = "#"
+            rows.append(f"{stage:>7} |{''.join(cells)}|")
+        return "\n".join(rows)

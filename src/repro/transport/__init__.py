@@ -1,0 +1,15 @@
+"""Pluggable byte transports under the GIOP connection layer:
+in-process loopback, real TCP sockets, and the simulated testbed
+(:mod:`repro.transport.sim`)."""
+
+from .base import (Endpoint, Listener, Stream, Transport, TransportError,
+                   TransportRegistry, registry)
+from .loopback import LoopbackListener, LoopbackStream, LoopbackTransport
+from .tcp import TCPListener, TCPStream, TCPTransport
+
+__all__ = [
+    "Stream", "Listener", "Transport", "Endpoint", "TransportError",
+    "TransportRegistry", "registry",
+    "LoopbackTransport", "LoopbackStream", "LoopbackListener",
+    "TCPTransport", "TCPStream", "TCPListener",
+]

@@ -1,0 +1,114 @@
+"""Transport abstraction: byte streams under the GIOP connection layer.
+
+The ORB's ``GIOPConn`` (the MICO class of the same name, §4.2) talks to
+one of these.  The interface is deliberately shaped for the zero-copy
+regime:
+
+* :meth:`Stream.sendv` is a gather-send, so a control message and the
+  direct-deposit payloads that follow it are written without first
+  being concatenated into a staging buffer;
+* :meth:`Stream.recv_into` reads payload bytes *directly into* a
+  caller-supplied buffer — on real sockets this is
+  ``socket.recv_into`` on the page-aligned landing buffer, the Python
+  equivalent of the paper's speculative-defragmentation landing (§4.5).
+
+Three implementations exist: in-process loopback, real TCP, and the
+simulated-testbed transport.  They register under a scheme name; IORs
+carry the scheme so one ORB can talk over all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Protocol, Sequence, Tuple
+
+__all__ = ["Stream", "Listener", "Transport", "Endpoint", "TransportError",
+           "TransportRegistry", "registry"]
+
+#: (scheme, host, port)
+Endpoint = Tuple[str, str, int]
+
+
+class TransportError(OSError):
+    """Connection failures, resets, and protocol-level stream errors."""
+
+
+class Stream(Protocol):
+    """A reliable, ordered byte stream."""
+
+    def send(self, data) -> None:
+        """Write all of ``data`` (bytes-like)."""
+        ...
+
+    def sendv(self, chunks: Sequence) -> None:
+        """Gather-write every chunk, in order, without staging copies."""
+        ...
+
+    def recv_exact(self, n: int) -> memoryview:
+        """Read exactly ``n`` bytes; raises TransportError on EOF."""
+        ...
+
+    def recv_into(self, view: memoryview) -> None:
+        """Fill ``view`` completely with the next bytes of the stream."""
+        ...
+
+    def close(self) -> None: ...
+
+    @property
+    def peer(self) -> str: ...
+
+
+class Listener(Protocol):
+    """Accepts inbound streams and announces its bound endpoint."""
+
+    @property
+    def endpoint(self) -> Endpoint: ...
+
+    def close(self) -> None: ...
+
+
+#: server callback invoked with each accepted stream
+AcceptHandler = Callable[[Stream], None]
+
+
+class Transport(Protocol):
+    """Factory for streams and listeners under one scheme."""
+
+    scheme: str
+
+    def connect(self, endpoint: Endpoint) -> Stream: ...
+
+    def listen(self, host: str, port: int,
+               on_accept: AcceptHandler) -> Listener: ...
+
+
+class TransportRegistry:
+    """scheme -> transport instance, used by the ORB to resolve IORs."""
+
+    def __init__(self):
+        self._by_scheme: dict[str, Transport] = {}
+
+    def register(self, transport: Transport) -> None:
+        self._by_scheme[transport.scheme] = transport
+
+    def get(self, scheme: str) -> Transport:
+        try:
+            return self._by_scheme[scheme]
+        except KeyError:
+            known = ", ".join(sorted(self._by_scheme)) or "(none)"
+            raise TransportError(
+                f"no transport registered for scheme {scheme!r} "
+                f"(known: {known})") from None
+
+    def __contains__(self, scheme: str) -> bool:
+        return scheme in self._by_scheme
+
+
+def registry() -> TransportRegistry:
+    """A fresh registry pre-loaded with the built-in transports."""
+    from .loopback import LoopbackTransport
+    from .tcp import TCPTransport
+
+    reg = TransportRegistry()
+    reg.register(LoopbackTransport())
+    reg.register(TCPTransport())
+    return reg

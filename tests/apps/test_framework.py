@@ -1,0 +1,72 @@
+"""Farm framework tests."""
+
+import threading
+import time
+
+import pytest
+
+from repro.apps.framework import Farm, FarmError
+
+
+class TestFarm:
+    def test_results_in_submission_order(self):
+        farm = Farm(workers=["w0", "w1", "w2"],
+                    call=lambda w, item: item * 2)
+        assert farm.process(range(20)) == [i * 2 for i in range(20)]
+
+    def test_single_worker_sequential(self):
+        order = []
+        farm = Farm(workers=["only"],
+                    call=lambda w, item: order.append(item) or item)
+        farm.process([3, 1, 2])
+        assert order == [3, 1, 2]
+
+    def test_no_workers_is_identity(self):
+        farm = Farm(workers=[], call=lambda w, i: None)
+        assert farm.process([1, 2]) == [1, 2]
+
+    def test_work_actually_parallel(self):
+        """Two workers with a sleeping call should halve wall time."""
+        barrier = threading.Barrier(2, timeout=5)
+
+        def call(worker, item):
+            barrier.wait()  # both workers must be in-flight at once
+            return item
+
+        farm = Farm(workers=["a", "b"], call=call)
+        assert farm.process([1, 2]) == [1, 2]
+
+    def test_stats_counts(self):
+        farm = Farm(workers=["a", "b"], call=lambda w, i: i)
+        farm.process(range(10))
+        stats = farm.stats
+        assert stats.items == 10
+        assert sum(stats.per_worker.values()) == 10
+        assert stats.items_per_s > 0
+
+    def test_fail_fast_raises_farm_error(self):
+        def call(worker, item):
+            if item == 3:
+                raise ValueError("boom")
+            return item
+
+        farm = Farm(workers=["a"], call=call)
+        with pytest.raises(FarmError):
+            farm.process(range(6))
+
+    def test_fail_soft_collects_errors(self):
+        def call(worker, item):
+            if item % 2:
+                raise ValueError("odd")
+            return item
+
+        farm = Farm(workers=["a"], call=call, fail_fast=False)
+        results = farm.process(range(4))
+        assert results[0] == 0 and results[2] == 2
+        assert results[1] is None and results[3] is None
+        assert farm.stats.errors == 2
+
+    def test_empty_work(self):
+        farm = Farm(workers=["a"], call=lambda w, i: i)
+        assert farm.process([]) == []
+        assert farm.stats.items == 0

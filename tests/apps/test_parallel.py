@@ -1,0 +1,118 @@
+"""Data-parallel scatter/gather tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.parallel import (ScatterGather, partition_array,
+                                 partition_bytes)
+from repro.core import PAGE_SIZE, ZCOctetSequence
+
+
+class TestPartitioning:
+    def test_bytes_parts_cover_exactly(self):
+        data = bytes(range(256)) * 100
+        parts = partition_bytes(data, 4)
+        assert b"".join(p.tobytes() for p in parts) == data
+
+    def test_parts_are_views_not_copies(self):
+        storage = bytearray(b"x" * 10000)
+        parts = partition_bytes(storage, 3)
+        storage[0:1] = b"Y"
+        assert parts[0][0] == ord("Y")
+
+    def test_page_aligned_cut_points(self):
+        data = bytes(40 * PAGE_SIZE + 123)
+        parts = partition_bytes(data, 4)
+        offset = 0
+        for p in parts[:-1]:
+            offset += p.nbytes
+            assert offset % PAGE_SIZE == 0
+
+    def test_small_payload_no_alignment_forced(self):
+        parts = partition_bytes(b"abcdef", 3)
+        assert b"".join(p.tobytes() for p in parts) == b"abcdef"
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            partition_bytes(b"x", 0)
+
+    def test_array_partition(self):
+        x = np.arange(101)
+        parts = partition_array(x, 4)
+        assert np.array_equal(np.concatenate(parts), x)
+
+    def test_array_must_be_1d(self):
+        with pytest.raises(ValueError):
+            partition_array(np.ones((2, 2)), 2)
+
+    @given(st.integers(0, 100_000), st.integers(1, 16))
+    def test_partition_property(self, n, parts):
+        data = bytes(n)
+        got = partition_bytes(data, parts)
+        assert len(got) == parts
+        assert sum(p.nbytes for p in got) == n
+
+
+class TestScatterGather:
+    def test_gather_in_member_order(self):
+        sg = ScatterGather(members=["a", "b", "c"],
+                           call=lambda m, p: (m, p.nbytes))
+        out = sg.invoke(bytes(3 * PAGE_SIZE))
+        assert [m for m, _ in out] == ["a", "b", "c"]
+        assert sum(n for _, n in out) == 3 * PAGE_SIZE
+
+    def test_combine_function(self):
+        sg = ScatterGather(members=[1, 2, 3, 4],
+                           call=lambda m, p: len(p),
+                           combine=sum)
+        assert sg.invoke(bytes(1000)) == 1000
+
+    def test_numpy_payload(self):
+        sg = ScatterGather(members=["a", "b"],
+                           call=lambda m, p: float(p.sum()),
+                           combine=sum)
+        assert sg.invoke(np.ones(1000)) == 1000.0
+
+    def test_member_error_propagates(self):
+        def call(m, p):
+            raise RuntimeError("member down")
+
+        sg = ScatterGather(members=["a", "b"], call=call)
+        with pytest.raises(RuntimeError, match="member down"):
+            sg.invoke(bytes(100))
+
+    def test_no_members_rejected(self):
+        sg = ScatterGather(members=[], call=lambda m, p: p)
+        with pytest.raises(ValueError):
+            sg.invoke(b"x")
+
+    def test_over_real_orb_members(self, test_api):
+        """A distributed sum: one payload scattered to CORBA objects."""
+        from tests.conftest import make_store_impl
+        from repro.orb import ORB, ORBConfig
+
+        orbs, stubs, impls = [], [], []
+        client = ORB(ORBConfig(scheme="loop", collocated_calls=False))
+        for _ in range(3):
+            orb = ORB(ORBConfig(scheme="loop"))
+            impl = make_store_impl(test_api)
+            stubs.append(client.string_to_object(
+                orb.object_to_string(orb.activate(impl))))
+            orbs.append(orb)
+            impls.append(impl)
+        try:
+            data = bytes(range(256)) * 48  # 12 KiB
+            sg = ScatterGather(
+                members=stubs,
+                call=lambda m, p: m.put(ZCOctetSequence.from_data(p)),
+                combine=sum)
+            total = sg.invoke(data)
+            assert total == len(data)  # each member counted its part
+            received = b"".join(i.last.tobytes() for i in impls)
+            assert received == data
+        finally:
+            client.shutdown()
+            for orb in orbs:
+                orb.shutdown()

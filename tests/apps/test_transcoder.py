@@ -1,0 +1,218 @@
+"""Transcoder substrate tests: frames, codecs, pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.transcoder import (CIF, QCIF, CodecError,
+                                   DistributedTranscoder, FrameSource,
+                                   Mpeg2Stream, Mpeg4Decoder, Mpeg4Encoder,
+                                   Mpeg4Stream, TranscoderWorker,
+                                   VideoFrame, decode_plane, encode_plane,
+                                   estimate_cluster_fps)
+from repro.apps.transcoder.dct import (blockize, forward, inverse,
+                                       unblockize, zigzag_indices)
+
+
+class TestFrames:
+    def test_source_is_deterministic(self):
+        a = FrameSource(176, 144, seed=5).frame(3)
+        b = FrameSource(176, 144, seed=5).frame(3)
+        assert np.array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = FrameSource(176, 144, seed=1).frame(0)
+        b = FrameSource(176, 144, seed=2).frame(0)
+        assert not np.array_equal(a.y, b.y)
+
+    def test_temporal_coherence(self):
+        """Adjacent frames are much closer than distant ones."""
+        src = FrameSource(176, 144)
+        f0, f1, f30 = src.frame(0), src.frame(1), src.frame(30)
+        near = np.mean(np.abs(f0.y.astype(int) - f1.y.astype(int)))
+        far = np.mean(np.abs(f0.y.astype(int) - f30.y.astype(int)))
+        assert near < far / 2
+
+    def test_wire_round_trip(self):
+        frame = FrameSource(176, 144).frame(7)
+        out = VideoFrame.from_bytes(frame.to_bytes())
+        assert out.frame_no == 7
+        assert np.array_equal(out.y, frame.y)
+        assert np.array_equal(out.cb, frame.cb)
+
+    def test_bad_wire_data_rejected(self):
+        with pytest.raises(ValueError):
+            VideoFrame.from_bytes(b"JUNKJUNKJUNK")
+        frame = FrameSource(176, 144).frame(0)
+        with pytest.raises(ValueError, match="truncated"):
+            VideoFrame.from_bytes(frame.to_bytes()[:-10])
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError, match="macroblock"):
+            FrameSource(100, 100)
+        with pytest.raises(ValueError):
+            VideoFrame(0, np.zeros((144, 176), np.uint8),
+                       np.zeros((10, 10), np.uint8),
+                       np.zeros((10, 10), np.uint8))
+
+    def test_psnr_identity_is_inf(self):
+        f = FrameSource(176, 144).frame(0)
+        assert f.psnr(f) == float("inf")
+
+
+class TestDCT:
+    def test_block_round_trip_exact(self):
+        rng = np.random.default_rng(0)
+        plane = rng.integers(0, 256, (64, 48)).astype(np.float64)
+        blocks, shape = blockize(plane)
+        assert unblockize(blocks, shape) == pytest.approx(plane)
+
+    def test_blockize_pads_odd_shapes(self):
+        plane = np.ones((10, 13))
+        blocks, shape = blockize(plane)
+        assert shape == (10, 13)
+        assert blocks.shape == (2 * 2, 8, 8)
+        assert unblockize(blocks, shape).shape == (10, 13)
+
+    def test_quantization_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.uniform(0, 255, (10, 8, 8))
+        out = inverse(forward(blocks, quality=90), quality=90)
+        assert np.max(np.abs(out - blocks)) < 20
+
+    def test_lower_quality_more_zeros(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.uniform(0, 255, (10, 8, 8))
+        hi = np.count_nonzero(forward(blocks, 90))
+        lo = np.count_nonzero(forward(blocks, 10))
+        assert lo < hi
+
+    def test_zigzag_is_permutation(self):
+        z = zigzag_indices()
+        assert sorted(z) == list(range(64))
+        assert list(z[:4]) == [0, 1, 8, 16]  # standard scan start
+
+    def test_plane_codec_round_trip(self):
+        plane = FrameSource(176, 144).frame(0).y
+        out = decode_plane(encode_plane(plane, quality=95))
+        assert out.shape == plane.shape
+        mse = np.mean((out.astype(float) - plane.astype(float)) ** 2)
+        assert mse < 30
+
+    def test_plane_codec_compresses_smooth_content(self):
+        # a uniform plane codes to one DC token per block: 256 blocks
+        # x 6 bytes/token + headers, ~10x smaller than raw
+        plane = np.full((128, 128), 77, np.uint8)
+        coded = encode_plane(plane, quality=50)
+        assert len(coded) < plane.nbytes / 8
+
+    def test_truncated_plane_rejected(self):
+        coded = encode_plane(np.zeros((16, 16), np.uint8), 50)
+        with pytest.raises(CodecError):
+            decode_plane(coded[:8])
+
+    def test_quality_range_checked(self):
+        with pytest.raises(ValueError):
+            encode_plane(np.zeros((8, 8), np.uint8), 0)
+        with pytest.raises(ValueError):
+            encode_plane(np.zeros((8, 8), np.uint8), 101)
+
+
+class TestMpeg2:
+    def test_stream_round_trip(self):
+        frames = list(FrameSource(176, 144).frames(4))
+        stream = Mpeg2Stream.from_frames(frames)
+        out = Mpeg2Stream.from_bytes(stream.to_bytes())
+        decoded = out.decode()
+        assert len(decoded) == 4
+        assert frames[2].psnr(decoded[2]) > 35
+
+    def test_corrupt_stream_rejected(self):
+        with pytest.raises(CodecError):
+            Mpeg2Stream.from_bytes(b"NOPE" + bytes(20))
+
+
+class TestMpeg4:
+    def test_p_frames_smaller_than_i(self):
+        frames = list(FrameSource(176, 144, noise=0.5).frames(6))
+        enc = Mpeg4Encoder(gop=6)
+        coded = [enc.encode(f) for f in frames]
+        i_size = len(coded[0])
+        p_sizes = [len(c) for c in coded[1:]]
+        assert max(p_sizes) < i_size  # prediction pays off
+
+    def test_decoder_tracks_reference(self):
+        frames = list(FrameSource(176, 144).frames(8))
+        stream = Mpeg4Stream.from_frames(frames, gop=4)
+        decoded = stream.decode()
+        for orig, out in zip(frames, decoded):
+            assert orig.psnr(out) > 28
+
+    def test_p_frame_without_reference_rejected(self):
+        frames = list(FrameSource(176, 144).frames(2))
+        enc = Mpeg4Encoder(gop=8)
+        enc.encode(frames[0])
+        p_frame = enc.encode(frames[1])
+        dec = Mpeg4Decoder()
+        with pytest.raises(CodecError, match="P-frame"):
+            dec.decode(p_frame)
+
+    def test_gop_restarts_intra(self):
+        frames = list(FrameSource(176, 144).frames(5))
+        enc = Mpeg4Encoder(gop=2)
+        sizes = [len(enc.encode(f)) for f in frames]
+        # pattern I P I P I: the I frames are the big ones
+        assert sizes[0] > sizes[1] and sizes[2] > sizes[1]
+
+    def test_mpeg4_smaller_than_mpeg2(self):
+        frames = list(FrameSource(176, 144, noise=1.0).frames(12))
+        mp2 = Mpeg2Stream.from_frames(frames)
+        mp4 = Mpeg4Stream.from_frames(frames)
+        assert mp4.nbytes < mp2.nbytes
+
+    def test_stream_container_round_trip(self):
+        frames = list(FrameSource(176, 144).frames(3))
+        stream = Mpeg4Stream.from_frames(frames, gop=3)
+        out = Mpeg4Stream.from_bytes(stream.to_bytes())
+        assert out.gop == 3
+        assert len(out.pictures) == 3
+
+
+class TestPipeline:
+    def test_local_farm_transcode(self):
+        """Workers invoked collocated (no wire) still produce valid
+        output — the framework is transport-agnostic."""
+        from repro.orb import ORB, ORBConfig
+        orb = ORB(ORBConfig(scheme="loop"))
+        try:
+            stub = orb.activate(TranscoderWorker())
+            frames = list(FrameSource(176, 144).frames(6))
+            mp2 = Mpeg2Stream.from_frames(frames)
+            t = DistributedTranscoder([stub], gop=3)
+            mp4 = t.transcode(mp2)
+            assert len(mp4.pictures) == 6
+            assert frames[4].psnr(mp4.decode()[4]) > 28
+            assert t.last_report.compression_gain > 1.0
+        finally:
+            orb.shutdown()
+
+    def test_chunking_respects_gop(self):
+        frames = list(FrameSource(176, 144).frames(7))
+        mp2 = Mpeg2Stream.from_frames(frames)
+        t = DistributedTranscoder([], gop=3)
+        chunks = t.chunks_of(mp2)
+        assert len(chunks) == 3  # 3 + 3 + 1
+        assert len(Mpeg2Stream.from_bytes(chunks[-1]).pictures) == 1
+
+    def test_estimate_monotone_in_workers(self):
+        from repro.simnet import PENTIUM_II_400, zero_copy_stack
+        fps = [estimate_cluster_fps(100_000, 10**8, w, True,
+                                    zero_copy_stack(),
+                                    PENTIUM_II_400).fps
+               for w in (1, 2, 4)]
+        assert fps == sorted(fps)
+
+    def test_invalid_gop(self):
+        with pytest.raises(ValueError):
+            DistributedTranscoder([], gop=0)

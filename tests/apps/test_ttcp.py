@@ -1,0 +1,79 @@
+"""TTCP benchmark tool tests (both modes)."""
+
+import pytest
+
+from repro.apps.ttcp import (TTCPSeries, default_sizes, format_table,
+                             run_real_ttcp, run_sim_ttcp)
+
+SIZES = [4096, 65536, 1 << 20]
+
+
+class TestDefaultSizes:
+    def test_paper_sweep(self):
+        sizes = default_sizes()
+        assert sizes[0] == 4 * 1024
+        assert sizes[-1] == 16 * 1024 * 1024
+        for a, b in zip(sizes, sizes[1:]):
+            assert b == 2 * a
+
+    def test_custom_bounds(self):
+        assert default_sizes(lo=1024, hi=4096) == [1024, 2048, 4096]
+
+
+class TestSimMode:
+    def test_raw_series(self):
+        s = run_sim_ttcp("raw", stack="standard", sizes=SIZES)
+        assert [p.size for p in s.points] == SIZES
+        assert s.label == "raw/standard"
+        assert s.saturation_mbit > 300
+
+    def test_zc_raw_alias(self):
+        s = run_sim_ttcp("zc-raw", sizes=SIZES)
+        assert s.label == "raw/zero-copy"
+
+    def test_corba_versions_ordered(self):
+        std = run_sim_ttcp("corba", sizes=SIZES)
+        zc = run_sim_ttcp("zc-corba", sizes=SIZES)
+        for p_std, p_zc in zip(std.points, zc.points):
+            assert p_zc.mbit_per_s > p_std.mbit_per_s
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="unknown TTCP version"):
+            run_sim_ttcp("bogus", sizes=SIZES)
+
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(ValueError, match="unknown stack"):
+            run_sim_ttcp("raw", stack="quantum", sizes=SIZES)
+
+    def test_series_at_lookup(self):
+        s = run_sim_ttcp("raw", sizes=SIZES)
+        assert s.at(65536).size == 65536
+        with pytest.raises(KeyError):
+            s.at(1)
+
+
+class TestRealMode:
+    def test_real_corba_round_trip(self):
+        s = run_real_ttcp("corba", sizes=[4096, 65536], scheme="loop",
+                          repeats=1)
+        assert len(s.points) == 2
+        assert all(p.mbit_per_s > 0 for p in s.points)
+
+    def test_real_zc_corba(self):
+        s = run_real_ttcp("zc-corba", sizes=[65536], scheme="loop",
+                          repeats=1)
+        assert s.points[0].elapsed_ns > 0
+
+    def test_real_raw_unsupported(self):
+        with pytest.raises(ValueError, match="real mode supports"):
+            run_real_ttcp("raw", sizes=[4096])
+
+
+class TestFormatting:
+    def test_table_contains_all_series(self):
+        a = run_sim_ttcp("raw", sizes=SIZES)
+        b = run_sim_ttcp("corba", sizes=SIZES)
+        table = format_table([a, b])
+        assert "raw/standard" in table
+        assert "corba/standard" in table
+        assert table.count("\n") == len(SIZES) + 1

@@ -1,0 +1,146 @@
+"""``any`` and TypeCode-marshaling tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdr import (Any, CDRDecoder, CDREncoder, CDRError, MarshalError,
+                       TC_ANY, decode_typecode, encode_typecode,
+                       get_marshaller)
+from repro.cdr.typecode import (TC_BOOLEAN, TC_DOUBLE, TC_LONG, TC_OCTET,
+                                TC_STRING, TCKind, TypeCode, array_tc,
+                                enum_tc, exception_tc, objref_tc,
+                                sequence_tc, string_tc, struct_tc,
+                                union_tc, zc_octet_sequence_tc,
+                                zc_sequence_tc)
+
+
+def tc_round_trip(tc, little=True):
+    enc = CDREncoder(little_endian=little)
+    encode_typecode(enc, tc)
+    return decode_typecode(CDRDecoder(enc.getvalue(),
+                                      little_endian=little))
+
+
+class TestTypeCodeMarshaling:
+    @pytest.mark.parametrize("tc", [
+        TC_LONG, TC_OCTET, TC_BOOLEAN, TC_DOUBLE, TC_ANY,
+        string_tc(), string_tc(32),
+        sequence_tc(TC_LONG), sequence_tc(TC_STRING, 8),
+        sequence_tc(sequence_tc(TC_DOUBLE)),
+        array_tc(TC_LONG, 4), array_tc(array_tc(TC_OCTET, 2), 3),
+        zc_octet_sequence_tc(), zc_sequence_tc(TC_DOUBLE),
+        objref_tc("IDL:X:1.0", "X"),
+        struct_tc("P", [("x", TC_DOUBLE), ("y", TC_LONG)],
+                  repo_id="IDL:P:1.0"),
+        struct_tc("Nest", [("inner", struct_tc(
+            "Q", [("a", TC_LONG)], repo_id="IDL:Q:1.0"))],
+            repo_id="IDL:Nest:1.0"),
+        enum_tc("E", ["a", "b", "c"], repo_id="IDL:E:1.0"),
+        exception_tc("Oops", [("why", TC_STRING)], repo_id="IDL:Oops:1.0"),
+        union_tc("U", TC_LONG, [(1, "i", TC_LONG), (None, "s", TC_STRING)],
+                 repo_id="IDL:U:1.0"),
+    ])
+    def test_round_trip(self, tc):
+        assert tc_round_trip(tc, True) == tc
+        assert tc_round_trip(tc, False) == tc
+
+    def test_unknown_kind_rejected(self):
+        enc = CDREncoder()
+        enc.put_ulong(9999)
+        with pytest.raises(CDRError, match="unknown TypeCode kind"):
+            decode_typecode(CDRDecoder(enc.getvalue()))
+
+
+# recursive strategy: random (nested) TypeCodes
+_leaf = st.sampled_from([TC_LONG, TC_DOUBLE, TC_OCTET, TC_BOOLEAN,
+                         string_tc(), TC_STRING])
+_ids = st.integers(0, 10**6)
+
+
+def _compound(children):
+    return st.one_of(
+        st.tuples(children, st.integers(0, 16)).map(
+            lambda t: sequence_tc(*t)),
+        st.tuples(children, st.integers(1, 8)).map(
+            lambda t: array_tc(*t)),
+        st.tuples(_ids, st.lists(st.tuples(
+            st.sampled_from(["a", "b", "c"]), children),
+            min_size=1, max_size=3, unique_by=lambda kv: kv[0])).map(
+            lambda t: struct_tc(f"S{t[0]}",
+                                t[1], repo_id=f"IDL:S{t[0]}:1.0")),
+    )
+
+
+_typecodes = st.recursive(_leaf, _compound, max_leaves=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_typecodes, st.booleans())
+def test_typecode_round_trip_property(tc, little):
+    assert tc_round_trip(tc, little) == tc
+
+
+class TestAnyValues:
+    def _rt(self, any_value):
+        m = get_marshaller(TC_ANY)
+        enc = CDREncoder()
+        m.marshal(enc, any_value)
+        return m.demarshal(CDRDecoder(enc.getvalue()))
+
+    def test_primitive_any(self):
+        out = self._rt(Any(TC_LONG, -77))
+        assert out.tc == TC_LONG
+        assert out.value == -77
+
+    def test_string_any(self):
+        assert self._rt(Any(TC_STRING, "boxed")).value == "boxed"
+
+    def test_sequence_any(self):
+        out = self._rt(Any(sequence_tc(TC_DOUBLE), [1.0, 2.5]))
+        assert out.value == [1.0, 2.5]
+
+    def test_struct_any_reconstructs(self):
+        tc = struct_tc("AP", [("x", TC_LONG)], repo_id="IDL:AP_any:1.0")
+        out = self._rt(Any(tc, {"x": 9}))
+        assert out.value.x == 9
+
+    def test_zc_sequence_inside_any_goes_inline(self):
+        """Self-contained encoding: no deposit even with a registry."""
+        from repro.cdr import MarshalContext
+        from repro.core import DepositRegistry, ZCOctetSequence
+        m = get_marshaller(TC_ANY)
+        reg = DepositRegistry()
+        ctx = MarshalContext(registry=reg)
+        enc = CDREncoder()
+        m.marshal(enc, Any(zc_octet_sequence_tc(),
+                           ZCOctetSequence.from_data(b"inline!")), ctx)
+        assert len(reg) == 0  # nothing registered: inline
+        out = m.demarshal(CDRDecoder(enc.getvalue()))
+        assert out.value.tobytes() == b"inline!"
+
+    def test_non_any_value_rejected(self):
+        with pytest.raises(MarshalError, match="cdr.Any"):
+            self._rt("bare string")
+
+    def test_any_through_orb(self, test_api):
+        from repro.idl import compile_idl
+        from repro.orb import ORB, ORBConfig
+        api = compile_idl(
+            "interface Box2 { any bounce(in any v); };",
+            module_name="_test_any_orb")
+
+        class Impl(api.Box2_skel):
+            def bounce(self, v):
+                return v
+
+        server = ORB(ORBConfig(scheme="loop"))
+        client = ORB(ORBConfig(scheme="loop", collocated_calls=False))
+        try:
+            stub = client.string_to_object(
+                server.object_to_string(server.activate(Impl())))
+            out = stub.bounce(Any(sequence_tc(TC_LONG), [5, 6]))
+            assert out.value == [5, 6]
+        finally:
+            client.shutdown()
+            server.shutdown()

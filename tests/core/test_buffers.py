@@ -1,0 +1,162 @@
+"""Unit and property tests for page-aligned buffers and the pool."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (PAGE_SIZE, BufferError, BufferPool, ZCBuffer,
+                        default_pool)
+from repro.core.buffers import _size_class
+
+
+class TestZCBuffer:
+    def test_true_page_alignment(self):
+        for cap in (1, 100, PAGE_SIZE, PAGE_SIZE * 3 + 17):
+            buf = ZCBuffer(cap)
+            assert buf.address % PAGE_SIZE == 0
+            assert buf.is_page_aligned
+
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            ZCBuffer(0)
+        with pytest.raises(ValueError):
+            ZCBuffer(-5)
+
+    def test_fill_and_read_back(self):
+        buf = ZCBuffer(8192)
+        buf.fill_from(b"hello world")
+        assert buf.length == 11
+        assert buf.tobytes() == b"hello world"
+
+    def test_fill_overflow_rejected(self):
+        buf = ZCBuffer(10)
+        with pytest.raises(ValueError):
+            buf.fill_from(b"x" * 11)
+
+    def test_view_is_writable_and_shared(self):
+        buf = ZCBuffer(100)
+        buf.set_length(4)
+        view = buf.view()
+        view[:] = b"abcd"
+        assert buf.tobytes() == b"abcd"
+        # a second view aliases the same storage
+        buf.view()[0:1] = b"Z"
+        assert view[0] == ord("Z")
+
+    def test_set_length_bounds(self):
+        buf = ZCBuffer(100)
+        buf.set_length(0)
+        buf.set_length(100)
+        with pytest.raises(ValueError):
+            buf.set_length(101)
+        with pytest.raises(ValueError):
+            buf.set_length(-1)
+
+    def test_use_after_release_rejected(self):
+        buf = ZCBuffer(100)
+        buf.release()
+        assert buf.released
+        with pytest.raises(BufferError):
+            buf.view()
+        with pytest.raises(BufferError):
+            buf.fill_from(b"x")
+        with pytest.raises(BufferError):
+            buf.release()
+
+    def test_len_tracks_length(self):
+        buf = ZCBuffer(50)
+        buf.set_length(7)
+        assert len(buf) == 7
+
+
+class TestSizeClass:
+    def test_rounds_to_power_of_two_pages(self):
+        assert _size_class(1) == PAGE_SIZE
+        assert _size_class(PAGE_SIZE) == PAGE_SIZE
+        assert _size_class(PAGE_SIZE + 1) == 2 * PAGE_SIZE
+        assert _size_class(3 * PAGE_SIZE) == 4 * PAGE_SIZE
+        assert _size_class(4 * PAGE_SIZE) == 4 * PAGE_SIZE
+
+    @given(st.integers(min_value=1, max_value=1 << 26))
+    def test_size_class_covers_request(self, n):
+        cls = _size_class(n)
+        assert cls >= n
+        assert cls % PAGE_SIZE == 0
+        pages = cls // PAGE_SIZE
+        assert pages & (pages - 1) == 0  # power of two
+
+
+class TestBufferPool:
+    def test_acquire_release_reuses_storage(self):
+        pool = BufferPool()
+        a = pool.acquire(5000)
+        a.release()
+        b = pool.acquire(6000)  # same size class (2 pages)
+        assert b is a
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_different_class_not_reused(self):
+        pool = BufferPool()
+        a = pool.acquire(PAGE_SIZE)
+        a.release()
+        b = pool.acquire(PAGE_SIZE * 3)
+        assert b is not a
+
+    def test_acquire_sets_requested_length(self):
+        pool = BufferPool()
+        buf = pool.acquire(1234)
+        assert buf.length == 1234
+        assert buf.capacity >= 1234
+
+    def test_acquire_rejects_nonpositive(self):
+        pool = BufferPool()
+        with pytest.raises(ValueError):
+            pool.acquire(0)
+
+    def test_cache_limit_drops_excess(self):
+        pool = BufferPool(max_cached_bytes=PAGE_SIZE)
+        a = pool.acquire(PAGE_SIZE)
+        b = pool.acquire(PAGE_SIZE)
+        a.release()
+        b.release()
+        assert pool.cached_count == 1  # second buffer dropped
+
+    def test_clear(self):
+        pool = BufferPool()
+        pool.acquire(100).release()
+        assert pool.cached_count == 1
+        pool.clear()
+        assert pool.cached_count == 0
+
+    def test_revived_buffer_is_live_and_aligned(self):
+        pool = BufferPool()
+        a = pool.acquire(100)
+        a.release()
+        b = pool.acquire(50)
+        assert not b.released
+        assert b.is_page_aligned
+        b.view()[:] = b"y" * 50
+
+    def test_default_pool_is_singleton(self):
+        assert default_pool() is default_pool()
+
+    @given(st.lists(st.integers(min_value=1, max_value=1 << 16),
+                    min_size=1, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_pool_invariants_under_random_traffic(self, sizes):
+        """Property: whatever the acquire/release order, buffers stay
+        aligned, sized correctly, and no storage is handed out twice."""
+        pool = BufferPool()
+        live = []
+        for i, size in enumerate(sizes):
+            buf = pool.acquire(size)
+            assert buf.length == size
+            assert buf.address % PAGE_SIZE == 0
+            assert all(buf is not other for other in live)
+            live.append(buf)
+            if i % 3 == 2:
+                live.pop(0).release()
+        for buf in live:
+            buf.release()
+        assert pool.hits + pool.misses == len(sizes)

@@ -1,0 +1,92 @@
+"""IOR / IIOP-profile tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.giop import IIOPProfile, IOR, IORError, TAG_INTERNET_IOP
+
+
+class TestIIOPProfile:
+    def test_round_trip(self):
+        p = IIOPProfile(host="node7", port=2809, object_key=b"POA1/0003")
+        out = IIOPProfile.decode(p.encode())
+        assert out == p
+
+    def test_scheme_encoding_in_host(self):
+        p = IIOPProfile(host="loop!orb3", port=9001, object_key=b"k")
+        assert p.scheme == "loop"
+        assert p.bare_host == "orb3"
+        assert p.endpoint == ("loop", "orb3", 9001)
+
+    def test_plain_host_is_tcp(self):
+        p = IIOPProfile(host="192.168.1.5", port=1234, object_key=b"k")
+        assert p.scheme == "tcp"
+        assert p.endpoint == ("tcp", "192.168.1.5", 1234)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(IORError):
+            IIOPProfile.decode(b"")
+
+
+class TestIOR:
+    def _ior(self):
+        return IOR.for_object(
+            "IDL:Demo/Sink:1.0",
+            IIOPProfile(host="h", port=99, object_key=b"key42"))
+
+    def test_stringified_round_trip(self):
+        ior = self._ior()
+        s = ior.to_string()
+        assert s.startswith("IOR:")
+        out = IOR.from_string(s)
+        assert out.type_id == ior.type_id
+        assert out.iiop_profile() == ior.iiop_profile()
+
+    def test_binary_round_trip_big_endian(self):
+        ior = self._ior()
+        out = IOR.decode(ior.encode(), little_endian=True)
+        assert out.iiop_profile().object_key == b"key42"
+
+    def test_corbaloc_parsing(self):
+        ior = IOR.from_string("corbaloc::myhost:2809/Service")
+        p = ior.iiop_profile()
+        assert p.host == "myhost"
+        assert p.port == 2809
+        assert p.object_key == b"Service"
+
+    def test_corbaloc_with_scheme(self):
+        ior = IOR.from_string("corbaloc::loop!orb1:9000/POA1/0001")
+        assert ior.iiop_profile().endpoint == ("loop", "orb1", 9000)
+        assert ior.iiop_profile().object_key == b"POA1/0001"
+
+    def test_bad_strings_rejected(self):
+        for bad in ("NOPE:123", "IOR:zz", "corbaloc::nohost/",
+                    "corbaloc::h/key", "corbaloc:rir:/x"):
+            with pytest.raises(IORError):
+                IOR.from_string(bad)
+
+    def test_missing_iiop_profile(self):
+        ior = IOR(type_id="IDL:X:1.0", profiles=((99, b"opaque"),))
+        with pytest.raises(IORError, match="no IIOP profile"):
+            ior.iiop_profile()
+
+    def test_foreign_profiles_preserved(self):
+        prof = IIOPProfile(host="h", port=1, object_key=b"k")
+        ior = IOR(type_id="IDL:X:1.0",
+                  profiles=((77, b"vendor"),
+                            (TAG_INTERNET_IOP, prof.encode())))
+        out = IOR.from_string(ior.to_string())
+        assert out.profiles[0] == (77, b"vendor")
+        assert out.iiop_profile() == prof
+
+    @given(st.text(alphabet=st.characters(codec="ascii",
+                                          exclude_characters="\x00!:/"),
+                   min_size=1, max_size=20),
+           st.integers(1, 65535), st.binary(min_size=1, max_size=64))
+    def test_round_trip_property(self, host, port, key):
+        ior = IOR.for_object("IDL:T:1.0",
+                             IIOPProfile(host=host, port=port,
+                                         object_key=key))
+        out = IOR.from_string(ior.to_string())
+        assert out.iiop_profile() == ior.iiop_profile()

@@ -1,0 +1,166 @@
+"""GIOP message format tests, including deposit service contexts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cdr import CDRDecoder, CDREncoder
+from repro.core import DepositDescriptor
+from repro.giop import (GIOP_HEADER_SIZE, CancelRequestHeader, GIOPError,
+                        GIOPHeader, LocateReplyHeader, LocateRequestHeader,
+                        LocateStatus, MsgType, ReplyHeader, ReplyStatus,
+                        RequestHeader, ServiceContext, decode_body,
+                        decode_header, encode_message)
+
+
+class TestGIOPHeader:
+    def test_fixed_size_and_magic(self):
+        h = GIOPHeader(msg_type=MsgType.Request, size=100)
+        raw = h.encode()
+        assert len(raw) == GIOP_HEADER_SIZE
+        assert raw[:4] == b"GIOP"
+
+    def test_round_trip_both_orders(self):
+        for little in (True, False):
+            h = GIOPHeader(msg_type=MsgType.Reply, size=12345,
+                           little_endian=little)
+            out = GIOPHeader.decode(h.encode())
+            assert out.msg_type is MsgType.Reply
+            assert out.size == 12345
+            assert out.little_endian is little
+
+    def test_fragment_flag(self):
+        h = GIOPHeader(msg_type=MsgType.Request, size=0,
+                       more_fragments=True)
+        assert GIOPHeader.decode(h.encode()).more_fragments
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(GIOPError, match="magic"):
+            GIOPHeader.decode(b"JUNK" + bytes(8))
+
+    def test_bad_version_rejected(self):
+        raw = bytearray(GIOPHeader(msg_type=MsgType.Request, size=0).encode())
+        raw[4] = 9
+        with pytest.raises(GIOPError, match="version"):
+            GIOPHeader.decode(bytes(raw))
+
+    def test_unknown_type_rejected(self):
+        raw = bytearray(GIOPHeader(msg_type=MsgType.Request, size=0).encode())
+        raw[7] = 200
+        with pytest.raises(GIOPError, match="message type"):
+            GIOPHeader.decode(bytes(raw))
+
+    def test_short_header_rejected(self):
+        with pytest.raises(GIOPError, match="short"):
+            GIOPHeader.decode(b"GIOP")
+
+
+def _round_trip_body(header_obj):
+    msg = encode_message(header_obj)
+    h = decode_header(msg[:GIOP_HEADER_SIZE])
+    return decode_body(h, msg[GIOP_HEADER_SIZE:]).body_header
+
+
+class TestBodyHeaders:
+    def test_request_header_round_trip(self):
+        req = RequestHeader(request_id=42, object_key=b"POA1/0001",
+                            operation="do_it", response_expected=True,
+                            principal=b"me")
+        out = _round_trip_body(req)
+        assert out.request_id == 42
+        assert out.object_key == b"POA1/0001"
+        assert out.operation == "do_it"
+        assert out.response_expected
+        assert out.principal == b"me"
+
+    def test_oneway_request(self):
+        req = RequestHeader(request_id=1, object_key=b"k",
+                            operation="fire", response_expected=False)
+        assert not _round_trip_body(req).response_expected
+
+    def test_reply_header_statuses(self):
+        for status in ReplyStatus:
+            out = _round_trip_body(ReplyHeader(request_id=9,
+                                               reply_status=status))
+            assert out.reply_status is status
+
+    def test_cancel_request(self):
+        assert _round_trip_body(CancelRequestHeader(request_id=5)
+                                ).request_id == 5
+
+    def test_locate_request_reply(self):
+        out = _round_trip_body(LocateRequestHeader(request_id=2,
+                                                   object_key=b"xyz"))
+        assert out.object_key == b"xyz"
+        for status in LocateStatus:
+            out = _round_trip_body(LocateReplyHeader(request_id=3,
+                                                     locate_status=status))
+            assert out.locate_status is status
+
+    def test_close_connection_has_no_body(self):
+        msg = encode_message(MsgType.CloseConnection)
+        h = decode_header(msg[:GIOP_HEADER_SIZE])
+        assert h.size == 0
+        assert decode_body(h, b"").body_header is None
+
+
+class TestServiceContexts:
+    def test_deposit_descriptor_rides_service_context(self):
+        desc = DepositDescriptor(deposit_id=3, size=65536)
+        req = RequestHeader(
+            request_id=1, object_key=b"k", operation="put",
+            service_contexts=[ServiceContext.for_deposit(desc)])
+        out = _round_trip_body(req)
+        assert out.deposit_descriptors() == [desc]
+
+    def test_foreign_contexts_ignored_by_deposit_scan(self):
+        req = RequestHeader(
+            request_id=1, object_key=b"k", operation="op",
+            service_contexts=[ServiceContext(context_id=1, data=b"codeset"),
+                              ServiceContext.for_deposit(
+                                  DepositDescriptor(1, 10))])
+        out = _round_trip_body(req)
+        assert len(out.service_contexts) == 2
+        assert len(out.deposit_descriptors()) == 1
+
+    def test_multiple_deposits_preserve_order(self):
+        descs = [DepositDescriptor(i, i * 100) for i in (5, 2, 9)]
+        req = RequestHeader(
+            request_id=1, object_key=b"k", operation="op",
+            service_contexts=[ServiceContext.for_deposit(d)
+                              for d in descs])
+        assert _round_trip_body(req).deposit_descriptors() == descs
+
+
+class TestWholeMessages:
+    def test_params_follow_header_8_aligned(self):
+        req = RequestHeader(request_id=1, object_key=b"key", operation="f")
+        params = b"PARAMDATA"
+        msg = encode_message(req, params=params)
+        h = decode_header(msg[:GIOP_HEADER_SIZE])
+        assert h.size == len(msg) - GIOP_HEADER_SIZE
+        assert msg.endswith(params)
+        body_len = h.size - len(params)
+        assert body_len % 8 == 0  # 1.2-style body alignment
+
+    def test_truncated_body_rejected(self):
+        req = RequestHeader(request_id=1, object_key=b"key", operation="f")
+        msg = encode_message(req)
+        h = decode_header(msg[:GIOP_HEADER_SIZE])
+        with pytest.raises(GIOPError, match="truncated"):
+            decode_body(h, msg[GIOP_HEADER_SIZE:-2])
+
+    @given(st.integers(0, 2**32 - 1), st.binary(min_size=1, max_size=64),
+           st.text(alphabet=st.characters(codec="ascii",
+                                          exclude_characters="\x00"),
+                   min_size=1, max_size=32),
+           st.booleans(), st.booleans())
+    def test_request_round_trip_property(self, req_id, key, op, expected,
+                                         little):
+        req = RequestHeader(request_id=req_id, object_key=key,
+                            operation=op, response_expected=expected)
+        msg = encode_message(req, little_endian=little)
+        h = decode_header(msg[:GIOP_HEADER_SIZE])
+        out = decode_body(h, msg[GIOP_HEADER_SIZE:]).body_header
+        assert (out.request_id, out.object_key, out.operation,
+                out.response_expected) == (req_id, key, op, expected)

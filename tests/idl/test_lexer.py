@@ -1,0 +1,105 @@
+"""IDL lexer tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.idl import LexError, TokenKind, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_keywords_vs_identifiers(self):
+        toks = kinds("interface Foo")
+        assert toks == [(TokenKind.KEYWORD, "interface"),
+                        (TokenKind.IDENT, "Foo")]
+
+    def test_zc_octet_both_spellings_are_keywords(self):
+        assert kinds("zc_octet")[0][0] is TokenKind.KEYWORD
+        assert kinds("ZC_Octet")[0][0] is TokenKind.KEYWORD
+
+    def test_scoped_name_punct(self):
+        toks = kinds("A::B")
+        assert toks == [(TokenKind.IDENT, "A"), (TokenKind.PUNCT, "::"),
+                        (TokenKind.IDENT, "B")]
+
+    def test_single_colon_distinct_from_double(self):
+        assert kinds(":")[0] == (TokenKind.PUNCT, ":")
+        assert kinds("::")[0] == (TokenKind.PUNCT, "::")
+
+
+class TestLiterals:
+    def test_int_forms(self):
+        toks = tokenize("10 0x1F 0")
+        assert [t.value for t in toks[:-1]] == [10, 31, 0]
+
+    def test_float_forms(self):
+        toks = tokenize("1.5 2e3 0.25 1.5e-2")
+        assert [t.value for t in toks[:-1]] == [1.5, 2000.0, 0.25, 0.015]
+
+    def test_string_literal(self):
+        (tok,) = tokenize('"hi there"')[:-1]
+        assert tok.kind is TokenKind.STRING
+        assert tok.value == "hi there"
+
+    def test_string_escapes(self):
+        (tok,) = tokenize(r'"a\nb\"c"')[:-1]
+        assert tok.value == 'a\nb"c'
+
+    def test_char_literal(self):
+        (tok,) = tokenize("'x'")[:-1]
+        assert tok.kind is TokenKind.CHAR
+        assert tok.value == "x"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize('"oops')
+
+
+class TestCommentsAndPosition:
+    def test_line_comments_skipped(self):
+        assert kinds("a // comment\nb") == [(TokenKind.IDENT, "a"),
+                                            (TokenKind.IDENT, "b")]
+
+    def test_block_comments_skipped(self):
+        assert kinds("a /* multi\nline */ b") == [(TokenKind.IDENT, "a"),
+                                                  (TokenKind.IDENT, "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_preprocessor_lines_skipped(self):
+        assert kinds('#include "x.idl"\nmodule') == [(TokenKind.KEYWORD,
+                                                      "module")]
+
+    def test_positions_tracked(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_position_after_block_comment(self):
+        toks = tokenize("/* x\ny */ z")
+        assert toks[0].line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected"):
+            tokenize("a $ b")
+
+
+@given(st.lists(st.sampled_from(
+    ["interface", "octet", "Foo", "x1", "42", "0x10", "1.5",
+     '"s"', "{", "}", "::", ";", "<", ">", ","]), max_size=30))
+def test_token_stream_never_crashes_and_ends_with_eof(parts):
+    src = " ".join(parts)
+    toks = tokenize(src)
+    assert toks[-1].kind is TokenKind.EOF
+    assert len(toks) == len(parts) + 1

@@ -1,0 +1,245 @@
+"""IDL parser tests: grammar coverage and semantic checks."""
+
+import pytest
+
+from repro.cdr.typecode import TCKind
+from repro.idl import ParseError, parse
+from repro.idl.ast import (ConstDecl, EnumDecl, ExceptionDecl,
+                           InterfaceDecl, ModuleDecl, StructDecl,
+                           TypedefDecl)
+from repro.orb.signatures import ParamMode
+
+
+def one(src, **kw):
+    spec = parse(src, **kw)
+    assert len(spec.declarations) == 1
+    return spec.declarations[0]
+
+
+class TestTypes:
+    def test_basic_types(self):
+        decl = one("""interface T {
+            void f(in octet a, in boolean b, in char c, in short d,
+                   in long e, in float g, in double h);
+        };""")
+        kinds = [p.tc.kind for p in decl.operations[0].signature.params]
+        assert kinds == [TCKind.tk_octet, TCKind.tk_boolean, TCKind.tk_char,
+                         TCKind.tk_short, TCKind.tk_long, TCKind.tk_float,
+                         TCKind.tk_double]
+
+    def test_unsigned_and_long_long(self):
+        decl = one("""interface T {
+            void f(in unsigned short a, in unsigned long b,
+                   in unsigned long long c, in long long d);
+        };""")
+        kinds = [p.tc.kind for p in decl.operations[0].signature.params]
+        assert kinds == [TCKind.tk_ushort, TCKind.tk_ulong,
+                         TCKind.tk_ulonglong, TCKind.tk_longlong]
+
+    def test_string_bounded(self):
+        decl = one("interface T { void f(in string<16> s); };")
+        tc = decl.operations[0].signature.params[0].tc
+        assert tc.kind is TCKind.tk_string and tc.length == 16
+
+    def test_sequence_types(self):
+        decl = one("""interface T {
+            void f(in sequence<long> a, in sequence<octet, 64> b);
+        };""")
+        a, b = [p.tc for p in decl.operations[0].signature.params]
+        assert a.kind is TCKind.tk_sequence
+        assert a.content.kind is TCKind.tk_long
+        assert b.length == 64
+
+    def test_zc_octet_sequence(self):
+        decl = one("interface T { void f(in sequence<zc_octet> d); };")
+        tc = decl.operations[0].signature.params[0].tc
+        assert tc.kind is TCKind.tk_zc_sequence
+
+    def test_zc_octet_spelling_variant(self):
+        decl = one("interface T { void f(in sequence<ZC_Octet> d); };")
+        assert decl.operations[0].signature.params[0].tc.is_zero_copy
+
+    def test_zc_octet_outside_sequence_rejected(self):
+        with pytest.raises(ParseError, match="zc_octet"):
+            parse("interface T { void f(in zc_octet d); };")
+
+    def test_promote_octet_sequences_flag(self):
+        """The paper's compiler switch (§4.3)."""
+        src = "interface T { void f(in sequence<octet> d); };"
+        plain = one(src)
+        promoted = one(src, promote_octet_sequences=True)
+        assert plain.operations[0].signature.params[0].tc.kind \
+            is TCKind.tk_sequence
+        assert promoted.operations[0].signature.params[0].tc.kind \
+            is TCKind.tk_zc_sequence
+
+    def test_interface_as_type_is_objref(self):
+        spec = parse("""
+        interface Peer {};
+        interface User { void set(in Peer p); };
+        """)
+        tc = spec.declarations[1].operations[0].signature.params[0].tc
+        assert tc.kind is TCKind.tk_objref
+        assert tc.repo_id == "IDL:Peer:1.0"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParseError, match="unknown type"):
+            parse("interface T { void f(in Mystery m); };")
+
+
+class TestDeclarations:
+    def test_module_scoping_and_repo_ids(self):
+        spec = parse("""
+        module A { module B {
+            struct S { long x; };
+        }; };
+        """)
+        mod = spec.declarations[0]
+        assert isinstance(mod, ModuleDecl)
+        struct = mod.body[0].body[0]
+        assert struct.scoped == "A::B::S"
+        assert struct.repo_id == "IDL:A/B/S:1.0"
+        assert struct.py_name == "A_B_S"
+
+    def test_struct_members(self):
+        decl = one("struct P { double x; double y; long tag; };")
+        assert isinstance(decl, StructDecl)
+        assert [n for n, _ in decl.members] == ["x", "y", "tag"]
+
+    def test_struct_multi_declarator(self):
+        decl = one("struct P { long a, b; };")
+        assert [n for n, _ in decl.members] == ["a", "b"]
+
+    def test_struct_duplicate_member_rejected(self):
+        with pytest.raises(ParseError, match="duplicate member"):
+            parse("struct P { long a; long a; };")
+
+    def test_enum(self):
+        decl = one("enum E { one, two, three };")
+        assert isinstance(decl, EnumDecl)
+        assert decl.members == ["one", "two", "three"]
+
+    def test_enumerators_usable_as_consts(self):
+        spec = parse("""
+        enum E { small, big };
+        const long CHOICE = big;
+        """)
+        assert spec.declarations[1].value == 1
+
+    def test_exception(self):
+        decl = one("exception Oops { string what; };")
+        assert isinstance(decl, ExceptionDecl)
+        assert decl.tc.kind is TCKind.tk_except
+
+    def test_typedef_with_array_declarator(self):
+        decl = one("typedef long Matrix[3][4];")
+        assert isinstance(decl, TypedefDecl)
+        assert decl.tc.kind is TCKind.tk_array
+
+    def test_typedef_referenced_later(self):
+        spec = parse("""
+        typedef sequence<octet> Blob;
+        interface T { void f(in Blob b); };
+        """)
+        tc = spec.declarations[1].operations[0].signature.params[0].tc
+        assert tc.kind is TCKind.tk_sequence
+
+    def test_const_expressions(self):
+        spec = parse("""
+        const long A = 2 + 3 * 4;
+        const long B = (2 + 3) * 4;
+        const long C = A - B / 2;
+        const boolean F = TRUE;
+        const string NAME = "x";
+        """)
+        values = {d.name: d.value for d in spec.declarations}
+        assert values == {"A": 14, "B": 20, "C": 4, "F": True, "NAME": "x"}
+
+    def test_const_used_as_bound(self):
+        spec = parse("""
+        const long N = 8;
+        interface T { void f(in sequence<octet, N * 2> d); };
+        """)
+        tc = spec.declarations[1].operations[0].signature.params[0].tc
+        assert tc.length == 16
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            parse("struct S { long a; }; struct S { long b; };")
+
+
+class TestInterfaces:
+    def test_operations_modes_raises_oneway(self):
+        decl = one("""
+        interface T {
+            exception Gone { long id; };
+            long f(in long a, out string b, inout double c) raises (Gone);
+            oneway void fire(in string msg);
+        };
+        """)
+        sig = decl.operations[0].signature
+        assert [p.mode for p in sig.params] == [ParamMode.IN, ParamMode.OUT,
+                                                ParamMode.INOUT]
+        assert len(sig.raises) == 1
+        assert decl.operations[1].signature.oneway
+
+    def test_oneway_with_out_param_rejected(self):
+        with pytest.raises(ParseError):
+            parse("interface T { oneway void f(out long x); };")
+
+    def test_attributes(self):
+        decl = one("""
+        interface T {
+            readonly attribute long count;
+            attribute string name, nick;
+        };
+        """)
+        assert [a.name for a in decl.attributes] == ["count", "name",
+                                                     "nick"]
+        assert decl.attributes[0].readonly
+        assert not decl.attributes[1].readonly
+
+    def test_inheritance(self):
+        spec = parse("""
+        interface A { void fa(); };
+        interface B { void fb(); };
+        interface C : A, B { void fc(); };
+        """)
+        c = spec.declarations[2]
+        assert [b.name for b in c.bases] == ["A", "B"]
+
+    def test_forward_declaration(self):
+        spec = parse("""
+        interface Node;
+        interface Node { void link(in Node next); };
+        """)
+        full = spec.declarations[1]
+        assert not full.forward_only
+        tc = full.operations[0].signature.params[0].tc
+        assert tc.kind is TCKind.tk_objref
+
+    def test_inherit_from_forward_only_rejected(self):
+        with pytest.raises(ParseError, match="forward"):
+            parse("interface A; interface B : A {};")
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ParseError, match="unknown base"):
+            parse("interface B : Ghost {};")
+
+    def test_unknown_exception_in_raises(self):
+        with pytest.raises(ParseError, match="unknown exception"):
+            parse("interface T { void f() raises (Ghost); };")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("src", [
+        "interface {",             # missing name
+        "struct S { long; };",     # missing member name
+        "enum E {};",              # empty enum
+        "const long X;",           # missing initializer
+        "interface T { void f(long a); };",  # missing param mode
+        "module M { };",           # empty module body
+    ])
+    def test_syntax_errors_have_positions(self, src):
+        with pytest.raises(ParseError):
+            parse(src)

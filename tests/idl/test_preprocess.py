@@ -1,0 +1,81 @@
+"""#include preprocessor tests."""
+
+import pytest
+
+from repro.idl import IncludeError, compile_idl, preprocess
+
+LIB = {
+    "types.idl": """
+        typedef sequence<octet> Blob;
+        struct Header { string name; unsigned long size; };
+    """,
+    "errors.idl": """
+        exception Failed { string why; };
+    """,
+    "service.idl": """
+        #include "types.idl"
+        #include "errors.idl"
+        interface Service {
+            unsigned long put(in Blob data) raises (Failed);
+        };
+    """,
+    "a.idl": '#include "b.idl"\nstruct A { long x; };',
+    "b.idl": '#include "a.idl"\nstruct B { long y; };',
+    "self.idl": '#include "self.idl"',
+}
+
+
+def loader(name: str) -> str:
+    try:
+        return LIB[name]
+    except KeyError:
+        raise IncludeError(f"no such include {name!r}") from None
+
+
+class TestPreprocess:
+    def test_inlines_includes(self):
+        out = preprocess('#include "types.idl"\ninterface I {};',
+                         loader=loader)
+        assert "typedef sequence<octet> Blob;" in out
+        assert "interface I {};" in out
+
+    def test_once_only_semantics(self):
+        src = '#include "types.idl"\n#include "types.idl"'
+        out = preprocess(src, loader=loader)
+        assert out.count("typedef sequence<octet> Blob;") == 1
+        assert "already included" in out
+
+    def test_nested_includes(self):
+        out = preprocess('#include "service.idl"', loader=loader)
+        assert "struct Header" in out
+        assert "exception Failed" in out
+        assert "interface Service" in out
+
+    def test_cycle_detected(self):
+        with pytest.raises(IncludeError, match="cycle"):
+            preprocess('#include "a.idl"', loader=loader)
+        with pytest.raises(IncludeError, match="cycle"):
+            preprocess('#include "self.idl"', loader=loader)
+
+    def test_missing_include(self):
+        with pytest.raises(IncludeError, match="ghost"):
+            preprocess('#include "ghost.idl"', loader=loader)
+
+    def test_pragmas_dropped(self):
+        out = preprocess("#pragma prefix \"acme.com\"\nstruct S{long x;};",
+                         loader=loader)
+        assert "#pragma" not in out.replace("// #pragma", "")
+
+    def test_disk_loader(self, tmp_path):
+        (tmp_path / "common.idl").write_text("enum E { a, b };")
+        out = preprocess('#include "common.idl"\ninterface X {};',
+                         include_dirs=[tmp_path])
+        assert "enum E" in out
+
+    def test_compile_through_includes(self):
+        api = compile_idl('#include "service.idl"',
+                          include_loader=loader,
+                          module_name="_test_inc_idl")
+        assert hasattr(api, "Service")
+        assert hasattr(api, "Failed")
+        assert api.Header(name="n", size=1).size == 1

@@ -1,0 +1,86 @@
+"""Pretty-printer round-trip tests: parse -> print -> parse must yield
+an equivalent specification (the compiler's own fixed point)."""
+
+import pytest
+
+from repro.idl import parse
+from repro.idl.codegen import generate_source
+from repro.idl.pretty import pretty_print
+
+CASES = [
+    "struct P { double x; double y; };",
+    "enum Color { red, green, blue };",
+    "exception Broke { string why; long code; };",
+    "typedef sequence<octet> Blob;",
+    "typedef long Grid[4][5];",
+    'const string NAME = "zero\\"copy";',
+    "const boolean ON = TRUE;",
+    "const long N = 40 + 2;",
+    """
+    module M {
+      struct S { long a; };
+      module Inner { enum E { x, y }; };
+    };
+    """,
+    """
+    interface Base { void ping(); };
+    interface Svc : Base {
+      readonly attribute unsigned long total;
+      attribute string name;
+      exception Gone { long id; };
+      long f(in long a, out string b, inout double c) raises (Gone);
+      oneway void fire(in string msg);
+      void bulk(in sequence<zc_octet> data);
+      void math(in sequence<zc_double> v);
+      void bounded(in sequence<octet, 64> d, in string<8> s);
+    };
+    """,
+    """
+    interface Node;
+    interface Node { void link(in Node next); };
+    """,
+]
+
+
+def _signature_map(spec):
+    """Flatten to comparable structure: scoped name -> summary."""
+    out = {}
+    for decl in spec.iter_flat():
+        entry = {"kind": type(decl).__name__}
+        if hasattr(decl, "tc") and decl.tc is not None:
+            entry["tc"] = repr(decl.tc)
+        if hasattr(decl, "members"):
+            entry["members"] = repr(decl.members)
+        if hasattr(decl, "operations"):
+            entry["ops"] = [repr(op.signature) for op in decl.operations]
+            entry["bases"] = [b.scoped for b in decl.bases]
+            entry["attrs"] = [(a.name, a.readonly, repr(a.tc))
+                              for a in decl.attributes]
+        if hasattr(decl, "value"):
+            entry["value"] = decl.value
+        out.setdefault(decl.scoped, entry)
+    return out
+
+
+@pytest.mark.parametrize("src", CASES)
+def test_round_trip_equivalence(src):
+    first = parse(src)
+    printed = pretty_print(first)
+    second = parse(printed)
+    assert _signature_map(first) == _signature_map(second), printed
+
+
+@pytest.mark.parametrize("src", CASES)
+def test_round_trip_same_generated_code(src):
+    """Stronger: the regenerated Python must be identical."""
+    first = generate_source(parse(src))
+    second = generate_source(parse(pretty_print(parse(src))))
+    assert first == second
+
+
+def test_printed_form_is_stable():
+    """pretty(parse(pretty(parse(x)))) == pretty(parse(x))."""
+    src = CASES[-2]
+    once = pretty_print(parse(src))
+    twice = pretty_print(parse(once))
+    assert once == twice

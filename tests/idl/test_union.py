@@ -1,0 +1,135 @@
+"""IDL union support tests (parser, marshaler, codegen, pretty)."""
+
+import pytest
+
+from repro.cdr import (CDRDecoder, CDREncoder, MarshalError,
+                       get_marshaller)
+from repro.cdr.marshal import UnionValue
+from repro.cdr.typecode import (TC_DOUBLE, TC_LONG, TC_STRING, TCKind,
+                                union_tc)
+from repro.idl import ParseError, compile_idl, parse, pretty_print
+
+
+class TestUnionTypeCode:
+    def test_factory_validates_discriminator(self):
+        with pytest.raises(ValueError):
+            union_tc("U", TC_STRING, [(1, "a", TC_LONG)])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            union_tc("U", TC_LONG, [(1, "a", TC_LONG), (1, "b", TC_LONG)])
+
+    def test_two_defaults_rejected(self):
+        with pytest.raises(ValueError, match="default"):
+            union_tc("U", TC_LONG,
+                     [(None, "a", TC_LONG), (None, "b", TC_LONG)])
+
+
+class TestUnionMarshaling:
+    TC = union_tc("Mix", TC_LONG, [
+        (1, "i", TC_LONG), (2, "s", TC_STRING), (None, "x", TC_DOUBLE)],
+        repo_id="IDL:test/Mix_unreg:1.0")
+
+    def _rt(self, value):
+        m = get_marshaller(self.TC)
+        enc = CDREncoder()
+        m.marshal(enc, value)
+        return m.demarshal(CDRDecoder(enc.getvalue()))
+
+    def test_labelled_arms(self):
+        out = self._rt(UnionValue(1, -7))
+        assert (out.d, out.v) == (1, -7)
+        out = self._rt(UnionValue(2, "text arm"))
+        assert out.v == "text arm"
+
+    def test_default_arm(self):
+        out = self._rt(UnionValue(99, 2.5))
+        assert (out.d, out.v) == (99, 2.5)
+
+    def test_no_default_no_match_rejected(self):
+        tc = union_tc("Strict", TC_LONG, [(1, "i", TC_LONG)],
+                      repo_id="IDL:test/Strict_unreg:1.0")
+        m = get_marshaller(tc)
+        with pytest.raises(MarshalError, match="no arm"):
+            m.marshal(CDREncoder(), UnionValue(5, 0))
+
+    def test_non_union_value_rejected(self):
+        m = get_marshaller(self.TC)
+        with pytest.raises(MarshalError):
+            m.marshal(CDREncoder(), "not a union")
+
+
+class TestUnionThroughIDL:
+    IDL = """
+    enum Kind { num, text };
+    union Value switch (Kind) {
+      case num: long i;
+      case text: string s;
+    };
+    interface Box { Value bounce(in Value v); };
+    """
+
+    def test_end_to_end(self):
+        api = compile_idl(self.IDL, module_name="_test_union_e2e")
+        from repro.orb import ORB, ORBConfig
+
+        class Impl(api.Box_skel):
+            def bounce(self, v):
+                return v
+
+        server = ORB(ORBConfig(scheme="loop"))
+        client = ORB(ORBConfig(scheme="loop", collocated_calls=False))
+        try:
+            stub = client.string_to_object(
+                server.object_to_string(server.activate(Impl())))
+            v = api.Value(api.Kind.text, "hi")
+            out = stub.bounce(v)
+            assert isinstance(out, api.Value)
+            assert out == v
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_multiple_case_labels_one_arm(self):
+        spec = parse("""
+        union U switch (long) {
+          case 1:
+          case 2: long small;
+          default: string other;
+        };
+        """)
+        members = spec.declarations[0].members
+        assert [(l, n) for l, n, _ in members] == [
+            (1, "small"), (2, "small"), (None, "other")]
+
+    def test_boolean_discriminator(self):
+        api = compile_idl("""
+        union Flag switch (boolean) {
+          case TRUE: string yes;
+          case FALSE: long no;
+        };
+        """, module_name="_test_union_bool")
+        m = get_marshaller(api.Flag.TYPECODE)
+        enc = CDREncoder()
+        m.marshal(enc, api.Flag(True, "on"))
+        out = m.demarshal(CDRDecoder(enc.getvalue()))
+        assert out.v == "on"
+
+    def test_bad_discriminator_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse("union U switch (string) { case 1: long a; };")
+
+    def test_duplicate_default_rejected(self):
+        with pytest.raises(ParseError, match="default"):
+            parse("""
+            union U switch (long) {
+              default: long a;
+              default: long b;
+            };
+            """)
+
+    def test_pretty_round_trip(self):
+        from repro.idl.codegen import generate_source
+        first = generate_source(parse(self.IDL))
+        second = generate_source(parse(pretty_print(parse(self.IDL))))
+        assert first == second

@@ -1,0 +1,83 @@
+"""AMI-style deferred invocation tests."""
+
+import time
+
+import pytest
+
+from repro.core import OctetSequence, ZCOctetSequence
+from repro.orb import BAD_PARAM, ORB, ORBConfig
+from repro.orb.async_invoke import AsyncInvoker, invoke_async
+
+
+class TestAsyncInvoker:
+    def test_future_result(self, loop_pair):
+        stub, impl, *_ = loop_pair
+        with AsyncInvoker() as ami:
+            fut = ami.submit(stub, "put_std", (OctetSequence(b"async"),))
+            assert fut.result(timeout=10) == 5
+
+    def test_exception_through_future(self, loop_pair, test_api):
+        stub, *_ = loop_pair
+        with AsyncInvoker() as ami:
+            fut = ami.submit(stub, "put",
+                             (ZCOctetSequence.from_data(b""),))
+            with pytest.raises(test_api.Test_Failed):
+                fut.result(timeout=10)
+
+    def test_calls_to_different_servers_overlap(self, test_api):
+        """Two slow servers, one deferred call each: wall time ~ one
+        call, not two."""
+        from repro.idl import compile_idl
+        api = compile_idl("""
+        interface Slow { double work(in double seconds); };
+        """, module_name="_ami_slow_idl")
+
+        class SlowImpl(api.Slow_skel):
+            def work(self, seconds):
+                time.sleep(seconds)
+                return seconds
+
+        client = ORB(ORBConfig(scheme="tcp", collocated_calls=False))
+        orbs, stubs = [], []
+        for _ in range(2):
+            orb = ORB(ORBConfig(scheme="tcp"))
+            stubs.append(client.string_to_object(
+                orb.object_to_string(orb.activate(SlowImpl()))))
+            orbs.append(orb)
+        try:
+            with AsyncInvoker() as ami:
+                t0 = time.perf_counter()
+                futures = [ami.submit(s, "work", (0.3,)) for s in stubs]
+                results = [f.result(timeout=10) for f in futures]
+                elapsed = time.perf_counter() - t0
+            assert results == [0.3, 0.3]
+            assert elapsed < 0.55  # overlapped, not 0.6+ serial
+        finally:
+            client.shutdown()
+            for orb in orbs:
+                orb.shutdown()
+
+    def test_map_unordered(self, loop_pair):
+        stub, impl, *_ = loop_pair
+        with AsyncInvoker() as ami:
+            results = ami.map_unordered([
+                (stub, "put_std", (OctetSequence(bytes(n)),))
+                for n in (10, 20, 30)])
+        assert results[-1] == 60  # totals accumulate in order per server
+
+    def test_submit_after_shutdown_rejected(self, loop_pair):
+        stub, *_ = loop_pair
+        ami = AsyncInvoker()
+        ami.shutdown()
+        with pytest.raises(BAD_PARAM):
+            ami.submit(stub, "reset", ())
+
+    def test_bad_target_rejected(self):
+        with AsyncInvoker() as ami:
+            with pytest.raises(BAD_PARAM):
+                ami.submit("nope", "op")
+
+    def test_module_level_helper(self, loop_pair):
+        stub, *_ = loop_pair
+        fut = invoke_async(stub, "swap", ("xy",))
+        assert fut.result(timeout=10) == ("XY", "yx")

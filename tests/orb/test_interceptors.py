@@ -1,0 +1,126 @@
+"""Request interceptor tests."""
+
+import pytest
+
+from repro.core import OctetSequence, ZCOctetSequence
+from repro.orb import (AccountingInterceptor, BAD_PARAM, ORB, ORBConfig,
+                       RequestInfo, RequestInterceptor)
+
+
+class _Recorder(RequestInterceptor):
+    def __init__(self):
+        self.events = []
+
+    def send_request(self, info):
+        self.events.append(("send_request", info.operation))
+
+    def receive_reply(self, info):
+        self.events.append(("receive_reply", info.operation,
+                            info.reply_status))
+
+    def receive_request(self, info):
+        self.events.append(("receive_request", info.operation))
+
+    def send_reply(self, info):
+        self.events.append(("send_reply", info.operation,
+                            info.reply_status))
+
+
+class TestInterceptors:
+    def test_all_four_points_fire_in_order(self, test_api, store_impl):
+        from tests.conftest import make_store_impl
+        server = ORB(ORBConfig(scheme="loop"))
+        client = ORB(ORBConfig(scheme="loop", collocated_calls=False))
+        rec_client, rec_server = _Recorder(), _Recorder()
+        client.interceptors.register(rec_client)
+        server.interceptors.register(rec_server)
+        try:
+            stub = client.string_to_object(
+                server.object_to_string(server.activate(store_impl)))
+            stub.put_std(OctetSequence(b"watch me"))
+            assert rec_client.events == [
+                ("send_request", "put_std"),
+                ("receive_reply", "put_std", "NO_EXCEPTION")]
+            assert rec_server.events == [
+                ("receive_request", "put_std"),
+                ("send_reply", "put_std", "NO_EXCEPTION")]
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_exception_status_visible(self, test_api, store_impl):
+        server = ORB(ORBConfig(scheme="loop"))
+        client = ORB(ORBConfig(scheme="loop", collocated_calls=False))
+        rec = _Recorder()
+        client.interceptors.register(rec)
+        try:
+            stub = client.string_to_object(
+                server.object_to_string(server.activate(store_impl)))
+            with pytest.raises(test_api.Test_Failed):
+                stub.put(ZCOctetSequence.from_data(b""))
+            assert rec.events[-1] == ("receive_reply", "put",
+                                      "USER_EXCEPTION")
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_interceptor_can_abort_call(self, test_api, store_impl):
+        class Firewall(RequestInterceptor):
+            def send_request(self, info):
+                if info.operation == "reset":
+                    raise BAD_PARAM(message="reset forbidden by policy")
+
+        server = ORB(ORBConfig(scheme="loop"))
+        client = ORB(ORBConfig(scheme="loop", collocated_calls=False))
+        client.interceptors.register(Firewall())
+        try:
+            stub = client.string_to_object(
+                server.object_to_string(server.activate(store_impl)))
+            stub.put_std(OctetSequence(b"ok"))  # allowed
+            with pytest.raises(BAD_PARAM, match="forbidden"):
+                stub._invoke("reset", ())
+            assert store_impl.resets == 0  # never reached the servant
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_accounting_interceptor(self, test_api, store_impl):
+        server = ORB(ORBConfig(scheme="loop"))
+        client = ORB(ORBConfig(scheme="loop", collocated_calls=False))
+        acct = AccountingInterceptor()
+        client.interceptors.register(acct)
+        server.interceptors.register(acct)
+        try:
+            stub = client.string_to_object(
+                server.object_to_string(server.activate(store_impl)))
+            for _ in range(3):
+                stub.put_std(OctetSequence(b"x"))
+            assert acct.calls["put_std"] == 3
+            assert acct.calls["srv:put_std"] == 3
+            assert acct.total_s["put_std"] > 0
+            assert acct.errors == {}
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_unregister(self, test_api, store_impl):
+        server = ORB(ORBConfig(scheme="loop"))
+        client = ORB(ORBConfig(scheme="loop", collocated_calls=False))
+        rec = _Recorder()
+        client.interceptors.register(rec)
+        try:
+            stub = client.string_to_object(
+                server.object_to_string(server.activate(store_impl)))
+            stub.put_std(OctetSequence(b"a"))
+            client.interceptors.unregister(rec)
+            stub.put_std(OctetSequence(b"b"))
+            assert len(rec.events) == 2  # only the first call recorded
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_no_overhead_when_empty(self, loop_pair):
+        """With no interceptors registered, no RequestInfo is built."""
+        stub, impl, client, _ = loop_pair
+        assert len(client.interceptors) == 0
+        stub.put_std(OctetSequence(b"fast path"))  # must not blow up

@@ -1,0 +1,128 @@
+"""Name Service tests: contexts, paths, cross-process trees."""
+
+import pytest
+
+from repro.orb import INV_OBJREF, ORB, ORBConfig
+from repro.services import NameClient, NamingContextImpl, naming_api, \
+    start_name_service
+
+
+@pytest.fixture
+def ns():
+    orb = ORB(ORBConfig(scheme="loop"))
+    root = start_name_service(orb)
+    yield orb, root
+    orb.shutdown()
+
+
+class TestNamingContext:
+    def test_bind_resolve(self, ns, test_api, store_impl):
+        orb, root = ns
+        ref = orb.activate(store_impl)
+        root.bind("store", ref)
+        got = root.resolve("store")
+        assert got.ior.iiop_profile().object_key \
+            == ref.ior.iiop_profile().object_key
+        # the resolved reference is live
+        assert got.total == 0
+
+    def test_duplicate_bind_rejected(self, ns, test_api, store_impl):
+        orb, root = ns
+        api = naming_api()
+        ref = orb.activate(store_impl)
+        root.bind("x", ref)
+        with pytest.raises(api.Naming_AlreadyBound):
+            root.bind("x", ref)
+        root.rebind("x", ref)  # rebind allowed
+
+    def test_resolve_unknown(self, ns):
+        _, root = ns
+        api = naming_api()
+        with pytest.raises(api.Naming_NotFound):
+            root.resolve("ghost")
+
+    def test_unbind(self, ns, test_api, store_impl):
+        orb, root = ns
+        api = naming_api()
+        root.bind("tmp", orb.activate(store_impl))
+        root.unbind("tmp")
+        with pytest.raises(api.Naming_NotFound):
+            root.resolve("tmp")
+        with pytest.raises(api.Naming_NotFound):
+            root.unbind("tmp")
+
+    def test_invalid_names_rejected(self, ns):
+        _, root = ns
+        api = naming_api()
+        for bad in ("", "a/b", ".", ".."):
+            with pytest.raises(api.Naming_InvalidName):
+                root.resolve(bad)
+
+    def test_list_names(self, ns, test_api, store_impl):
+        orb, root = ns
+        ref = orb.activate(store_impl)
+        for name in ("zeta", "alpha", "mid"):
+            root.bind(name, ref)
+        assert root.list_names() == ["alpha", "mid", "zeta"]
+        assert root.n_bindings() == 3
+
+    def test_sub_contexts(self, ns, test_api, store_impl):
+        orb, root = ns
+        child = root.bind_new_context("dept")
+        ref = orb.activate(store_impl)
+        child.bind("svc", ref)
+        again = root.resolve("dept")
+        assert again.resolve("svc").total == 0
+
+
+class TestNameClient:
+    def test_path_bind_resolve(self, ns, test_api, store_impl):
+        orb, root = ns
+        client = NameClient(root)
+        ref = orb.activate(store_impl)
+        client.bind("cluster/node3/Store", ref)
+        got = client.resolve("cluster/node3/Store")
+        assert got.total == 0
+        assert client.list("cluster") == ["node3"]
+        client.unbind("cluster/node3/Store")
+        api = naming_api()
+        with pytest.raises(api.Naming_NotFound):
+            client.resolve("cluster/node3/Store")
+
+    def test_missing_intermediate_context(self, ns):
+        _, root = ns
+        api = naming_api()
+        with pytest.raises(api.Naming_NotFound):
+            NameClient(root).resolve("no/such/path")
+
+
+class TestCrossProcessShape:
+    def test_naming_across_orbs(self, test_api, store_impl):
+        """Server binds; an unrelated client ORB resolves through the
+        stringified root reference — the full bootstrap story."""
+        server_orb = ORB(ORBConfig(scheme="tcp"))
+        client_orb = ORB(ORBConfig(scheme="tcp", collocated_calls=False))
+        try:
+            root = start_name_service(server_orb)
+            service_ref = server_orb.activate(store_impl)
+            NameClient(root).bind("video/encoders/e1", service_ref)
+
+            root_ior = server_orb.object_to_string(root)
+            remote_root = client_orb.string_to_object(root_ior)
+            got = NameClient(remote_root).resolve("video/encoders/e1")
+            from repro.core import OctetSequence
+            assert got.put_std(OctetSequence(b"via-ns")) == 6
+            assert store_impl.last.tobytes() == b"via-ns"
+        finally:
+            client_orb.shutdown()
+            server_orb.shutdown()
+
+    def test_initial_references(self, test_api):
+        orb = ORB(ORBConfig(scheme="loop"))
+        try:
+            with pytest.raises(INV_OBJREF):
+                orb.resolve_initial_references("NameService")
+            root = start_name_service(orb)
+            assert orb.resolve_initial_references("NameService") is root
+        finally:
+            orb.shutdown()

@@ -1,0 +1,250 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simnet.engine import (AllOf, Interrupted, Resource,
+                                 SimulationError, Simulator)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+        yield sim.timeout(50)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert sim.now == 150
+    assert p.value == 150
+    assert p.triggered
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def proc():
+        got = yield sim.timeout(10, value="hello")
+        return got
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "hello"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def proc(name, delay):
+        yield sim.timeout(delay)
+        log.append((name, sim.now))
+
+    sim.process(proc("a", 30))
+    sim.process(proc("b", 10))
+    sim.run()
+    assert log == [("b", 10), ("a", 30)]
+
+
+def test_process_join():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(25)
+        return 42
+
+    def parent():
+        result = yield sim.process(child())
+        return result + sim.now
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == 42 + 25
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+
+    def child(d):
+        yield sim.timeout(d)
+        return d
+
+    def parent():
+        results = yield sim.all_of([sim.process(child(d))
+                                    for d in (5, 20, 10)])
+        return results
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == [5, 20, 10]
+    assert sim.now == 20
+
+
+def test_all_of_empty():
+    sim = Simulator()
+
+    def parent():
+        got = yield sim.all_of([])
+        return got
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == []
+
+
+def test_resource_serializes_holders():
+    sim = Simulator()
+    res = sim.resource(1)
+    completions = []
+
+    def user(name):
+        req = res.request()
+        yield req
+        yield sim.timeout(100)
+        res.release(req)
+        completions.append((name, sim.now))
+
+    for name in "abc":
+        sim.process(user(name))
+    sim.run()
+    assert completions == [("a", 100), ("b", 200), ("c", 300)]
+    assert res.busy_ns == 300
+    assert res.utilization(300) == 1.0
+
+
+def test_resource_capacity_two_overlaps():
+    sim = Simulator()
+    res = sim.resource(2)
+
+    def user():
+        req = res.request()
+        yield req
+        yield sim.timeout(100)
+        res.release(req)
+
+    for _ in range(4):
+        sim.process(user())
+    sim.run()
+    assert sim.now == 200  # two waves of two
+
+
+def test_resource_fifo_order():
+    sim = Simulator()
+    res = sim.resource(1)
+    order = []
+
+    def user(i, hold):
+        req = res.request()
+        yield req
+        order.append(i)
+        yield sim.timeout(hold)
+        res.release(req)
+
+    for i in range(5):
+        sim.process(user(i, 10))
+    sim.run()
+    assert order == list(range(5))
+
+
+def test_release_unheld_raises():
+    sim = Simulator()
+    res = sim.resource(1)
+
+    def proc():
+        req = res.request()
+        yield req
+        res.release(req)
+        res.release(req)
+
+    p = sim.process(proc())
+    sim.run()
+    assert isinstance(p.value, SimulationError) or p.value is None
+
+
+def test_resource_utilization_partial():
+    sim = Simulator()
+    res = sim.resource(1)
+
+    def proc():
+        req = res.request()
+        yield req
+        yield sim.timeout(40)
+        res.release(req)
+        yield sim.timeout(60)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 100
+    assert res.utilization(100) == pytest.approx(0.4)
+
+
+def test_interrupt_wakes_process():
+    sim = Simulator()
+    caught = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1000)
+        except Interrupted as e:
+            caught.append((e.cause, sim.now))
+
+    def interrupter(p):
+        yield sim.timeout(10)
+        p.interrupt("stop")
+
+    p = sim.process(sleeper())
+    sim.process(interrupter(p))
+    sim.run()
+    assert caught == [("stop", 10)]
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1000)
+
+    sim.process(proc())
+    sim.run(until=100)
+    assert sim.now == 100
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield "not an event"
+
+    p = sim.process(bad())
+    sim.run()
+    assert isinstance(p.value, SimulationError)
+
+
+def test_queue_length_visible():
+    sim = Simulator()
+    res = sim.resource(1)
+    seen = []
+
+    def holder():
+        req = res.request()
+        yield req
+        seen.append(res.queue_length)
+        yield sim.timeout(10)
+        res.release(req)
+
+    def waiter():
+        req = res.request()
+        yield req
+        res.release(req)
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run()
+    assert seen == [1]

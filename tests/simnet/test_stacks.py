@@ -1,0 +1,133 @@
+"""Unit tests for stack cost models, profiles and the memory ledger."""
+
+import pytest
+
+from repro.simnet import (GIGABIT_ETHERNET, PAGE_SIZE, PENTIUM_II_400,
+                          CopyKind, MemorySystem, SimNode, Simulator,
+                          standard_stack, zero_copy_stack)
+from repro.simnet.profiles import FAST_ETHERNET, LinkProfile
+
+
+class TestLinkProfile:
+    def test_frames_for(self):
+        link = GIGABIT_ETHERNET
+        assert link.frames_for(0) == 0
+        assert link.frames_for(1) == 1
+        assert link.frames_for(1500) == 1
+        assert link.frames_for(1501) == 2
+        assert link.frames_for(4096) == 3
+
+    def test_wire_time_includes_framing(self):
+        link = GIGABIT_ETHERNET
+        raw = int(1500 * link.ns_per_wire_byte)
+        assert link.wire_time_ns(1500) > raw
+
+    def test_gigabit_is_8ns_per_byte(self):
+        assert GIGABIT_ETHERNET.ns_per_wire_byte == pytest.approx(8.0)
+
+    def test_fast_ethernet_ten_times_slower(self):
+        assert FAST_ETHERNET.ns_per_wire_byte == pytest.approx(
+            10 * GIGABIT_ETHERNET.ns_per_wire_byte)
+
+
+class TestMemorySystem:
+    def test_copy_kinds_classified(self):
+        assert CopyKind.USER_KERNEL.is_copy
+        assert CopyKind.MARSHAL.is_copy
+        assert CopyKind.FALLBACK.is_copy
+        assert not CopyKind.CHECKSUM.is_copy
+        assert not CopyKind.DMA.is_copy
+        assert not CopyKind.APP_TOUCH.is_copy
+
+    def test_touch_accumulates(self):
+        mem = MemorySystem(PENTIUM_II_400)
+        c1 = mem.touch(CopyKind.USER_KERNEL, 1000)
+        c2 = mem.touch(CopyKind.USER_KERNEL, 1000)
+        assert c1 == c2 == 10_000  # 10 ns/B
+        assert mem.bytes_by_kind[CopyKind.USER_KERNEL] == 2000
+        assert mem.copied_bytes == 2000
+        assert mem.copies_of(1000) == 2.0
+
+    def test_marshal_loop_slower_than_memcpy(self):
+        mem = MemorySystem(PENTIUM_II_400)
+        loop = mem.cost_ns(CopyKind.MARSHAL, 4096)
+        bulk = mem.cost_ns(CopyKind.MARSHAL_BULK, 4096)
+        plain = mem.cost_ns(CopyKind.USER_KERNEL, 4096)
+        assert loop > 3 * plain  # §5.2's unoptimized generic loop
+        assert bulk < loop
+
+    def test_dma_is_cpu_free(self):
+        mem = MemorySystem(PENTIUM_II_400)
+        assert mem.touch(CopyKind.DMA, 1 << 20) == 0
+        assert mem.copied_bytes == 0
+
+    def test_negative_bytes_rejected(self):
+        mem = MemorySystem(PENTIUM_II_400)
+        with pytest.raises(ValueError):
+            mem.touch(CopyKind.CHECKSUM, -1)
+
+    def test_reset(self):
+        mem = MemorySystem(PENTIUM_II_400)
+        mem.touch(CopyKind.MARSHAL, 100)
+        mem.reset()
+        assert mem.copied_bytes == 0
+        assert mem.breakdown_ns() == {}
+
+
+class TestStackCosts:
+    def _node(self):
+        return SimNode(Simulator(), PENTIUM_II_400, "n")
+
+    def test_standard_rx_costlier_than_tx(self):
+        tx_node, rx_node = self._node(), self._node()
+        stack = standard_stack()
+        tx = stack.tx_chunk_cost_ns(tx_node, PAGE_SIZE, GIGABIT_ETHERNET)
+        rx = stack.rx_chunk_cost_ns(rx_node, PAGE_SIZE, GIGABIT_ETHERNET)
+        assert rx > tx  # receiver has the extra defragmentation copy
+
+    def test_zero_copy_rx_much_cheaper(self):
+        std_node, zc_node = self._node(), self._node()
+        std = standard_stack().rx_chunk_cost_ns(std_node, PAGE_SIZE,
+                                                GIGABIT_ETHERNET)
+        zc = zero_copy_stack().rx_chunk_cost_ns(zc_node, PAGE_SIZE,
+                                                GIGABIT_ETHERNET)
+        assert zc < std / 3
+
+    def test_defrag_success_scales_fallback(self):
+        full = zero_copy_stack(defrag_success=1.0)
+        none = zero_copy_stack(defrag_success=0.0)
+        n_full, n_none = self._node(), self._node()
+        c_full = full.rx_chunk_cost_ns(n_full, PAGE_SIZE, GIGABIT_ETHERNET)
+        c_none = none.rx_chunk_cost_ns(n_none, PAGE_SIZE, GIGABIT_ETHERNET)
+        memcpy = int(PAGE_SIZE * PENTIUM_II_400.memcpy_ns_per_byte)
+        assert c_none - c_full == pytest.approx(memcpy, rel=0.02)
+        assert n_full.memory.copied_bytes == 0
+        assert n_none.memory.copied_bytes == PAGE_SIZE
+
+    def test_checksum_offload_removes_pass(self):
+        plain = standard_stack()
+        offl = standard_stack(checksum_offload=True)
+        n1, n2 = self._node(), self._node()
+        diff = (plain.tx_chunk_cost_ns(n1, PAGE_SIZE, GIGABIT_ETHERNET)
+                - offl.tx_chunk_cost_ns(n2, PAGE_SIZE, GIGABIT_ETHERNET))
+        assert diff == int(PAGE_SIZE * PENTIUM_II_400.checksum_ns_per_byte)
+
+    def test_with_returns_modified_copy(self):
+        base = zero_copy_stack()
+        tweaked = base.with_(defrag_success=0.5)
+        assert tweaked.defrag_success == 0.5
+        assert base.defrag_success == 0.95
+        assert tweaked.kind is base.kind
+
+
+class TestProfileScaling:
+    def test_scaled_profile_divides_costs(self):
+        fast = PENTIUM_II_400.scaled(2.0)
+        assert fast.memcpy_ns_per_byte == pytest.approx(
+            PENTIUM_II_400.memcpy_ns_per_byte / 2)
+        assert fast.syscall_ns == PENTIUM_II_400.syscall_ns // 2
+        assert fast.cpu_mhz == 800
+
+    def test_scaled_keeps_pci(self):
+        fast = PENTIUM_II_400.scaled(4.0)
+        assert fast.pci_mb_per_s == PENTIUM_II_400.pci_mb_per_s

@@ -1,0 +1,56 @@
+"""Smoke tests: every example must run to completion as shipped."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, (
+        f"{name} failed:\n{proc.stdout}\n{proc.stderr}")
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "zero-copy upload: 1048576 bytes" in out
+    assert "quota enforced across the wire" in out
+    assert "done." in out
+
+
+def test_video_farm_small():
+    out = run_example("video_farm.py", "--workers", "2", "--frames", "12")
+    assert "zero-copy ORB" in out
+    assert "PSNR" in out
+    assert "done." in out
+
+
+def test_cluster_simulation():
+    out = run_example("cluster_simulation.py")
+    assert "Figure 5" in out
+    assert "Figure 6 right" in out
+    assert "30% CPU" in out or "CPU" in out
+    # the headline numbers appear in the printed tables
+    assert "317." in out  # raw TCP saturation
+    assert " 51." in out  # CORBA saturation
+
+
+def test_dynamic_ttcp_loop():
+    out = run_example("dynamic_ttcp.py", "--scheme", "loop",
+                      "--max-mb", "1")
+    assert "real-corba/loop" in out
+    assert "zero-copy is" in out
+
+
+def test_streaming_pipeline():
+    out = run_example("streaming_pipeline.py", "--frames", "8")
+    assert "name service up" in out
+    assert "transcoded to MPEG-4" in out
+    assert "done." in out

@@ -1,0 +1,125 @@
+"""Loopback transport tests."""
+
+import pytest
+
+from repro.transport import LoopbackTransport, TransportError
+
+
+@pytest.fixture
+def pair():
+    transport = LoopbackTransport()
+    accepted = []
+    listener = transport.listen("unit-host", 0, accepted.append)
+    client = transport.connect(listener.endpoint)
+    server = accepted[0]
+    yield client, server
+    listener.close()
+
+
+class TestLoopback:
+    def test_send_recv_exact(self, pair):
+        client, server = pair
+        client.send(b"hello")
+        assert server.recv_exact(5).tobytes() == b"hello"
+
+    def test_sendv_gathers_in_order(self, pair):
+        client, server = pair
+        client.sendv([b"ab", memoryview(b"cd"), bytearray(b"ef")])
+        assert server.recv_exact(6).tobytes() == b"abcdef"
+
+    def test_recv_into_lands_in_caller_buffer(self, pair):
+        client, server = pair
+        client.send(b"12345678")
+        target = bytearray(8)
+        server.recv_into(memoryview(target))
+        assert target == b"12345678"
+
+    def test_partial_chunk_consumption(self, pair):
+        client, server = pair
+        client.send(b"abcdef")
+        assert server.recv_exact(2).tobytes() == b"ab"
+        assert server.recv_exact(4).tobytes() == b"cdef"
+
+    def test_bidirectional(self, pair):
+        client, server = pair
+        client.send(b"ping")
+        server.recv_exact(4)
+        server.send(b"pong")
+        assert client.recv_exact(4).tobytes() == b"pong"
+
+    def test_underrun_raises(self, pair):
+        client, server = pair
+        client.send(b"ab")
+        with pytest.raises(TransportError, match="need 4"):
+            server.recv_exact(4)
+
+    def test_sender_buffer_reuse_is_safe(self, pair):
+        """Socket semantics: mutating the send buffer after send()
+        must not corrupt data in flight."""
+        client, server = pair
+        buf = bytearray(b"original")
+        client.send(buf)
+        buf[:] = b"clobber!"
+        assert server.recv_exact(8).tobytes() == b"original"
+
+    def test_data_handler_called_synchronously(self, pair):
+        client, server = pair
+        got = []
+        server.set_data_handler(
+            lambda: got.append(server.recv_exact(server.available)
+                               .tobytes()))
+        client.send(b"push")
+        assert got == [b"push"]  # delivered inside send()
+
+    def test_closed_stream_rejects_send(self, pair):
+        client, server = pair
+        client.close()
+        with pytest.raises(TransportError):
+            client.send(b"x")
+        with pytest.raises(TransportError):
+            server.send(b"x")
+
+    def test_byte_counters(self, pair):
+        client, server = pair
+        client.send(b"12345")
+        server.recv_exact(5)
+        assert client.bytes_sent == 5
+        assert server.bytes_received == 5
+
+
+class TestListenerManagement:
+    def test_connect_to_unbound_fails(self):
+        transport = LoopbackTransport()
+        with pytest.raises(TransportError, match="nothing listening"):
+            transport.connect(("loop", "ghost-host", 1))
+
+    def test_duplicate_bind_rejected(self):
+        transport = LoopbackTransport()
+        listener = transport.listen("dup-host", 7777, lambda s: None)
+        try:
+            with pytest.raises(TransportError, match="already bound"):
+                transport.listen("dup-host", 7777, lambda s: None)
+        finally:
+            listener.close()
+
+    def test_close_unbinds(self):
+        transport = LoopbackTransport()
+        listener = transport.listen("tmp-host", 8888, lambda s: None)
+        listener.close()
+        with pytest.raises(TransportError):
+            transport.connect(("loop", "tmp-host", 8888))
+
+    def test_listeners_shared_across_instances(self):
+        t1, t2 = LoopbackTransport(), LoopbackTransport()
+        accepted = []
+        listener = t1.listen("shared-host", 0, accepted.append)
+        try:
+            t2.connect(listener.endpoint)
+            assert len(accepted) == 1
+        finally:
+            listener.close()
+
+    def test_wrong_scheme_rejected(self):
+        transport = LoopbackTransport()
+        with pytest.raises(TransportError, match="scheme"):
+            transport.connect(("tcp", "127.0.0.1", 80))
