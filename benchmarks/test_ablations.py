@@ -15,11 +15,10 @@ MBit/s:
 
 import dataclasses
 
-import pytest
 
-from repro.simnet import (GIGABIT_ETHERNET, PENTIUM_II_400, LinkProfile,
-                          OrbCostConfig, measure_corba_request,
-                          measure_stream, standard_stack, zero_copy_stack)
+from repro.simnet import (GIGABIT_ETHERNET, PENTIUM_II_400, OrbCostConfig,
+                          measure_corba_request, measure_stream,
+                          standard_stack, zero_copy_stack)
 
 from conftest import MB, report
 

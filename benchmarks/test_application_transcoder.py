@@ -16,7 +16,6 @@ Two parts:
    HDTV frames at 25 fps; the zero-copy ORB can.
 """
 
-import pytest
 
 from repro.apps.transcoder import (DistributedTranscoder, FrameSource,
                                    Mpeg2Stream, TranscoderWorker,

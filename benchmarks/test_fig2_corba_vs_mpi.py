@@ -8,7 +8,6 @@ raw stream ceiling, for MPI-lite, the unmodified ORB, and the
 zero-copy ORB on both stacks.
 """
 
-import pytest
 
 from repro.mpi import simulate_mpi_transfer
 from repro.simnet import (GIGABIT_ETHERNET, PENTIUM_II_400, OrbCostConfig,

@@ -16,14 +16,13 @@ Run:  python examples/streaming_pipeline.py [--frames N]
 
 import argparse
 
-from repro.apps.transcoder import FrameSource, Mpeg4Stream, Mpeg2Stream
+from repro.apps.transcoder import FrameSource, Mpeg4Stream
 from repro.apps.transcoder.mpeg2 import encode_frame
 from repro.apps.transcoder.mpeg4 import Mpeg4Encoder
 from repro.core import ZCOctetSequence
-from repro.idl import compile_idl
 from repro.orb import ORB, ORBConfig
 from repro.services import (EventChannelImpl, NameClient, QueueingConsumer,
-                            events_api, start_name_service)
+                            start_name_service)
 
 
 def main():

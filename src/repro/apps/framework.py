@@ -17,8 +17,8 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generic, Iterable, List, Optional, \
-    Sequence, TypeVar
+from typing import (Any, Callable, Dict, Generic, Iterable, List, Sequence,
+                    TypeVar)
 
 __all__ = ["Farm", "FarmStats", "FarmError"]
 

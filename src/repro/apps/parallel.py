@@ -17,7 +17,7 @@ back in member order — one logical invocation on a distributed object.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Union
 
 import numpy as np

@@ -27,7 +27,6 @@ from ...idl import compile_idl
 from ...simnet import (GIGABIT_ETHERNET, LinkProfile, MachineProfile,
                        OrbCostConfig, StackConfig, measure_corba_request)
 from ..framework import Farm
-from .frames import VideoFrame
 from .mpeg2 import Mpeg2Stream
 from .mpeg4 import DELIVERY_QUALITY, Mpeg4Stream
 

@@ -26,7 +26,6 @@ Versions (``--version``):
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence

@@ -20,7 +20,7 @@ from typing import Any as PyAny
 
 from .decoder import CDRDecoder, CDRError
 from .encoder import CDREncoder
-from .typecode import (TCKind, TypeCode, UNION_DISC_KINDS)
+from .typecode import TCKind, TypeCode
 
 __all__ = ["Any", "TC_ANY", "encode_typecode", "decode_typecode"]
 

@@ -28,11 +28,10 @@ from typing import Any, Callable, Dict, Optional
 import numpy as np
 
 from ..core.buffers import ZCBuffer
-from ..core.direct_deposit import (DEPOSIT_MAGIC, DepositDescriptor,
-                                   DepositRegistry)
+from ..core.direct_deposit import DEPOSIT_MAGIC, DepositRegistry
 from ..core.sequences import OctetSequence, ZCOctetSequence
-from .decoder import CDRDecoder, CDRError
-from .encoder import CDREncoder, NATIVE_LITTLE
+from .decoder import CDRDecoder
+from .encoder import NATIVE_LITTLE, CDREncoder
 from .typecode import TCKind, TypeCode
 
 __all__ = [

@@ -15,7 +15,7 @@ TID of the CORBA datatype used in the stub" (§4.4).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 __all__ = [

@@ -142,6 +142,7 @@ class DepositReceiver:
         self._order: list[int] = []
         self.deposits_received = 0
         self.bytes_deposited = 0
+        self.deposits_aborted = 0
 
     def prepare(self, desc: DepositDescriptor) -> ZCBuffer:
         if desc.deposit_id in self._prepared:
@@ -173,10 +174,25 @@ class DepositReceiver:
         self.bytes_deposited += desc.size
         return buf
 
-    def abort(self) -> None:
-        """Release all prepared buffers (connection failure path)."""
+    @property
+    def outstanding(self) -> int:
+        """Prepared deposits whose buffers have not been handed off."""
+        return len(self._prepared)
+
+    def abort(self) -> int:
+        """Release all prepared buffers (connection failure path).
+
+        A payload interrupted mid-landing must return its page-aligned
+        buffer to the pool before the sender's retry re-registers the
+        transfer; the count of released buffers is returned so callers
+        can account for the discarded landings.
+        """
+        released = 0
         for _, buf in self._prepared.values():
             if not buf.released:
                 buf.release()
+                released += 1
         self._prepared.clear()
         self._order.clear()
+        self.deposits_aborted += released
+        return released

@@ -1,7 +1,7 @@
 """GIOP/IIOP protocol: message formats, service contexts carrying
 deposit descriptors, and Interoperable Object References."""
 
-from .ior import IIOPProfile, IOR, IORError, TAG_INTERNET_IOP
+from .ior import IOR, TAG_INTERNET_IOP, IIOPProfile, IORError
 from .messages import (GIOP_HEADER_SIZE, GIOP_MAGIC, SVC_CTX_DEPOSIT,
                        CancelRequestHeader, GIOPError, GIOPHeader,
                        GIOPMessage, LocateReplyHeader, LocateRequestHeader,

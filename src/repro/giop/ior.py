@@ -15,7 +15,7 @@ three transports of this reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 from ..cdr import CDRDecoder, CDREncoder
 

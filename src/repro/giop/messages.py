@@ -18,9 +18,9 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from ..cdr import CDRDecoder, CDREncoder, NATIVE_LITTLE
+from ..cdr import NATIVE_LITTLE, CDRDecoder, CDREncoder
 from ..cdr.decoder import CDRError
 from ..core.direct_deposit import DEPOSIT_MAGIC, DepositDescriptor
 
@@ -72,7 +72,8 @@ class LocateStatus(enum.IntEnum):
     OBJECT_FORWARD = 2
 
 
-_HEADER = struct.Struct("4sBBBBI")  # magic, major, minor, flags, type, size(native slot)
+# magic, major, minor, flags, type, size (native slot)
+_HEADER = struct.Struct("4sBBBBI")
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ identifier used by the code generator is the flattened ``A_B_C``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..cdr.typecode import TypeCode
 from ..orb.signatures import OperationSignature

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 __all__ = ["TokenKind", "Token", "LexError", "tokenize", "KEYWORDS"]
 

@@ -11,10 +11,10 @@ from __future__ import annotations
 from typing import List
 
 from ..cdr.typecode import TCKind, TypeCode
-from ..orb.signatures import OperationSignature, ParamMode
-from .ast import (AttributeDecl, ConstDecl, Declaration, EnumDecl,
-                  ExceptionDecl, InterfaceDecl, ModuleDecl, Specification,
-                  StructDecl, TypedefDecl, UnionDecl)
+from ..orb.signatures import OperationSignature
+from .ast import (ConstDecl, Declaration, EnumDecl, ExceptionDecl,
+                  InterfaceDecl, ModuleDecl, Specification, StructDecl,
+                  TypedefDecl, UnionDecl)
 
 __all__ = ["pretty_print"]
 

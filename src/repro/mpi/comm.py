@@ -13,8 +13,8 @@ from __future__ import annotations
 import pickle
 import queue
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
 
 __all__ = ["MPIError", "Status", "Request", "Comm", "Intracomm", "World",
            "run_world", "ANY_TAG", "ANY_SOURCE"]

@@ -10,8 +10,8 @@ is the efficiency ceiling the paper pushes its CORBA toward.
 
 from __future__ import annotations
 
-from ..simnet import (LatencyStep, LinkProfile, MachineProfile, StackConfig,
-                      Testbed, TransferReport)
+from ..simnet import (LinkProfile, MachineProfile, StackConfig, Testbed,
+                      TransferReport)
 
 __all__ = ["simulate_mpi_transfer"]
 

@@ -8,15 +8,16 @@ exceptions and the ORB facade."""
 from .async_invoke import AsyncInvoker, invoke_async
 from .connection import ConnStats, GIOPConn, ReceivedMessage
 from .dii import DynRequest
-from .interceptors import (AccountingInterceptor, InterceptorRegistry,
-                           RequestInfo, RequestInterceptor)
 from .dispatcher import MethodDispatcher
 from .exceptions import (BAD_OPERATION, BAD_PARAM, COMM_FAILURE, INTERNAL,
                          INV_OBJREF, MARSHAL, NO_IMPLEMENT, OBJECT_NOT_EXIST,
                          TIMEOUT, TRANSIENT, UNKNOWN, CompletionStatus,
-                         SystemException, UserException)
+                         SystemException, UserException, retry_safe)
+from .interceptors import (AccountingInterceptor, InterceptorRegistry,
+                           RequestInfo, RequestInterceptor)
 from .object_adapter import POA, Servant
 from .orb import ORB, ORBConfig
+from .policy import NO_RETRY, Deadline, InvocationPolicy
 from .proxy import IIOPProxy
 from .server import IIOPServer
 from .signatures import (InterfaceDef, OperationSignature, Param, ParamMode)
@@ -24,6 +25,7 @@ from .stubs import ObjectStub, lookup_stub_class, register_stub_class
 
 __all__ = [
     "ORB", "ORBConfig", "DynRequest", "AsyncInvoker", "invoke_async",
+    "InvocationPolicy", "Deadline", "NO_RETRY",
     "RequestInterceptor", "RequestInfo", "InterceptorRegistry",
     "AccountingInterceptor",
     "GIOPConn", "ReceivedMessage", "ConnStats",
@@ -34,5 +36,5 @@ __all__ = [
     "SystemException", "UserException", "CompletionStatus",
     "UNKNOWN", "BAD_PARAM", "COMM_FAILURE", "INV_OBJREF", "INTERNAL",
     "MARSHAL", "NO_IMPLEMENT", "BAD_OPERATION", "TRANSIENT",
-    "OBJECT_NOT_EXIST", "TIMEOUT",
+    "OBJECT_NOT_EXIST", "TIMEOUT", "retry_safe",
 ]

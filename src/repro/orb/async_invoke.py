@@ -17,7 +17,6 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Dict, Optional, Sequence
 
 from .exceptions import BAD_PARAM
-from .signatures import OperationSignature
 from .stubs import ObjectStub
 
 __all__ = ["AsyncInvoker", "invoke_async"]

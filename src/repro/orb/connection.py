@@ -24,13 +24,13 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
-from ..cdr import CDREncoder, MarshalContext, NATIVE_LITTLE
+from ..cdr import NATIVE_LITTLE, CDREncoder, MarshalContext
 from ..core.buffers import BufferPool, ZCBuffer, default_pool
 from ..core.direct_deposit import DepositReceiver, DepositRegistry
 from ..giop import (GIOP_HEADER_SIZE, GIOPError, GIOPHeader, GIOPMessage,
                     MsgType, ServiceContext, decode_body, decode_header)
-from ..transport.base import Stream, TransportError
-from .exceptions import COMM_FAILURE, MARSHAL
+from ..transport.base import Stream, TransportError, TransportTimeout
+from .exceptions import COMM_FAILURE, MARSHAL, TIMEOUT, CompletionStatus
 
 __all__ = ["GIOPConn", "ReceivedMessage", "ConnStats"]
 
@@ -47,6 +47,12 @@ class ConnStats:
     deposits_received: int = 0
     deposit_bytes_sent: int = 0
     deposit_bytes_received: int = 0
+    #: resilience-layer counters (repro.orb.policy).  A proxy carries
+    #: one ConnStats across reconnects, so these survive conn turnover.
+    reconnects: int = 0
+    retries: int = 0
+    deposit_fallbacks: int = 0
+    timeouts: int = 0
 
 
 @dataclass
@@ -87,7 +93,8 @@ class GIOPConn:
                  zero_copy: bool = True, generic_loop: bool = False,
                  little_endian: bool = NATIVE_LITTLE,
                  on_bytes: Optional[Callable[[str, int], None]] = None,
-                 orb=None, fragment_size: int = 0):
+                 orb=None, fragment_size: int = 0,
+                 stats: Optional[ConnStats] = None):
         self.stream = stream
         self.pool = pool or default_pool()
         self.zero_copy = zero_copy
@@ -99,7 +106,9 @@ class GIOPConn:
         #: exceeds this many bytes (0 = never fragment).  Deposit
         #: payloads are never fragmented — they are the data path.
         self.fragment_size = fragment_size
-        self.stats = ConnStats()
+        #: a caller-supplied ConnStats survives reconnects (the proxy
+        #: hands the same object to each replacement connection)
+        self.stats = stats if stats is not None else ConnStats()
         self._req_ids = itertools.count(1)
         self._send_lock = threading.Lock()
         self._closed = False
@@ -109,9 +118,17 @@ class GIOPConn:
         return next(self._req_ids)
 
     # -- marshaling contexts ------------------------------------------------------
-    def make_marshal_context(self) -> MarshalContext:
-        """Context for marshaling one outgoing message's parameters."""
-        registry = DepositRegistry() if self.zero_copy else None
+    def make_marshal_context(self, force_copy: bool = False
+                             ) -> MarshalContext:
+        """Context for marshaling one outgoing message's parameters.
+
+        ``force_copy`` suppresses the deposit registry for this one
+        message, so zero-copy sequences travel inline by copy — the
+        graceful-degradation path a retry takes after a deposit payload
+        was interrupted mid-stream.
+        """
+        registry = DepositRegistry() \
+            if (self.zero_copy and not force_copy) else None
         return MarshalContext(registry=registry, on_bytes=self.on_bytes,
                               generic_loop=self.generic_loop, orb=self.orb)
 
@@ -147,6 +164,12 @@ class GIOPConn:
         try:
             with self._send_lock:
                 self.stream.sendv(chunks)
+        except TransportTimeout as e:
+            # an incompletely sent GIOP message can never execute
+            self._closed = True
+            self.stats.timeouts += 1
+            raise TIMEOUT(completed=CompletionStatus.COMPLETED_NO,
+                          message=str(e)) from e
         except TransportError as e:
             self._closed = True
             raise COMM_FAILURE(message=str(e)) from e
@@ -221,6 +244,12 @@ class GIOPConn:
                     little_endian=header.little_endian,
                     major=header.major, minor=header.minor,
                     more_fragments=frag_header.more_fragments)
+        except TransportTimeout as e:
+            # the request left in full; the peer's progress is unknown
+            self._closed = True
+            self.stats.timeouts += 1
+            raise TIMEOUT(completed=CompletionStatus.COMPLETED_MAYBE,
+                          message=str(e)) from e
         except TransportError as e:
             self._closed = True
             raise COMM_FAILURE(message=str(e)) from e
@@ -245,6 +274,14 @@ class GIOPConn:
                     deposits[desc.deposit_id] = receiver.complete(
                         desc.deposit_id)
                     deposit_flags[desc.deposit_id] = desc.flags
+            except TransportTimeout as e:
+                # interrupted mid-landing: the page-aligned buffers go
+                # straight back to the pool — zero-copy never leaks
+                receiver.abort()
+                self._closed = True
+                self.stats.timeouts += 1
+                raise TIMEOUT(completed=CompletionStatus.COMPLETED_MAYBE,
+                              message=str(e)) from e
             except TransportError as e:
                 receiver.abort()
                 self._closed = True

@@ -21,7 +21,7 @@ Example::
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Tuple
 
 from ..cdr.typecode import TC_VOID, TypeCode
 from .exceptions import BAD_PARAM

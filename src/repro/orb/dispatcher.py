@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..cdr import MarshalContext, get_marshaller
+from ..cdr import get_marshaller
 from ..giop import ReplyHeader, ReplyStatus, RequestHeader
 from .connection import GIOPConn, ReceivedMessage
 from .exceptions import (BAD_OPERATION, OBJECT_NOT_EXIST, UNKNOWN,
@@ -23,7 +23,7 @@ from .signatures import OperationSignature, Param, ParamMode
 
 __all__ = ["MethodDispatcher"]
 
-from ..cdr.typecode import TC_BOOLEAN, TC_STRING, TC_VOID
+from ..cdr.typecode import TC_BOOLEAN, TC_STRING
 
 #: implicit operations every object answers (CORBA::Object pseudo-ops)
 _IS_A = OperationSignature(name="_is_a",

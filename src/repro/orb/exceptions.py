@@ -10,7 +10,7 @@ Python classes by the IDL compiler and marshaled by TypeCode.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional, Type
+from typing import Dict, Type
 
 from ..cdr import CDRDecoder, CDREncoder
 
@@ -21,7 +21,7 @@ __all__ = [
     "NO_IMPLEMENT", "BAD_TYPECODE", "BAD_OPERATION", "NO_RESOURCES",
     "NO_RESPONSE", "TRANSIENT", "OBJECT_NOT_EXIST", "TIMEOUT",
     "encode_system_exception", "decode_system_exception",
-    "system_exception_class",
+    "system_exception_class", "retry_safe",
 ]
 
 
@@ -63,8 +63,8 @@ class UserException(Exception):
 
     def __init__(self, **members):
         self.__dict__.update(members)
-        super().__init__(
-            f"{type(self).__name__}({', '.join(f'{k}={v!r}' for k, v in members.items())})")
+        body = ", ".join(f"{k}={v!r}" for k, v in members.items())
+        super().__init__(f"{type(self).__name__}({body})")
 
     @property
     def repo_id(self) -> str:
@@ -107,6 +107,22 @@ TIMEOUT = _make("TIMEOUT")
 
 def system_exception_class(repo_id: str) -> Type[SystemException]:
     return _SYSTEM_CLASSES.get(repo_id, UNKNOWN)
+
+
+def retry_safe(exc: SystemException, idempotent: bool = False) -> bool:
+    """Is it safe to transparently re-issue the request after ``exc``?
+
+    GIOP failure states safely retryable under at-most-once semantics:
+    ``TRANSIENT``/``COMM_FAILURE`` with ``COMPLETED_NO`` (the request
+    provably never executed), or any completion status when the
+    operation is idempotent.  ``COMPLETED_MAYBE`` on a non-idempotent
+    call is *not* retryable — the server may already have executed it.
+    """
+    if not isinstance(exc, (TRANSIENT, COMM_FAILURE)):
+        return False
+    if exc.completed is CompletionStatus.COMPLETED_NO:
+        return True
+    return idempotent
 
 
 def encode_system_exception(enc: CDREncoder, exc: SystemException) -> None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from .exceptions import BAD_PARAM, OBJECT_NOT_EXIST
 from .signatures import InterfaceDef

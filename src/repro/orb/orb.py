@@ -21,16 +21,17 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Type
 
 from ..core.buffers import BufferPool, default_pool
-from ..giop import IIOPProfile, IOR
+from ..giop import IOR, IIOPProfile
 from ..transport.base import Endpoint, TransportRegistry
 from ..transport.base import registry as default_registry
 from .connection import GIOPConn
 from .exceptions import INV_OBJREF, OBJECT_NOT_EXIST
 from .object_adapter import POA, Servant
+from .policy import InvocationPolicy
 from .proxy import IIOPProxy
 from .server import IIOPServer
 from .signatures import OperationSignature
@@ -64,11 +65,16 @@ class ORB:
     def __init__(self, config: Optional[ORBConfig] = None,
                  transports: Optional[TransportRegistry] = None,
                  pool: Optional[BufferPool] = None,
-                 on_bytes: Optional[Callable[[str, int], None]] = None):
+                 on_bytes: Optional[Callable[[str, int], None]] = None,
+                 policy: Optional[InvocationPolicy] = None):
         self.config = config or ORBConfig()
         self.transports = transports or default_registry()
         self.pool = pool or default_pool()
         self.on_bytes = on_bytes
+        #: ORB-wide invocation policy (deadline/retry/backoff); a
+        #: per-proxy or per-call policy overrides it.  None = one
+        #: attempt, no deadline.
+        self.policy = policy
         self.orb_id = next(_orb_ids)
         self.poa = POA(name=f"POA{self.orb_id}")
         self._server: Optional[IIOPServer] = None
@@ -162,8 +168,13 @@ class ORB:
 
     # -- invocation routing ----------------------------------------------------
     def invoke(self, ior: IOR, sig: OperationSignature,
-               args: Sequence[Any]) -> Any:
-        """Route one call: collocated bypass or remote via IIOPProxy."""
+               args: Sequence[Any],
+               policy: Optional[InvocationPolicy] = None) -> Any:
+        """Route one call: collocated bypass or remote via IIOPProxy.
+
+        ``policy`` (per-call) overrides the ORB-wide :attr:`policy`;
+        collocated calls never retry — there is no wire to fail.
+        """
         servant = self.find_local_servant(ior) \
             if self.config.collocated_calls else None
         if servant is not None:
@@ -174,7 +185,8 @@ class ORB:
             return method(*args)
         profile = ior.iiop_profile()
         proxy = self._proxy_for(profile.endpoint)
-        return proxy.invoke(profile.object_key, sig, args)
+        return proxy.invoke(profile.object_key, sig, args,
+                            policy=policy or self.policy)
 
     def locate(self, ref: ObjectStub) -> bool:
         """GIOP LocateRequest: is the referenced object reachable and
@@ -186,8 +198,10 @@ class ORB:
             return True
         profile = ior.iiop_profile()
         proxy = self._proxy_for(profile.endpoint)
-        conn = proxy.conn
         with proxy._call_lock:
+            conn = proxy.conn
+            if conn.closed:
+                conn = proxy.reconnect()
             request = LocateRequestHeader(
                 request_id=conn.next_request_id(),
                 object_key=profile.object_key)
@@ -213,21 +227,28 @@ class ORB:
         return self.poa.find_servant(profile.object_key)
 
     def _proxy_for(self, endpoint: Endpoint) -> IIOPProxy:
+        """One persistent proxy per endpoint.  The proxy dials lazily
+        through its connector and reconnects itself after failures, so
+        a dead connection no longer discards the proxy (or its stats)."""
         with self._lock:
             proxy = self._proxies.get(endpoint)
-            if proxy is not None and not proxy.conn.closed:
+            if proxy is not None:
                 return proxy
             transport = self.transports.get(endpoint[0])
-            stream = transport.connect(endpoint)
-            kw = {}
-            if self.config.wire_little_endian is not None:
-                kw["little_endian"] = self.config.wire_little_endian
-            conn = GIOPConn(stream, pool=self.pool,
-                            zero_copy=self.config.zero_copy,
-                            generic_loop=self.config.generic_loop,
-                            on_bytes=self.on_bytes, orb=self,
-                            fragment_size=self.config.fragment_size, **kw)
-            proxy = IIOPProxy(conn)
+
+            def connector() -> GIOPConn:
+                stream = transport.connect(endpoint)
+                kw = {}
+                if self.config.wire_little_endian is not None:
+                    kw["little_endian"] = self.config.wire_little_endian
+                return GIOPConn(stream, pool=self.pool,
+                                zero_copy=self.config.zero_copy,
+                                generic_loop=self.config.generic_loop,
+                                on_bytes=self.on_bytes, orb=self,
+                                fragment_size=self.config.fragment_size,
+                                **kw)
+
+            proxy = IIOPProxy(connector)
             self._proxies[endpoint] = proxy
             return proxy
 
@@ -241,11 +262,14 @@ class ORB:
             self._proxies.clear()
             server = self._server
         for proxy in proxies:
+            conn = proxy._conn  # do not dial just to say goodbye
+            if conn is None:
+                continue
             try:
-                proxy.conn.send_close()
+                conn.send_close()
             except Exception:
                 pass
-            proxy.conn.close()
+            conn.close()
         if server is not None:
             server.shutdown()
 

@@ -1,0 +1,153 @@
+"""Client-side invocation policies: deadlines, retries, backoff.
+
+CORBA deployments live or die on client-side failure handling: MICO's
+GIOP layer maps stream failures to ``COMM_FAILURE``/``TRANSIENT`` and
+leaves recovery to the application.  This module gives the reproduction
+the standard recovery toolkit instead:
+
+* a per-call **deadline** (``timeout``) that surfaces as the ``TIMEOUT``
+  system exception with an honest completion status — ``COMPLETED_NO``
+  when the request never fully left, ``COMPLETED_MAYBE`` once it did;
+* a **retry budget** with exponential backoff and seeded jitter for
+  ``TRANSIENT``/``COMM_FAILURE`` failures that are *safe* to retry:
+  either the call provably never completed (``COMPLETED_NO``) or the
+  operation is declared idempotent;
+* pluggable ``sleep``/``clock`` hooks so tests drive schedules
+  deterministically without wall-clock waits.
+
+Policies attach per-ORB (``ORB(policy=...)``), or per proxy
+(``stub._set_policy(...)``), or per call (``orb.invoke(..., policy=)``)
+— most specific wins.  The default is the pre-existing behaviour: one
+attempt, no deadline.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .exceptions import COMM_FAILURE, TRANSIENT, SystemException, retry_safe
+
+__all__ = ["InvocationPolicy", "Deadline", "NO_RETRY"]
+
+
+class Deadline:
+    """An absolute expiry instant derived from a relative timeout."""
+
+    __slots__ = ("timeout", "_clock", "_expires")
+
+    def __init__(self, timeout: float,
+                 clock: Callable[[], float] = time.monotonic):
+        self.timeout = timeout
+        self._clock = clock
+        self._expires = clock() + timeout
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self._expires - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining <= 0.0
+
+    def __repr__(self) -> str:
+        return f"<Deadline {self.timeout}s, {self.remaining:.4f}s left>"
+
+
+@dataclass
+class InvocationPolicy:
+    """Deadline + retry/backoff configuration for remote invocations."""
+
+    #: overall per-call deadline in seconds (spans every retry);
+    #: ``None`` = no deadline
+    timeout: Optional[float] = None
+    #: retries *after* the first attempt (0 = current one-shot behaviour)
+    max_retries: int = 0
+    #: first backoff delay, seconds
+    base_backoff: float = 0.01
+    #: exponential growth factor per retry
+    backoff_multiplier: float = 2.0
+    #: backoff ceiling, seconds
+    max_backoff: float = 1.0
+    #: +/- fraction of each delay randomized away (0 = none)
+    jitter: float = 0.1
+    #: seed for the jitter stream; a seeded policy replays the exact
+    #: same backoff schedule on every run
+    seed: Optional[int] = None
+    #: retry TRANSIENT failures (server closed, connect refused...)
+    retry_transient: bool = True
+    #: retry COMM_FAILURE failures (resets, broken streams)
+    retry_comm_failure: bool = True
+    #: injectable hooks for deterministic tests
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+
+    def __post_init__(self):
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0: {self.timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.base_backoff < 0:
+            raise ValueError(
+                f"base_backoff must be >= 0: {self.base_backoff}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1]: {self.jitter}")
+        self._rng = random.Random(self.seed)
+
+    # -- deadlines -----------------------------------------------------------
+    def start_deadline(self) -> Optional[Deadline]:
+        """A fresh deadline for one invocation (None when no timeout)."""
+        if self.timeout is None:
+            return None
+        return Deadline(self.timeout, clock=self.clock)
+
+    # -- backoff -------------------------------------------------------------
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (0-based), with jitter drawn
+        from the policy's seeded RNG."""
+        raw = min(self.base_backoff * self.backoff_multiplier ** attempt,
+                  self.max_backoff)
+        if self.jitter:
+            raw *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(0.0, raw)
+
+    def preview_schedule(self) -> List[float]:
+        """The full backoff schedule this policy would produce, without
+        consuming the live RNG (for tests and capacity planning)."""
+        probe = random.Random(self.seed)
+        out = []
+        for attempt in range(self.max_retries):
+            raw = min(self.base_backoff * self.backoff_multiplier ** attempt,
+                      self.max_backoff)
+            if self.jitter:
+                raw *= 1.0 + self.jitter * (2.0 * probe.random() - 1.0)
+            out.append(max(0.0, raw))
+        return out
+
+    # -- retry decision ------------------------------------------------------
+    def retryable(self, exc: SystemException,
+                  idempotent: bool = False) -> bool:
+        """May this failure be transparently retried under this policy?
+
+        Only ``TRANSIENT``/``COMM_FAILURE`` qualify, and only when the
+        request either provably never completed (``COMPLETED_NO``) or
+        the operation is idempotent — re-running a completed
+        non-idempotent call would violate at-most-once semantics.
+        """
+        if isinstance(exc, TRANSIENT):
+            if not self.retry_transient:
+                return False
+        elif isinstance(exc, COMM_FAILURE):
+            if not self.retry_comm_failure:
+                return False
+        else:
+            return False
+        return retry_safe(exc, idempotent=idempotent)
+
+
+#: the implicit default: one attempt, no deadline — exactly the
+#: behaviour of an ORB without a resilience layer
+NO_RETRY = InvocationPolicy()

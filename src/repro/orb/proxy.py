@@ -5,6 +5,18 @@ arrives from the stub, parameters are marshaled — or, for zero-copy
 sequences, registered for deposit (§4.4) — a GIOP Request is written,
 and the matching Reply demarshaled into results or raised exceptions.
 
+On top of that sits the resilience layer (:mod:`repro.orb.policy`): the
+proxy owns one logical connection to its endpoint, reconnecting the
+underlying ``GIOPConn`` when the stream dies, retrying failed attempts
+within the policy's budget (backoff + seeded jitter), and enforcing the
+request deadline — which surfaces as the ``TIMEOUT`` system exception
+with a completion status the client can trust.  Each retry re-marshals
+from the original arguments, which re-registers any pending
+direct-deposit payloads on the fresh connection; after an attempt whose
+deposit payload was interrupted mid-stream, the retry falls back to the
+copy path so zero-copy never compromises delivery (§4.4's regime is an
+optimisation, not a correctness requirement).
+
 Send and receive of one synchronous call are serialized per
 connection; this matches the request/reply discipline of the paper's
 TTCP-over-CORBA workload and keeps the reply matching trivial.
@@ -13,33 +25,140 @@ TTCP-over-CORBA workload and keeps the reply matching trivial.
 from __future__ import annotations
 
 import threading
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence, Union
 
-from ..giop import (MsgType, ReplyHeader, ReplyStatus, RequestHeader)
-from .connection import GIOPConn, ReceivedMessage
-from .exceptions import (COMM_FAILURE, INTERNAL, MARSHAL, TRANSIENT,
-                         UserException, decode_system_exception)
+from ..giop import MsgType, ReplyHeader, ReplyStatus, RequestHeader
+from ..transport.base import TransportError
+from .connection import ConnStats, GIOPConn, ReceivedMessage
+from .exceptions import (COMM_FAILURE, INTERNAL, MARSHAL, TIMEOUT, TRANSIENT,
+                         CompletionStatus, UserException,
+                         decode_system_exception)
+from .policy import NO_RETRY, Deadline, InvocationPolicy
 from .signatures import OperationSignature
 
 __all__ = ["IIOPProxy"]
 
+#: a zero-arg factory producing a fresh, connected GIOPConn
+Connector = Callable[[], GIOPConn]
+
 
 class IIOPProxy:
-    """Synchronous request/reply engine over one GIOPConn."""
+    """Synchronous request/reply engine over one (logical) GIOPConn."""
 
-    def __init__(self, conn: GIOPConn):
-        self.conn = conn
+    def __init__(self, conn: Union[GIOPConn, Connector],
+                 policy: Optional[InvocationPolicy] = None):
+        if isinstance(conn, GIOPConn):
+            self._conn: Optional[GIOPConn] = conn
+            self._connector: Optional[Connector] = None
+            self._stats = conn.stats
+        else:
+            self._conn = None
+            self._connector = conn
+            self._stats = ConnStats()
+        self.policy = policy
         self._call_lock = threading.Lock()
         self.calls = 0
+
+    # -- connection management -----------------------------------------------
+    @property
+    def conn(self) -> GIOPConn:
+        """The live connection, dialing lazily on first use."""
+        conn = self._conn
+        if conn is None:
+            conn = self._connect()
+        return conn
+
+    @property
+    def stats(self) -> ConnStats:
+        """Cumulative stats across every connection this proxy used."""
+        return self._stats
+
+    def _connect(self) -> GIOPConn:
+        if self._connector is None:
+            raise COMM_FAILURE(
+                completed=CompletionStatus.COMPLETED_NO,
+                message="connection closed and proxy has no connector")
+        try:
+            conn = self._connector()
+        except TransportError as e:
+            raise TRANSIENT(completed=CompletionStatus.COMPLETED_NO,
+                            message=f"connect failed: {e}") from e
+        conn.stats = self._stats
+        self._conn = conn
+        return conn
+
+    def reconnect(self) -> GIOPConn:
+        """Tear down the dead connection and dial a replacement; the
+        shared ConnStats rides along."""
+        old, self._conn = self._conn, None
+        if old is not None:
+            old.close()
+        conn = self._connect()
+        self._stats.reconnects += 1
+        return conn
 
     def _interceptors(self):
         orb = self.conn.orb
         return getattr(orb, "interceptors", None) if orb else None
 
+    # -- invocation ----------------------------------------------------------
     def invoke(self, object_key: bytes, sig: OperationSignature,
-               args: Sequence[Any]) -> Any:
-        """One static invocation: marshal, send, await reply, demarshal."""
+               args: Sequence[Any],
+               policy: Optional[InvocationPolicy] = None) -> Any:
+        """One static invocation under the effective policy: marshal,
+        send, await reply, demarshal — with deadline, retry budget and
+        deposit fallback applied around the attempt."""
+        policy = policy or self.policy or NO_RETRY
+        deadline = policy.start_deadline()
+        attempt = 0
+        force_copy = False
+        with self._call_lock:
+            while True:
+                if deadline is not None and deadline.expired:
+                    self._stats.timeouts += 1
+                    raise TIMEOUT(
+                        completed=CompletionStatus.COMPLETED_NO,
+                        message=(f"deadline of {policy.timeout}s expired "
+                                 f"before the request was sent"))
+                try:
+                    return self._invoke_once(object_key, sig, args,
+                                             deadline, force_copy)
+                except (TRANSIENT, COMM_FAILURE) as exc:
+                    if attempt >= policy.max_retries or \
+                            not policy.retryable(exc, sig.idempotent):
+                        raise
+                    if deadline is not None and deadline.expired:
+                        # retry would be futile; report the deadline,
+                        # carrying the completion status we actually know
+                        self._stats.timeouts += 1
+                        raise TIMEOUT(
+                            completed=exc.completed,
+                            message=(f"deadline of {policy.timeout}s "
+                                     f"expired after "
+                                     f"{attempt + 1} attempt(s): "
+                                     f"{exc.message}")) from exc
+                    if self._attempt_had_deposits and not force_copy:
+                        # a deposit payload died mid-stream: degrade to
+                        # the copy path so the retry cannot be bitten by
+                        # the same data-path failure
+                        force_copy = True
+                        self._stats.deposit_fallbacks += 1
+                    delay = policy.backoff(attempt)
+                    if deadline is not None:
+                        delay = min(delay, max(0.0, deadline.remaining))
+                    if delay > 0:
+                        policy.sleep(delay)
+                    attempt += 1
+                    self._stats.retries += 1
+
+    def _invoke_once(self, object_key: bytes, sig: OperationSignature,
+                     args: Sequence[Any], deadline: Optional[Deadline],
+                     force_copy: bool) -> Any:
         self.calls += 1
+        self._attempt_had_deposits = False
+        conn = self.conn
+        if conn.closed:
+            conn = self.reconnect()
         chain = self._interceptors()
         info = None
         if chain is not None and len(chain):
@@ -47,22 +166,22 @@ class IIOPProxy:
             info = RequestInfo(operation=sig.name, object_key=object_key,
                                response_expected=not sig.oneway)
             chain.run("send_request", info)
-        ctx = self.conn.make_marshal_context()
-        enc = self.conn.body_encoder()
+        ctx = conn.make_marshal_context(force_copy=force_copy)
+        enc = conn.body_encoder()
         sig.marshal_request(enc, args, ctx)
+        self._attempt_had_deposits = bool(ctx.descriptors)
         request = RequestHeader(
-            request_id=self.conn.next_request_id(),
+            request_id=conn.next_request_id(),
             object_key=object_key,
             operation=sig.name,
             response_expected=not sig.oneway,
         )
         if info is not None:
             info.request_id = request.request_id
-        with self._call_lock:
-            self.conn.send_message(request, enc.getvalue(), ctx)
-            if sig.oneway:
-                return None
-            rm = self._await_reply(request.request_id)
+        conn.send_message(request, enc.getvalue(), ctx)
+        if sig.oneway:
+            return None
+        rm = self._await_reply(conn, request.request_id, deadline)
         if info is not None:
             reply = rm.msg.body_header
             info.reply_status = reply.reply_status.name
@@ -70,34 +189,59 @@ class IIOPProxy:
         return self._process_reply(sig, rm)
 
     # -- reply handling ---------------------------------------------------------
-    def _await_reply(self, request_id: int) -> ReceivedMessage:
-        while True:
-            rm = self.conn.read_message()
-            mtype = rm.header.msg_type
-            if mtype is MsgType.Reply:
-                reply = rm.msg.body_header
-                assert isinstance(reply, ReplyHeader)
-                if reply.request_id == request_id:
-                    return rm
-                # stale reply for a cancelled/abandoned request: skip
-                continue
-            if mtype is MsgType.CloseConnection:
-                self.conn.close()
-                raise TRANSIENT(message="server closed the connection")
-            if mtype is MsgType.MessageError:
-                self.conn.close()
-                raise COMM_FAILURE(message="peer reported a message error")
-            raise INTERNAL(message=(
-                f"unexpected {mtype.name} while awaiting reply "
-                f"{request_id}"))
+    def _await_reply(self, conn: GIOPConn, request_id: int,
+                     deadline: Optional[Deadline] = None) -> ReceivedMessage:
+        set_timeout = getattr(conn.stream, "set_timeout", None)
+        if deadline is not None and set_timeout is not None:
+            # blocking transports honour the remaining budget directly;
+            # expiry raises TIMEOUT (COMPLETED_MAYBE) via the conn
+            set_timeout(max(deadline.remaining, 1e-4))
+        try:
+            while True:
+                try:
+                    rm = conn.read_message()
+                except COMM_FAILURE as exc:
+                    if exc.completed is CompletionStatus.COMPLETED_NO:
+                        # the request left in full; we simply cannot
+                        # know how far the peer got
+                        raise COMM_FAILURE(
+                            minor=exc.minor,
+                            completed=CompletionStatus.COMPLETED_MAYBE,
+                            message=exc.message) from exc
+                    raise
+                mtype = rm.header.msg_type
+                if mtype is MsgType.Reply:
+                    reply = rm.msg.body_header
+                    assert isinstance(reply, ReplyHeader)
+                    if reply.request_id == request_id:
+                        return rm
+                    # stale reply for a cancelled/abandoned request: skip
+                    continue
+                if mtype is MsgType.CloseConnection:
+                    conn.close()
+                    raise TRANSIENT(
+                        completed=CompletionStatus.COMPLETED_MAYBE,
+                        message="server closed the connection")
+                if mtype is MsgType.MessageError:
+                    conn.close()
+                    raise COMM_FAILURE(
+                        message="peer reported a message error")
+                raise INTERNAL(message=(
+                    f"unexpected {mtype.name} while awaiting reply "
+                    f"{request_id}"))
+        finally:
+            if deadline is not None and set_timeout is not None \
+                    and not conn.closed:
+                set_timeout(None)
 
     def _process_reply(self, sig: OperationSignature,
                        rm: ReceivedMessage) -> Any:
         reply = rm.msg.body_header
         assert isinstance(reply, ReplyHeader)
-        ctx = rm.make_demarshal_context(on_bytes=self.conn.on_bytes,
-                                        generic_loop=self.conn.generic_loop,
-                                        orb=self.conn.orb)
+        conn = self.conn
+        ctx = rm.make_demarshal_context(on_bytes=conn.on_bytes,
+                                        generic_loop=conn.generic_loop,
+                                        orb=conn.orb)
         dec = rm.params_decoder()
         status = reply.reply_status
         if status is ReplyStatus.NO_EXCEPTION:
@@ -125,3 +269,6 @@ class IIOPProxy:
             raise TRANSIENT(message="LOCATION_FORWARD not supported; "
                                     "re-resolve the object reference")
         raise INTERNAL(message=f"unhandled reply status {status}")
+
+    #: set per attempt: did the last send carry deposit descriptors?
+    _attempt_had_deposits = False

@@ -16,7 +16,7 @@ from ..giop import (GIOPError, LocateReplyHeader, LocateRequestHeader,
                     LocateStatus, MsgType)
 from .connection import GIOPConn, ReceivedMessage
 from .dispatcher import MethodDispatcher
-from .exceptions import COMM_FAILURE, SystemException
+from .exceptions import SystemException
 from .object_adapter import POA
 
 __all__ = ["IIOPServer"]
@@ -106,7 +106,12 @@ class IIOPServer:
     def _handle(self, conn: GIOPConn, rm: ReceivedMessage) -> None:
         mtype = rm.header.msg_type
         if mtype is MsgType.Request:
-            self.dispatcher.dispatch(conn, rm)
+            try:
+                self.dispatcher.dispatch(conn, rm)
+            except SystemException:
+                # the reply could not be written (client gone, wire
+                # reset mid-send): drop this connection, not the server
+                conn.close()
         elif mtype is MsgType.LocateRequest:
             req = rm.msg.body_header
             assert isinstance(req, LocateRequestHeader)

@@ -12,7 +12,7 @@ skeleton").
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cdr import (CDRDecoder, CDREncoder, MarshalContext, TypeCode,
@@ -55,6 +55,10 @@ class OperationSignature:
     result_tc: TypeCode = TC_VOID
     raises: Tuple[TypeCode, ...] = ()  #: tk_except TypeCodes
     oneway: bool = False
+    #: safe to transparently re-issue even when a failed attempt may
+    #: already have executed (COMPLETED_MAYBE); consulted by the
+    #: client-side retry policy (repro.orb.policy)
+    idempotent: bool = False
 
     def __post_init__(self):
         if self.oneway and (self.result_tc.kind is not TCKind.tk_void

@@ -43,6 +43,7 @@ class ObjectStub:
     def __init__(self, orb, ior: IOR):
         self._orb = orb
         self._ior = ior
+        self._policy = None  #: per-proxy InvocationPolicy override
 
     # -- reference surface ------------------------------------------------------
     @property
@@ -66,8 +67,16 @@ class ObjectStub:
                 f"{type(self).__name__} has no operation {name!r}"))
         return sig
 
+    def _set_policy(self, policy) -> "ObjectStub":
+        """Attach a per-proxy :class:`~repro.orb.policy.InvocationPolicy`
+        (deadline/retry/backoff); overrides the ORB-wide policy.
+        Returns ``self`` for chaining."""
+        self._policy = policy
+        return self
+
     def _invoke(self, name: str, args: Sequence[Any]) -> Any:
-        return self._orb.invoke(self._ior, self._signature(name), args)
+        return self._orb.invoke(self._ior, self._signature(name), args,
+                                policy=self._policy)
 
     # -- implicit object operations -------------------------------------------------
     _IS_A_SIG = None  # populated lazily below

@@ -18,9 +18,8 @@ import threading
 from collections import deque
 from typing import Deque, List, Optional
 
-from ..core import ZCOctetSequence
 from ..idl import compile_idl
-from ..orb import ORB, ObjectStub
+from ..orb import ORB
 
 __all__ = ["EVENTS_IDL", "events_api", "EventChannelImpl",
            "QueueingConsumer"]

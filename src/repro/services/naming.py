@@ -17,11 +17,10 @@ Names are ``/``-separated paths of simple strings, e.g.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..idl import compile_idl
 from ..orb import ORB, ObjectStub
-from ..orb.exceptions import UserException
 
 __all__ = ["NAMING_IDL", "naming_api", "NamingContextImpl",
            "start_name_service", "NameClient"]

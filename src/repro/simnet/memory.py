@@ -15,7 +15,7 @@ made over payload bytes, so that
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .profiles import MachineProfile
 

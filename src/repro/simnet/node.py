@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from .engine import Simulator, Resource
+from .engine import Resource, Simulator
 from .memory import MemorySystem
 from .profiles import MachineProfile
 

@@ -29,9 +29,9 @@ from dataclasses import dataclass, replace
 
 from .memory import CopyKind
 from .node import SimNode
-from .profiles import LinkProfile, MachineProfile, PAGE_SIZE
+from .profiles import PAGE_SIZE, LinkProfile, MachineProfile
 from .stacks import StackConfig
-from .transfer import (LatencyStep, StreamStep, Testbed, TransferReport)
+from .transfer import Testbed, TransferReport
 
 __all__ = ["OrbCostConfig", "corba_request_steps", "measure_corba_request"]
 

@@ -38,7 +38,7 @@ The dominant mechanisms, from the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = [
     "MachineProfile",

@@ -30,7 +30,7 @@ from dataclasses import dataclass, replace
 
 from .memory import CopyKind
 from .node import SimNode
-from .profiles import LinkProfile, PAGE_SIZE
+from .profiles import PAGE_SIZE, LinkProfile
 
 __all__ = ["StackKind", "StackConfig", "standard_stack", "zero_copy_stack"]
 

@@ -9,8 +9,8 @@ benchmark's timeline output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 __all__ = ["TraceEvent", "TraceRecorder"]
 

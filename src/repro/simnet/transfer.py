@@ -19,11 +19,11 @@ before the first byte is written, §4.2) are modelled with
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence, Union
+from typing import Sequence, Union
 
 from .engine import Simulator
 from .node import PhaseCharge, SimNode
-from .profiles import LinkProfile, MachineProfile, PAGE_SIZE
+from .profiles import PAGE_SIZE, LinkProfile, MachineProfile
 from .stacks import StackConfig
 
 __all__ = [

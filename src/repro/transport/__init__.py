@@ -1,15 +1,20 @@
 """Pluggable byte transports under the GIOP connection layer:
-in-process loopback, real TCP sockets, and the simulated testbed
-(:mod:`repro.transport.sim`)."""
+in-process loopback, real TCP sockets, the simulated testbed
+(:mod:`repro.transport.sim`), and a fault-injection wrapper over any of
+them (:mod:`repro.transport.faulty`)."""
 
 from .base import (Endpoint, Listener, Stream, Transport, TransportError,
-                   TransportRegistry, registry)
+                   TransportRegistry, TransportTimeout, registry)
+from .faulty import (FaultEvent, FaultPlan, FaultRule, FaultyStream,
+                     FaultyTransport, faulty_registry)
 from .loopback import LoopbackListener, LoopbackStream, LoopbackTransport
 from .tcp import TCPListener, TCPStream, TCPTransport
 
 __all__ = [
     "Stream", "Listener", "Transport", "Endpoint", "TransportError",
-    "TransportRegistry", "registry",
+    "TransportTimeout", "TransportRegistry", "registry",
     "LoopbackTransport", "LoopbackStream", "LoopbackListener",
     "TCPTransport", "TCPStream", "TCPListener",
+    "FaultPlan", "FaultRule", "FaultEvent", "FaultyTransport",
+    "FaultyStream", "faulty_registry",
 ]

@@ -19,10 +19,10 @@ carry the scheme so one ORB can talk over all of them.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Protocol, Sequence, Tuple
+from typing import Callable, Protocol, Sequence, Tuple
 
 __all__ = ["Stream", "Listener", "Transport", "Endpoint", "TransportError",
-           "TransportRegistry", "registry"]
+           "TransportTimeout", "TransportRegistry", "registry"]
 
 #: (scheme, host, port)
 Endpoint = Tuple[str, str, int]
@@ -30,6 +30,14 @@ Endpoint = Tuple[str, str, int]
 
 class TransportError(OSError):
     """Connection failures, resets, and protocol-level stream errors."""
+
+
+class TransportTimeout(TransportError):
+    """A stream deadline expired mid-operation (see ``set_timeout``).
+
+    Distinct from :class:`TransportError` so the ORB can map it to the
+    CORBA ``TIMEOUT`` system exception instead of ``COMM_FAILURE``.
+    """
 
 
 class Stream(Protocol):
@@ -55,6 +63,12 @@ class Stream(Protocol):
 
     @property
     def peer(self) -> str: ...
+
+    # Optional capability (not part of the structural protocol): streams
+    # that can block indefinitely (TCP) additionally expose
+    # ``set_timeout(seconds | None)``; a blocking operation that exceeds
+    # the timeout raises TransportTimeout.  Callers must feature-test
+    # with ``getattr(stream, "set_timeout", None)``.
 
 
 class Listener(Protocol):

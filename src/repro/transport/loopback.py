@@ -110,6 +110,10 @@ class LoopbackStream:
                 self._rx_bytes -= take
             self.bytes_received += need
 
+    def set_timeout(self, seconds) -> None:
+        """Interface parity with TCP: loopback reads never block (they
+        raise immediately when short of bytes), so this is a no-op."""
+
     def close(self) -> None:
         self._closed = True
         peer = self.peer_stream

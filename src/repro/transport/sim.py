@@ -15,7 +15,6 @@ checks the clock agrees with the pure cost model of
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, Optional
 
 from ..simnet import (GIGABIT_ETHERNET, PENTIUM_II_400, LinkProfile,
@@ -85,6 +84,9 @@ class SimStream:
 
     def set_data_handler(self, handler) -> None:
         self._inner.set_data_handler(handler)
+
+    def set_timeout(self, seconds) -> None:
+        self._inner.set_timeout(seconds)
 
     @property
     def available(self) -> int:

@@ -19,7 +19,7 @@ import socket
 import threading
 from typing import Optional
 
-from .base import AcceptHandler, Endpoint, TransportError
+from .base import AcceptHandler, Endpoint, TransportError, TransportTimeout
 
 __all__ = ["TCPTransport", "TCPStream", "TCPListener"]
 
@@ -37,10 +37,18 @@ class TCPStream:
         self.bytes_sent = 0
         self.bytes_received = 0
 
+    def set_timeout(self, seconds: Optional[float]) -> None:
+        """Deadline for blocking socket operations; ``None`` = block
+        forever.  Expiry surfaces as :class:`TransportTimeout`."""
+        self._sock.settimeout(seconds)
+
     def send(self, data) -> None:
         with self._wlock:
             try:
                 self._sock.sendall(data)
+            except socket.timeout as e:
+                raise TransportTimeout(
+                    f"{self.name}: send timed out") from e
             except OSError as e:
                 raise TransportError(f"{self.name}: send failed: {e}") from e
         self.bytes_sent += memoryview(data).nbytes
@@ -74,6 +82,9 @@ class TCPStream:
                         else:
                             rest.append(v)
                     views[i:i + len(batch)] = rest
+            except socket.timeout as e:
+                raise TransportTimeout(
+                    f"{self.name}: sendv timed out") from e
             except OSError as e:
                 raise TransportError(f"{self.name}: sendv failed: {e}") from e
         self.bytes_sent += total
@@ -92,6 +103,10 @@ class TCPStream:
         while got < need:
             try:
                 n = self._sock.recv_into(view[got:], need - got)
+            except socket.timeout as e:
+                raise TransportTimeout(
+                    f"{self.name}: recv timed out with {need - got} bytes "
+                    f"outstanding") from e
             except OSError as e:
                 raise TransportError(f"{self.name}: recv failed: {e}") from e
             if n == 0:

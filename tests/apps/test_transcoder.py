@@ -2,13 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.apps.transcoder import (CIF, QCIF, CodecError,
-                                   DistributedTranscoder, FrameSource,
-                                   Mpeg2Stream, Mpeg4Decoder, Mpeg4Encoder,
-                                   Mpeg4Stream, TranscoderWorker,
+from repro.apps.transcoder import (CodecError, DistributedTranscoder,
+                                   FrameSource, Mpeg2Stream, Mpeg4Decoder,
+                                   Mpeg4Encoder, Mpeg4Stream, TranscoderWorker,
                                    VideoFrame, decode_plane, encode_plane,
                                    estimate_cluster_fps)
 from repro.apps.transcoder.dct import (blockize, forward, inverse,

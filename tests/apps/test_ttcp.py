@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.apps.ttcp import (TTCPSeries, default_sizes, format_table,
-                             run_real_ttcp, run_sim_ttcp)
+from repro.apps.ttcp import (default_sizes, format_table, run_real_ttcp,
+                             run_sim_ttcp)
 
 SIZES = [4096, 65536, 1 << 20]
 

@@ -4,15 +4,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cdr import (Any, CDRDecoder, CDREncoder, CDRError, MarshalError,
-                       TC_ANY, decode_typecode, encode_typecode,
+from repro.cdr import (TC_ANY, Any, CDRDecoder, CDREncoder, CDRError,
+                       MarshalError, decode_typecode, encode_typecode,
                        get_marshaller)
 from repro.cdr.typecode import (TC_BOOLEAN, TC_DOUBLE, TC_LONG, TC_OCTET,
-                                TC_STRING, TCKind, TypeCode, array_tc,
-                                enum_tc, exception_tc, objref_tc,
-                                sequence_tc, string_tc, struct_tc,
-                                union_tc, zc_octet_sequence_tc,
-                                zc_sequence_tc)
+                                TC_STRING, TypeCode, array_tc, enum_tc,
+                                exception_tc, objref_tc, sequence_tc,
+                                string_tc, struct_tc, union_tc,
+                                zc_octet_sequence_tc, zc_sequence_tc)
 
 
 def tc_round_trip(tc, little=True):

@@ -5,11 +5,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cdr import (CDRDecoder, CDREncoder, MarshalContext, MarshalError,
-                       StructValue, TC_DOUBLE, TC_LONG, TC_OCTET,
-                       TC_SEQ_OCTET, TC_SEQ_ZC_OCTET, TC_STRING, TC_ULONG,
+from repro.cdr import (TC_DOUBLE, TC_LONG, TC_OCTET, TC_SEQ_OCTET,
+                       TC_SEQ_ZC_OCTET, TC_STRING, TC_ULONG, CDRDecoder,
+                       CDREncoder, MarshalContext, MarshalError, StructValue,
                        array_tc, enum_tc, get_marshaller, sequence_tc,
-                       string_tc, struct_tc, zc_octet_sequence_tc)
+                       string_tc, struct_tc)
 from repro.core import (BufferPool, DepositReceiver, DepositRegistry,
                         OctetSequence, ZCOctetSequence)
 

@@ -1,14 +1,12 @@
 """Adversarial-input properties: random bytes must produce typed
 errors (CDRError/GIOPError/DepositError), never arbitrary crashes."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cdr import CDRDecoder, CDRError
 from repro.core import DepositDescriptor, DepositError
-from repro.giop import (GIOP_HEADER_SIZE, GIOPError, GIOPHeader,
-                        decode_body, decode_header)
+from repro.giop import GIOPError, GIOPHeader, decode_body, decode_header
 
 
 @given(st.binary(max_size=64))

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.giop import IIOPProfile, IOR, IORError, TAG_INTERNET_IOP
+from repro.giop import IOR, TAG_INTERNET_IOP, IIOPProfile, IORError
 
 
 class TestIIOPProfile:

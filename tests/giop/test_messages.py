@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.cdr import CDRDecoder, CDREncoder
 from repro.core import DepositDescriptor
 from repro.giop import (GIOP_HEADER_SIZE, CancelRequestHeader, GIOPError,
                         GIOPHeader, LocateReplyHeader, LocateRequestHeader,

@@ -1,11 +1,10 @@
 """Code-generator tests: the generated Python must be importable and
 behaviourally complete."""
 
-import pytest
 
 from repro.cdr import lookup_value_class
 from repro.idl import compile_idl, idl_to_source
-from repro.orb import ObjectStub, Servant, UserException
+from repro.orb import Servant, UserException
 from repro.orb.stubs import lookup_stub_class
 
 

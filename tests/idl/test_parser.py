@@ -4,8 +4,7 @@ import pytest
 
 from repro.cdr.typecode import TCKind
 from repro.idl import ParseError, parse
-from repro.idl.ast import (ConstDecl, EnumDecl, ExceptionDecl,
-                           InterfaceDecl, ModuleDecl, StructDecl,
+from repro.idl.ast import (EnumDecl, ExceptionDecl, ModuleDecl, StructDecl,
                            TypedefDecl)
 from repro.orb.signatures import ParamMode
 

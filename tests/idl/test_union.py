@@ -5,8 +5,7 @@ import pytest
 from repro.cdr import (CDRDecoder, CDREncoder, MarshalError,
                        get_marshaller)
 from repro.cdr.marshal import UnionValue
-from repro.cdr.typecode import (TC_DOUBLE, TC_LONG, TC_STRING, TCKind,
-                                union_tc)
+from repro.cdr.typecode import TC_DOUBLE, TC_LONG, TC_STRING, union_tc
 from repro.idl import ParseError, compile_idl, parse, pretty_print
 
 

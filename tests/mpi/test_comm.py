@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.mpi import Comm, MPIError, Status, World, run_world
-from repro.mpi.comm import ANY_SOURCE, ANY_TAG
+from repro.mpi import MPIError, Status, World, run_world
+from repro.mpi.comm import ANY_SOURCE
 
 
 class TestPicklePath:

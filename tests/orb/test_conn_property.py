@@ -1,11 +1,10 @@
 """Property test: arbitrary message mixes survive the connection layer
 intact, at any fragmentation threshold."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cdr import MarshalContext, get_marshaller
+from repro.cdr import get_marshaller
 from repro.cdr.typecode import TC_SEQ_OCTET, TC_SEQ_ZC_OCTET
 from repro.core import OctetSequence, ZCOctetSequence
 from repro.giop import MsgType, RequestHeader

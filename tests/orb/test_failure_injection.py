@@ -5,12 +5,11 @@ import threading
 
 import pytest
 
-from repro.core import OctetSequence, ZCOctetSequence
-from repro.giop import GIOPError, GIOPHeader, MsgType, decode_header
-from repro.orb import (COMM_FAILURE, ORB, ORBConfig, SystemException,
-                       TRANSIENT)
+from repro.core import OctetSequence
+from repro.giop import GIOPError, GIOPHeader, MsgType
+from repro.orb import COMM_FAILURE, ORB, TRANSIENT, ORBConfig, SystemException
 from repro.orb.connection import GIOPConn
-from repro.transport import LoopbackTransport, TCPTransport, TransportError
+from repro.transport import LoopbackTransport, TCPTransport
 
 
 @pytest.fixture

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import OctetSequence, ZCOctetSequence
-from repro.orb import (AccountingInterceptor, BAD_PARAM, ORB, ORBConfig,
+from repro.orb import (BAD_PARAM, ORB, AccountingInterceptor, ORBConfig,
                        RequestInfo, RequestInterceptor)
 
 
@@ -28,7 +28,6 @@ class _Recorder(RequestInterceptor):
 
 class TestInterceptors:
     def test_all_four_points_fire_in_order(self, test_api, store_impl):
-        from tests.conftest import make_store_impl
         server = ORB(ORBConfig(scheme="loop"))
         client = ORB(ORBConfig(scheme="loop", collocated_calls=False))
         rec_client, rec_server = _Recorder(), _Recorder()

@@ -3,8 +3,7 @@
 import pytest
 
 from repro.core import OctetSequence, ZCOctetSequence
-from repro.orb import (BAD_OPERATION, INV_OBJREF, OBJECT_NOT_EXIST, ORB,
-                       ORBConfig, UNKNOWN)
+from repro.orb import BAD_OPERATION, OBJECT_NOT_EXIST, ORB, UNKNOWN, ORBConfig
 
 
 class TestBasicInvocation:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cdr import CDRDecoder, CDREncoder
 from repro.orb import (BAD_PARAM, COMM_FAILURE, OBJECT_NOT_EXIST, POA,
-                       Servant, CompletionStatus, SystemException,
+                       CompletionStatus, Servant, SystemException,
                        UserException)
 from repro.orb.exceptions import (decode_system_exception,
                                   encode_system_exception,

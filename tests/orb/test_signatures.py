@@ -3,10 +3,9 @@
 import pytest
 
 from repro.cdr import CDRDecoder, CDREncoder, MarshalContext
-from repro.cdr.typecode import (TC_DOUBLE, TC_LONG, TC_STRING, TC_VOID,
-                                exception_tc)
-from repro.orb import (BAD_PARAM, InterfaceDef, MARSHAL,
-                       OperationSignature, Param, ParamMode)
+from repro.cdr.typecode import TC_DOUBLE, TC_LONG, TC_STRING, exception_tc
+from repro.orb import (BAD_PARAM, MARSHAL, InterfaceDef, OperationSignature,
+                       Param, ParamMode)
 
 
 def _sig(**kw):

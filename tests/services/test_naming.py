@@ -3,8 +3,7 @@
 import pytest
 
 from repro.orb import INV_OBJREF, ORB, ORBConfig
-from repro.services import NameClient, NamingContextImpl, naming_api, \
-    start_name_service
+from repro.services import NameClient, naming_api, start_name_service
 
 
 @pytest.fixture

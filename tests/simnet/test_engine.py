@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.simnet.engine import (AllOf, Interrupted, Resource,
-                                 SimulationError, Simulator)
+from repro.simnet.engine import Interrupted, SimulationError, Simulator
 
 
 def test_timeout_advances_clock():

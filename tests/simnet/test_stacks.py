@@ -5,7 +5,7 @@ import pytest
 from repro.simnet import (GIGABIT_ETHERNET, PAGE_SIZE, PENTIUM_II_400,
                           CopyKind, MemorySystem, SimNode, Simulator,
                           standard_stack, zero_copy_stack)
-from repro.simnet.profiles import FAST_ETHERNET, LinkProfile
+from repro.simnet.profiles import FAST_ETHERNET
 
 
 class TestLinkProfile:

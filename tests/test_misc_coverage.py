@@ -1,8 +1,6 @@
 """Cross-cutting coverage: locate, CLI mains, Fast-Ethernet claim."""
 
-import sys
 
-import pytest
 
 from repro.orb import ORB, ORBConfig
 
