@@ -124,3 +124,73 @@ def test_real_orb_instrumentation_matches_model(once, test_api=None):
     marshal_bytes = sum(n for k, n in got if k.startswith("marshal"))
     # the payload is marshaled exactly twice: client in, server out
     assert marshal_bytes == 2 * MB
+
+
+def test_live_stage_breakdown_cross_checks_model(once):
+    """The live six-stage breakdown (repro.obs tracing) agrees with the
+    offline model's structure: on the standard path the payload bytes
+    ride the marshal/demarshal stages, on the zero-copy path they move
+    to the data-path stages (deposit-send/deposit-recv) and the
+    byte-touching middleware stages collapse — §5.2's claim, measured
+    on the real ORB instead of the testbed model."""
+    from repro.core import OctetSequence, ZCOctetSequence
+    from repro.idl import compile_idl
+    from repro.obs import CLIENT_STAGES
+    from repro.orb import ORB, ORBConfig
+
+    api = compile_idl("""
+    interface Pipe2 {
+        unsigned long push(in sequence<octet> data);
+        unsigned long push_zc(in sequence<zc_octet> data);
+    };
+    """, module_name="_bench_ovh_live_idl")
+
+    class Impl(api.Pipe2_skel):
+        def push(self, data):
+            return len(data)
+
+        def push_zc(self, data):
+            return len(data)
+
+    def one(zero_copy: bool):
+        server = ORB(ORBConfig(scheme="loop"))
+        client = ORB(ORBConfig(scheme="loop", collocated_calls=False))
+        tracer = client.enable_tracing()
+        try:
+            stub = client.string_to_object(
+                server.object_to_string(server.activate(Impl())))
+            if zero_copy:
+                stub.push_zc(ZCOctetSequence.from_data(bytes(MB)))
+            else:
+                stub.push(OctetSequence(bytes(MB)))
+        finally:
+            client.shutdown()
+            server.shutdown()
+        return tracer
+
+    std, zc = once(lambda: (one(False), one(True)))
+
+    for tracer in (std, zc):
+        rec = tracer.last
+        assert rec.stage_order() == list(CLIENT_STAGES)
+        assert all(e.duration_s >= 0.0 for e in rec.stages)
+        # the live record and the metrics registry tell the same story
+        for stage in CLIENT_STAGES:
+            counter = tracer.registry.get("stage_bytes_total", stage=stage)
+            got = counter.value if counter is not None else 0
+            assert got == rec.nbytes(stage)
+
+    report("§5.2 live stage breakdown — 1 MiB request, client stages",
+           [f"{'stage':<14} {'std bytes':>12} {'zc bytes':>12}"] +
+           [f"{s:<14} {std.last.nbytes(s):>12} {zc.last.nbytes(s):>12}"
+            for s in CLIENT_STAGES],
+           "data copying vanishes from the middleware stages (Fig. 7)")
+
+    # standard path: the payload crosses marshal and the control send
+    assert std.last.nbytes("marshal") > MB
+    assert std.last.nbytes("control-send") > MB
+    assert std.last.nbytes("deposit-send") == 0
+    # zero-copy path: the payload rides the data path instead
+    assert zc.last.nbytes("deposit-send") == MB
+    assert zc.last.nbytes("marshal") < 4096
+    assert zc.last.nbytes("control-send") < 4096

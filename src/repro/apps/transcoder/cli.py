@@ -31,7 +31,15 @@ def main(argv: Optional[list] = None) -> int:
                     help="352x288 frames (default 176x144)")
     ap.add_argument("--paths", default="std,zc",
                     help="comma list of ORB paths to run: std, zc")
+    ap.add_argument("--metrics-dump", metavar="PATH", default=None,
+                    help="trace every request and write a repro.obs "
+                         "metrics dump (JSON) on exit")
     args = ap.parse_args(argv)
+
+    registry = None
+    if args.metrics_dump:
+        from ...obs import MetricsRegistry
+        registry = MetricsRegistry()
 
     w, h = CIF if args.cif else QCIF
     source = FrameSource(w, h, seed=2003)
@@ -41,9 +49,13 @@ def main(argv: Optional[list] = None) -> int:
           f"{mp2.nbytes / 1e6:.2f} MB", file=sys.stderr)
 
     client = ORB(ORBConfig(scheme=args.scheme, collocated_calls=False))
+    if registry is not None:
+        client.enable_tracing(registry=registry)
     worker_orbs, stubs = [], []
     for _ in range(args.workers):
         orb = ORB(ORBConfig(scheme=args.scheme))
+        if registry is not None:
+            orb.enable_tracing(registry=registry)
         ref = orb.activate(TranscoderWorker(gop=args.gop))
         stubs.append(client.string_to_object(orb.object_to_string(ref)))
         worker_orbs.append(orb)
@@ -66,6 +78,11 @@ def main(argv: Optional[list] = None) -> int:
         client.shutdown()
         for orb in worker_orbs:
             orb.shutdown()
+    if registry is not None:
+        from ...obs import dump_metrics
+        dump_metrics(registry, args.metrics_dump, workers=args.workers,
+                     frames=args.frames)
+        print(f"metrics written to {args.metrics_dump}", file=sys.stderr)
     return 0
 
 

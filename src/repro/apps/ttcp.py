@@ -189,8 +189,16 @@ def _real_corba_point(stub, size: int, zero_copy: bool,
 
 
 def run_real_ttcp(version: str, sizes: Optional[Sequence[int]] = None,
-                  scheme: str = "loop", repeats: int = 3) -> TTCPSeries:
-    """One TTCP curve through the real ORB (wall-clock time)."""
+                  scheme: str = "loop", repeats: int = 3,
+                  registry=None) -> TTCPSeries:
+    """One TTCP curve through the real ORB (wall-clock time).
+
+    With ``registry`` (a :class:`repro.obs.MetricsRegistry`), both ORBs
+    run the built-in :class:`~repro.obs.TracingInterceptor` and fold
+    every request's stage breakdown into that shared registry — the
+    live counterpart of the §5.2 overhead model, dumpable via
+    ``--metrics-dump``.
+    """
     sizes = list(sizes) if sizes is not None else default_sizes(hi=4 * MB)
     if version not in ("corba", "zc-corba"):
         raise ValueError(
@@ -199,6 +207,9 @@ def run_real_ttcp(version: str, sizes: Optional[Sequence[int]] = None,
     _ttcp_api()
     server = ORB(ORBConfig(scheme=scheme))
     client = ORB(ORBConfig(scheme=scheme, collocated_calls=False))
+    if registry is not None:
+        client.enable_tracing(registry=registry)
+        server.enable_tracing(registry=registry)
     try:
         servant = _TTCPServant()
         ref = server.activate(servant)
@@ -243,8 +254,17 @@ def main(argv: Optional[list] = None) -> int:
     ap.add_argument("--scheme", choices=("loop", "tcp"), default="loop",
                     help="(real mode) transport")
     ap.add_argument("--max-size", type=int, default=16 * MB)
+    ap.add_argument("--metrics-dump", metavar="PATH", default=None,
+                    help="write a repro.obs metrics dump; in real mode "
+                         "this enables per-request stage tracing")
+    ap.add_argument("--metrics-format", choices=("json", "text"),
+                    default="json")
     args = ap.parse_args(argv)
     sizes = default_sizes(hi=args.max_size)
+    registry = None
+    if args.metrics_dump:
+        from ..obs import MetricsRegistry
+        registry = MetricsRegistry()
     out = []
     for version in args.versions.split(","):
         version = version.strip()
@@ -252,8 +272,19 @@ def main(argv: Optional[list] = None) -> int:
             out.append(run_sim_ttcp(version, stack=args.stack, sizes=sizes))
         else:
             out.append(run_real_ttcp(version, sizes=sizes,
-                                     scheme=args.scheme))
+                                     scheme=args.scheme,
+                                     registry=registry))
     print(format_table(out))
+    if registry is not None:
+        from ..obs import dump_metrics
+        for series in out:
+            for p in series.points:
+                registry.gauge("ttcp_mbit_per_s", series=series.label,
+                               size=str(p.size)).set(p.mbit_per_s)
+        dump_metrics(registry, args.metrics_dump,
+                     fmt=args.metrics_format, mode=args.mode,
+                     versions=args.versions)
+        print(f"metrics written to {args.metrics_dump}")
     return 0
 
 

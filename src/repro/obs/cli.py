@@ -1,0 +1,129 @@
+"""``repro-metrics``: inspect and validate metrics dumps.
+
+The benchmark harness and the app CLIs write JSON dumps via
+:func:`repro.obs.export.dump_metrics`.  This tool is the consumer side:
+it validates a dump against the export schema (the CI smoke step's
+assertion) and re-renders it as Prometheus-style text or summary lines
+for humans.
+
+Exit status: 0 on a valid dump, 1 on a malformed or wrong-schema file —
+so ``repro-metrics check dump.json`` is usable directly as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .export import SCHEMA_VERSION
+
+__all__ = ["main", "validate_dump"]
+
+_TYPES = ("counter", "gauge", "histogram")
+
+
+def validate_dump(doc: dict) -> List[str]:
+    """Schema problems in a parsed dump (empty list = valid)."""
+    problems = []
+    if doc.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {SCHEMA_VERSION}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        return problems + ["'metrics' missing or not a list"]
+    for i, m in enumerate(metrics):
+        where = f"metrics[{i}]"
+        if not isinstance(m, dict) or "name" not in m:
+            problems.append(f"{where}: not an object with a 'name'")
+            continue
+        mtype = m.get("type")
+        if mtype not in _TYPES:
+            problems.append(f"{where} ({m['name']}): bad type {mtype!r}")
+        elif mtype == "histogram":
+            buckets = m.get("buckets")
+            if not isinstance(buckets, list) or not buckets or \
+                    buckets[-1].get("le") != "+Inf":
+                problems.append(
+                    f"{where} ({m['name']}): histogram without a "
+                    f"terminal +Inf bucket")
+            elif "sum" not in m or "count" not in m:
+                problems.append(
+                    f"{where} ({m['name']}): histogram missing sum/count")
+        elif "value" not in m:
+            problems.append(f"{where} ({m['name']}): missing 'value'")
+    return problems
+
+
+def _render_lines(doc: dict) -> str:
+    """Re-render a parsed dump in the text exposition format."""
+    from .export import render_text
+    from .metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    for m in doc.get("metrics", []):
+        labels = m.get("labels", {})
+        if m["type"] == "counter":
+            reg.counter(m["name"], **labels).inc(int(m["value"]))
+        elif m["type"] == "gauge":
+            reg.gauge(m["name"], **labels).set(m["value"])
+        else:
+            bounds = [b["le"] for b in m["buckets"] if b["le"] != "+Inf"]
+            hist = reg.histogram(m["name"], buckets=bounds or [float("inf")],
+                                 **labels)
+            prev = 0
+            for bound, bucket in zip(bounds, m["buckets"]):
+                for _ in range(bucket["count"] - prev):
+                    hist.observe(bound)
+                prev = bucket["count"]
+            for _ in range(m["count"] - prev):
+                hist.observe(float("inf"))
+            # keep the exported sum authoritative over the reconstruction
+            hist._sum = m["sum"]
+    return render_text(reg)
+
+
+def main(argv: Optional[list] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-metrics",
+        description="validate and render repro.obs metrics dumps")
+    ap.add_argument("command", choices=("check", "render", "summary"),
+                    help="check: validate schema; render: Prometheus text; "
+                         "summary: one line per series")
+    ap.add_argument("path", help="JSON dump written by --metrics-dump")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"repro-metrics: cannot read {args.path}: {e}",
+              file=sys.stderr)
+        return 1
+
+    problems = validate_dump(doc)
+    if problems:
+        for p in problems:
+            print(f"repro-metrics: {p}", file=sys.stderr)
+        return 1
+
+    if args.command == "check":
+        print(f"{args.path}: schema {doc['schema']}, "
+              f"{len(doc['metrics'])} series, OK")
+    elif args.command == "render":
+        sys.stdout.write(_render_lines(doc))
+    else:
+        for m in doc["metrics"]:
+            labels = m.get("labels", {})
+            lab = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            head = f"{m['name']}{{{lab}}}" if lab else m["name"]
+            if m["type"] == "histogram":
+                print(f"{head}  count={m['count']} sum={m['sum']:.6g}")
+            else:
+                print(f"{head}  {m['value']}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

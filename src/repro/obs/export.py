@@ -1,0 +1,91 @@
+"""Exporters: render a MetricsRegistry as text or JSON.
+
+The text form is a Prometheus-flavoured line format (stable, greppable,
+shows up well in CI logs); the JSON form is the machine interface the
+benchmark harness and the CI smoke step parse.  Both read one
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, so an export is
+internally consistent even while the ORB keeps counting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = ["to_dict", "to_json", "render_text", "dump_metrics"]
+
+#: bumped when the snapshot shape changes; parsers check it
+SCHEMA_VERSION = 1
+
+
+def to_dict(registry: MetricsRegistry, **meta) -> dict:
+    """JSON-ready dict: ``{"schema": 1, "metrics": [...], **meta}``."""
+    out = {"schema": SCHEMA_VERSION}
+    out.update(meta)
+    out.update(registry.snapshot())
+    return out
+
+
+def to_json(registry: MetricsRegistry, indent: Optional[int] = 2,
+            **meta) -> str:
+    return json.dumps(to_dict(registry, **meta), indent=indent,
+                      sort_keys=False)
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt_value(v) -> str:
+    if isinstance(v, float) and v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v) if not isinstance(v, float) else f"{v:.9g}"
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    """Prometheus-style exposition lines (one series per line;
+    histograms expand to ``_bucket``/``_sum``/``_count``)."""
+    lines: List[str] = []
+    for snap in registry.snapshot()["metrics"]:
+        name = snap["name"]
+        labels = snap.get("labels", {})
+        if snap["type"] == "histogram":
+            for bucket in snap["buckets"]:
+                lab = dict(labels)
+                lab["le"] = bucket["le"]
+                lines.append(f"{name}_bucket{_fmt_labels(lab)} "
+                             f"{bucket['count']}")
+            lines.append(f"{name}_sum{_fmt_labels(labels)} "
+                         f"{_fmt_value(snap['sum'])}")
+            lines.append(f"{name}_count{_fmt_labels(labels)} "
+                         f"{snap['count']}")
+        else:
+            lines.append(f"{name}{_fmt_labels(labels)} "
+                         f"{_fmt_value(snap['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump_metrics(registry: MetricsRegistry,
+                 target: Union[str, IO[str]], fmt: str = "json",
+                 **meta) -> None:
+    """Write the registry to a path or open text file.
+
+    ``fmt`` is ``"json"`` (the parseable dump the CI smoke step
+    asserts on) or ``"text"`` (the Prometheus-style lines).
+    """
+    if fmt == "json":
+        payload = to_json(registry, **meta) + "\n"
+    elif fmt == "text":
+        payload = render_text(registry)
+    else:
+        raise ValueError(f"unknown metrics format {fmt!r}")
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    else:
+        target.write(payload)

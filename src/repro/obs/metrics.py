@@ -1,0 +1,265 @@
+"""MetricsRegistry: counters, gauges and fixed-bucket histograms.
+
+The runtime face of the paper's instrumentation: whatever the ORB
+measures (stage durations, wire bytes, invocation counts) lands in one
+of three metric types and is exported by :mod:`repro.obs.export`.
+
+Design constraints, mirroring :mod:`repro.orb.policy`:
+
+* **injectable clock** — nothing here reads wall time unless asked;
+  ``Histogram.time()`` measures with the registry's clock, which tests
+  replace with a fake;
+* **fixed buckets** — histograms use a static upper-bound ladder
+  chosen at creation, so concurrent observers never rebalance and the
+  export is stable across runs;
+* **labels** — a metric family (one name) may carry label sets; each
+  distinct label combination is its own child series, like Prometheus.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS", "DEFAULT_SIZE_BUCKETS",
+]
+
+#: seconds ladder: 1 µs .. 10 s, a decade-and-thirds ladder that
+#: resolves both loopback (~µs) and cross-network (~ms) stages
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0,
+)
+
+#: bytes ladder: 64 B .. 64 MiB in powers of four
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = tuple(
+    64 * 4 ** i for i in range(11))
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Common shape: name, labels, a lock, and a snapshot method."""
+
+    type_name = "metric"
+
+    def __init__(self, name: str, labels: Dict[str, str], help: str = ""):
+        self.name = name
+        self.labels = dict(labels)
+        self.help = help
+        self._lock = threading.Lock()
+
+    def snapshot(self) -> dict:
+        raise NotImplementedError
+
+    def _meta(self) -> dict:
+        out = {"name": self.name, "type": self.type_name}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    type_name = "counter"
+
+    def __init__(self, name: str, labels: Dict[str, str], help: str = ""):
+        super().__init__(name, labels, help)
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {n}")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {**self._meta(), "value": self.value}
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (pool occupancy, live conns...)."""
+
+    type_name = "gauge"
+
+    def __init__(self, name: str, labels: Dict[str, str], help: str = ""):
+        super().__init__(name, labels, help)
+        self._value = 0.0
+
+    def set(self, v) -> None:
+        with self._lock:
+            self._value = v
+
+    def inc(self, n=1) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n=1) -> None:
+        with self._lock:
+            self._value -= n
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {**self._meta(), "value": self.value}
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (cumulative-at-export, like Prometheus).
+
+    ``buckets`` are the inclusive upper bounds; an implicit ``+Inf``
+    bucket catches everything beyond the last bound.
+    """
+
+    type_name = "histogram"
+
+    def __init__(self, name: str, labels: Dict[str, str],
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                 help: str = "",
+                 clock: Callable[[], float] = time.perf_counter):
+        super().__init__(name, labels, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name} buckets must be sorted")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # [+Inf] last
+        self._sum = 0.0
+        self._count = 0
+        self._clock = clock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    def time(self) -> "_HistogramTimer":
+        """Context manager observing its elapsed (registry-clock) time."""
+        return _HistogramTimer(self)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts; last entry is +Inf."""
+        with self._lock:
+            return list(self._counts)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            cumulative = []
+            running = 0
+            for bound, n in zip(self.bounds, self._counts):
+                running += n
+                cumulative.append({"le": bound, "count": running})
+            cumulative.append({"le": "+Inf", "count": self._count})
+            return {**self._meta(), "sum": self._sum,
+                    "count": self._count, "buckets": cumulative}
+
+
+class _HistogramTimer:
+    __slots__ = ("_hist", "_t0")
+
+    def __init__(self, hist: Histogram):
+        self._hist = hist
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_HistogramTimer":
+        self._t0 = self._hist._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._hist.observe(max(0.0, self._hist._clock() - self._t0))
+        return False
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric series, keyed by name + labels.
+
+    One registry per observed entity (typically per ORB, or one shared
+    process-wide).  Lookups are idempotent: asking twice for the same
+    (name, labels) returns the same series, so call sites never cache.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock = clock
+        self._series: Dict[Tuple[str, _LabelKey], _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, str],
+                       factory) -> _Metric:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._series.get(key)
+            if metric is None:
+                metric = factory()
+                self._series[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.type_name}, not {cls.type_name}")
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get_or_create(
+            Counter, name, labels, lambda: Counter(name, labels, help))
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get_or_create(
+            Gauge, name, labels, lambda: Gauge(name, labels, help))
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                  help: str = "", **labels) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, labels,
+            lambda: Histogram(name, labels, buckets=buckets, help=help,
+                              clock=self.clock))
+
+    def get(self, name: str, **labels) -> Optional[_Metric]:
+        """The existing series, or None (never creates)."""
+        with self._lock:
+            return self._series.get((name, _label_key(labels)))
+
+    def series(self) -> List[_Metric]:
+        """Every registered series, sorted by (name, labels)."""
+        with self._lock:
+            return [self._series[k] for k in sorted(self._series)]
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every series (the exporters' input)."""
+        return {"metrics": [m.snapshot() for m in self.series()]}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._series)

@@ -1,0 +1,177 @@
+"""The paper's invocation stages and the per-call StageTimer.
+
+§5.2 / Fig. 7 split one CORBA invocation into the costs of the control
+path and the data path.  The live ORB reports the same six stages, in
+wire order, for every traced request:
+
+=================  ======================================================
+stage              what it covers (client view)
+=================  ======================================================
+``marshal``        encoding the non-bulk parameters; registering
+                   zero-copy payloads with the deposit registry
+``control-send``   writing the GIOP control message (header + request
+                   header + marshaled body, all fragments)
+``deposit-send``   writing the raw zero-copy payloads on the data path
+``server-wait``    blocked until the reply's control message arrived —
+                   covers wire latency plus the server's demarshal /
+                   dispatch / servant / reply-marshal work
+``deposit-recv``   landing reply payloads into page-aligned pool buffers
+``demarshal``      decoding the reply body (zero-copy results only set
+                   references)
+=================  ======================================================
+
+The server side uses the same vocabulary where it applies
+(``recv-wait`` instead of ``server-wait`` — a server waits for clients,
+not for a server).
+
+:class:`StageTimer` is the sink that groups the stage events of one
+invocation into an :class:`InvocationBreakdown` — the live counterpart
+of the offline model in ``benchmarks/test_overhead_breakdown.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Tuple
+
+from .events import EventSink, StageEvent
+
+__all__ = [
+    "STAGE_MARSHAL", "STAGE_CONTROL_SEND", "STAGE_DEPOSIT_SEND",
+    "STAGE_SERVER_WAIT", "STAGE_DEPOSIT_RECV", "STAGE_DEMARSHAL",
+    "STAGE_RECV_WAIT", "CLIENT_STAGES",
+    "InvocationBreakdown", "StageTimer",
+]
+
+STAGE_MARSHAL = "marshal"
+STAGE_CONTROL_SEND = "control-send"
+STAGE_DEPOSIT_SEND = "deposit-send"
+STAGE_SERVER_WAIT = "server-wait"
+STAGE_DEPOSIT_RECV = "deposit-recv"
+STAGE_DEMARSHAL = "demarshal"
+#: server-side name for the blocking read (not an invocation stage)
+STAGE_RECV_WAIT = "recv-wait"
+
+#: the six client stages in paper/wire order (Fig. 7's categories)
+CLIENT_STAGES: Tuple[str, ...] = (
+    STAGE_MARSHAL, STAGE_CONTROL_SEND, STAGE_DEPOSIT_SEND,
+    STAGE_SERVER_WAIT, STAGE_DEPOSIT_RECV, STAGE_DEMARSHAL,
+)
+
+
+@dataclass
+class InvocationBreakdown:
+    """The stage record of one invocation, in arrival order."""
+
+    operation: str
+    request_id: int = 0
+    stages: List[StageEvent] = field(default_factory=list)
+    reply_status: Optional[str] = None
+
+    def duration_s(self, stage: str) -> float:
+        return sum(e.duration_s for e in self.stages if e.stage == stage)
+
+    def nbytes(self, stage: str) -> int:
+        return sum(e.nbytes for e in self.stages if e.stage == stage)
+
+    @property
+    def total_s(self) -> float:
+        return sum(e.duration_s for e in self.stages)
+
+    def stage_order(self) -> List[str]:
+        """Distinct stage names in first-seen order."""
+        seen: List[str] = []
+        for e in self.stages:
+            if e.stage not in seen:
+                seen.append(e.stage)
+        return seen
+
+    @property
+    def in_paper_order(self) -> bool:
+        """Do the observed client stages respect Fig. 7's wire order?"""
+        ranks = [CLIENT_STAGES.index(s) for s in self.stage_order()
+                 if s in CLIENT_STAGES]
+        return ranks == sorted(ranks)
+
+    def as_dict(self) -> dict:
+        return {
+            "operation": self.operation,
+            "request_id": self.request_id,
+            "reply_status": self.reply_status,
+            "total_s": self.total_s,
+            "stages": [
+                {"stage": e.stage, "duration_s": e.duration_s,
+                 "nbytes": e.nbytes}
+                for e in self.stages
+            ],
+        }
+
+
+class StageTimer(EventSink):
+    """Groups stage events into per-invocation breakdowns.
+
+    The client proxy serializes invocations per connection, so one
+    timer per ORB sees a clean begin → stages → commit sequence; a
+    lock still guards the pending list for the threaded-server case.
+    Stage events arriving outside an invocation (e.g. server-side
+    ``recv-wait``) accumulate in :attr:`loose` and never pollute the
+    per-call records.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 keep: int = 128):
+        super().__init__(clock=clock)
+        self.records: Deque[InvocationBreakdown] = deque(maxlen=keep)
+        self.loose: Deque[StageEvent] = deque(maxlen=keep)
+        self._pending: Optional[InvocationBreakdown] = None
+        self._lock = threading.Lock()
+
+    # -- sink interface ------------------------------------------------------
+    def emit(self, event) -> None:
+        if not isinstance(event, StageEvent):
+            return
+        with self._lock:
+            if self._pending is not None:
+                self._pending.stages.append(event)
+            else:
+                self.loose.append(event)
+
+    # -- invocation grouping -------------------------------------------------
+    def begin(self, operation: str) -> None:
+        """Open a record; subsequent stage events belong to it."""
+        with self._lock:
+            self._pending = InvocationBreakdown(operation=operation)
+
+    def commit(self, request_id: int = 0,
+               reply_status: Optional[str] = None
+               ) -> Optional[InvocationBreakdown]:
+        """Close the open record and archive it (None if none open)."""
+        with self._lock:
+            rec = self._pending
+            self._pending = None
+            if rec is None:
+                return None
+            rec.request_id = request_id
+            rec.reply_status = reply_status
+            self.records.append(rec)
+            return rec
+
+    def abandon(self) -> None:
+        """Drop the open record (failed attempt about to be retried)."""
+        with self._lock:
+            self._pending = None
+
+    @property
+    def last(self) -> Optional[InvocationBreakdown]:
+        with self._lock:
+            return self.records[-1] if self.records else None
+
+    def take_loose(self) -> List[StageEvent]:
+        """Drain the out-of-invocation stage events."""
+        with self._lock:
+            out = list(self.loose)
+            self.loose.clear()
+            return out

@@ -21,14 +21,19 @@ from __future__ import annotations
 
 import itertools
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..cdr import NATIVE_LITTLE, CDREncoder, MarshalContext
 from ..core.buffers import BufferPool, ZCBuffer, default_pool
-from ..core.direct_deposit import DepositReceiver, DepositRegistry
+from ..core.direct_deposit import (DepositError, DepositReceiver,
+                                   DepositRegistry)
 from ..giop import (GIOP_HEADER_SIZE, GIOPError, GIOPHeader, GIOPMessage,
                     MsgType, ServiceContext, decode_body, decode_header)
+from ..obs.events import EventSink, WireEvent, stage_span
+from ..obs.stages import (STAGE_CONTROL_SEND, STAGE_DEPOSIT_RECV,
+                          STAGE_DEPOSIT_SEND, STAGE_RECV_WAIT)
 from ..transport.base import Stream, TransportError, TransportTimeout
 from .exceptions import COMM_FAILURE, MARSHAL, TIMEOUT, CompletionStatus
 
@@ -94,13 +99,17 @@ class GIOPConn:
                  little_endian: bool = NATIVE_LITTLE,
                  on_bytes: Optional[Callable[[str, int], None]] = None,
                  orb=None, fragment_size: int = 0,
-                 stats: Optional[ConnStats] = None):
+                 stats: Optional[ConnStats] = None,
+                 sink: Optional[EventSink] = None):
         self.stream = stream
         self.pool = pool or default_pool()
         self.zero_copy = zero_copy
         self.generic_loop = generic_loop
         self.little_endian = little_endian
         self.on_bytes = on_bytes
+        #: structured event sink (repro.obs): stage spans + wire events;
+        #: None keeps the data path free of instrumentation
+        self.sink = sink
         self.orb = orb
         #: GIOP 1.1 fragmentation: split control messages whose body
         #: exceeds this many bytes (0 = never fragment).  Deposit
@@ -118,6 +127,21 @@ class GIOPConn:
         return next(self._req_ids)
 
     # -- marshaling contexts ------------------------------------------------------
+    def bytes_hook(self) -> Optional[Callable[[str, int], None]]:
+        """The per-byte instrumentation callback marshalers should use:
+        the legacy ``on_bytes`` hook, the sink's byte-event adapter, or
+        a fan-out to both when both are configured."""
+        if self.sink is None:
+            return self.on_bytes
+        if self.on_bytes is None:
+            return self.sink.on_bytes
+        on_bytes, sink = self.on_bytes, self.sink
+
+        def both(kind: str, nbytes: int) -> None:
+            on_bytes(kind, nbytes)
+            sink.on_bytes(kind, nbytes)
+        return both
+
     def make_marshal_context(self, force_copy: bool = False
                              ) -> MarshalContext:
         """Context for marshaling one outgoing message's parameters.
@@ -129,7 +153,7 @@ class GIOPConn:
         """
         registry = DepositRegistry() \
             if (self.zero_copy and not force_copy) else None
-        return MarshalContext(registry=registry, on_bytes=self.on_bytes,
+        return MarshalContext(registry=registry, on_bytes=self.bytes_hook(),
                               generic_loop=self.generic_loop, orb=self.orb)
 
     def body_encoder(self) -> CDREncoder:
@@ -159,11 +183,36 @@ class GIOPConn:
             head += b"\x00" * ((-len(head)) % _BODY_ALIGN)
         body = bytes(head) + params
         chunks = self._frame(body_header.MSG_TYPE, body)
-        for _, view in deposits:
-            chunks.append(view)
+        # every chunk is a GIOP header or a body piece: their lengths sum
+        # to the true control-path wire bytes, however many fragment
+        # headers _frame emitted
+        control_nbytes = sum(len(c) for c in chunks)
+        payloads = [view for _, view in deposits]
         try:
             with self._send_lock:
-                self.stream.sendv(chunks)
+                if self.sink is None:
+                    self.stream.sendv(chunks + payloads)
+                else:
+                    # traced: the gather-write splits at the control/
+                    # data boundary so each path times separately (the
+                    # byte order on the wire is unchanged).  Transports
+                    # with synchronous delivery (loopback) expose
+                    # send_batch so the peer's pump only fires once both
+                    # halves are queued — otherwise the peer would read
+                    # a control message whose payloads do not exist yet.
+                    batch = getattr(self.stream, "send_batch", None)
+                    with batch() if batch is not None else nullcontext():
+                        with self.sink.stage(STAGE_CONTROL_SEND) as span:
+                            span.add_bytes(control_nbytes)
+                            self.stream.sendv(chunks)
+                        # a copy-path message still reports a zero-byte
+                        # deposit-send, so every traced invocation shows
+                        # the same six stages
+                        with self.sink.stage(STAGE_DEPOSIT_SEND) as span:
+                            if payloads:
+                                span.add_bytes(
+                                    sum(v.nbytes for v in payloads))
+                                self.stream.sendv(payloads)
         except TransportTimeout as e:
             # an incompletely sent GIOP message can never execute
             self._closed = True
@@ -174,12 +223,20 @@ class GIOPConn:
             self._closed = True
             raise COMM_FAILURE(message=str(e)) from e
         self.stats.messages_sent += 1
-        self.stats.bytes_sent += GIOP_HEADER_SIZE + len(body)
+        self.stats.bytes_sent += control_nbytes
         for _, view in deposits:
             self.stats.deposits_sent += 1
             self.stats.deposit_bytes_sent += view.nbytes
             if self.on_bytes is not None:
                 self.on_bytes("deposit-send", view.nbytes)
+        if self.sink is not None:
+            descs = ctx.descriptors if ctx is not None else ()
+            self.sink.emit(WireEvent(
+                direction="send", msg_type=body_header.MSG_TYPE.name,
+                size=len(body),
+                request_id=getattr(body_header, "request_id", None),
+                fragments=len(chunks) // 2,
+                deposits=tuple((d.deposit_id, d.size) for d in descs)))
 
     def _frame(self, msg_type: MsgType, body: bytes) -> list:
         """GIOP-frame ``body``, fragmenting per GIOP 1.1 if configured."""
@@ -217,33 +274,51 @@ class GIOPConn:
             self.stream.send(header.encode())
 
     # -- receiving ---------------------------------------------------------------
-    def read_message(self) -> ReceivedMessage:
+    def read_message(self, wait_stage: str = STAGE_RECV_WAIT
+                     ) -> ReceivedMessage:
         """Block for the next message; land its deposits (the MICO
-        ``do_read`` path with the direct-deposit callback of §4.5)."""
+        ``do_read`` path with the direct-deposit callback of §4.5).
+
+        ``wait_stage`` names the stage span charged for the blocking
+        control-message read when a sink is attached; the client proxy
+        passes ``server-wait``, servers keep the ``recv-wait`` default.
+        """
+        fragments = 1
         try:
-            raw_header = self.stream.recv_exact(GIOP_HEADER_SIZE)
-            header = decode_header(raw_header)
-            body = self.stream.recv_exact(header.size) if header.size \
-                else memoryview(b"")
-            while header.more_fragments:
-                # GIOP 1.1 reassembly: Fragment messages continue the body
-                frag_header = decode_header(
-                    self.stream.recv_exact(GIOP_HEADER_SIZE))
-                if frag_header.msg_type is not MsgType.Fragment:
-                    raise GIOPError(
-                        f"expected Fragment continuation, got "
-                        f"{frag_header.msg_type.name}")
-                frag = self.stream.recv_exact(frag_header.size)
-                assembled = bytearray(body)
-                assembled += frag
-                body = memoryview(assembled)
-                self.stats.bytes_received += GIOP_HEADER_SIZE \
-                    + frag_header.size
-                header = GIOPHeader(
-                    msg_type=header.msg_type, size=len(body),
-                    little_endian=header.little_endian,
-                    major=header.major, minor=header.minor,
-                    more_fragments=frag_header.more_fragments)
+            with stage_span(self.sink, wait_stage) as span:
+                raw_header = self.stream.recv_exact(GIOP_HEADER_SIZE)
+                header = decode_header(raw_header)
+                body = self.stream.recv_exact(header.size) if header.size \
+                    else memoryview(b"")
+                # wire accounting: headers + bodies actually read, NOT
+                # the reassembled size (each fragment counts exactly once)
+                wire_nbytes = GIOP_HEADER_SIZE + header.size
+                while header.more_fragments:
+                    # GIOP 1.1 reassembly: Fragment messages continue
+                    # the body
+                    frag_header = decode_header(
+                        self.stream.recv_exact(GIOP_HEADER_SIZE))
+                    if frag_header.msg_type is not MsgType.Fragment:
+                        raise GIOPError(
+                            f"expected Fragment continuation, got "
+                            f"{frag_header.msg_type.name}")
+                    frag = self.stream.recv_exact(frag_header.size)
+                    assembled = bytearray(body)
+                    assembled += frag
+                    body = memoryview(assembled)
+                    wire_nbytes += GIOP_HEADER_SIZE + frag_header.size
+                    fragments += 1
+                    header = GIOPHeader(
+                        msg_type=header.msg_type, size=len(body),
+                        little_endian=header.little_endian,
+                        major=header.major, minor=header.minor,
+                        more_fragments=frag_header.more_fragments)
+                span.add_bytes(wire_nbytes)
+        except GIOPError:
+            # the stream position is undefined after a framing error:
+            # this connection can never resynchronize
+            self._closed = True
+            raise
         except TransportTimeout as e:
             # the request left in full; the peer's progress is unknown
             self._closed = True
@@ -254,7 +329,7 @@ class GIOPConn:
             self._closed = True
             raise COMM_FAILURE(message=str(e)) from e
         self.stats.messages_received += 1
-        self.stats.bytes_received += GIOP_HEADER_SIZE + header.size
+        self.stats.bytes_received += wire_nbytes
         msg = decode_body(header, body)
 
         deposits: Dict[int, ZCBuffer] = {}
@@ -263,17 +338,29 @@ class GIOPConn:
         if descriptors is not None:
             receiver = DepositReceiver(self.pool)
             try:
-                for desc in descriptors():
-                    receiver.prepare(desc)
-                for desc, buf in receiver.pending_in_order():
-                    # land the payload directly in its final buffer
-                    self.stream.recv_into(buf.view())
-                    if self.on_bytes is not None:
-                        self.on_bytes("deposit-recv", desc.size)
-                for desc, _ in list(receiver.pending_in_order()):
-                    deposits[desc.deposit_id] = receiver.complete(
-                        desc.deposit_id)
-                    deposit_flags[desc.deposit_id] = desc.flags
+                with stage_span(self.sink, STAGE_DEPOSIT_RECV) as span:
+                    for desc in descriptors():
+                        receiver.prepare(desc)
+                    for desc, buf in receiver.pending_in_order():
+                        # land the payload directly in its final buffer
+                        self.stream.recv_into(buf.view())
+                        span.add_bytes(desc.size)
+                        if self.on_bytes is not None:
+                            self.on_bytes("deposit-recv", desc.size)
+                    for desc, _ in list(receiver.pending_in_order()):
+                        deposits[desc.deposit_id] = receiver.complete(
+                            desc.deposit_id)
+                        deposit_flags[desc.deposit_id] = desc.flags
+            except DepositError as e:
+                # malformed descriptors (duplicate id, unsatisfiable
+                # alignment): the payload bytes are unconsumed, so the
+                # stream is desynchronized — return every prepared
+                # buffer to the pool and drop the connection
+                receiver.abort()
+                self.close()
+                raise MARSHAL(completed=CompletionStatus.COMPLETED_MAYBE,
+                              message=f"deposit protocol violation: {e}"
+                              ) from e
             except TransportTimeout as e:
                 # interrupted mid-landing: the page-aligned buffers go
                 # straight back to the pool — zero-copy never leaks
@@ -289,6 +376,16 @@ class GIOPConn:
             self.stats.deposits_received += len(deposits)
             self.stats.deposit_bytes_received += sum(
                 b.length for b in deposits.values())
+        if self.sink is not None:
+            self.sink.emit(WireEvent(
+                direction="recv", msg_type=header.msg_type.name,
+                size=header.size,
+                request_id=getattr(msg.body_header, "request_id", None),
+                fragments=fragments,
+                deposits=tuple(
+                    (d.deposit_id, d.size)
+                    for d in (descriptors() if descriptors is not None
+                              else ()))))
         return ReceivedMessage(msg=msg, deposits=deposits,
                                deposit_flags=deposit_flags)
 

@@ -14,6 +14,8 @@ from typing import Callable, Optional
 
 from ..cdr import get_marshaller
 from ..giop import ReplyHeader, ReplyStatus, RequestHeader
+from ..obs.events import stage_span
+from ..obs.stages import STAGE_DEMARSHAL, STAGE_MARSHAL
 from .connection import GIOPConn, ReceivedMessage
 from .exceptions import (BAD_OPERATION, OBJECT_NOT_EXIST, UNKNOWN,
                          CompletionStatus, SystemException, UserException,
@@ -79,11 +81,17 @@ class MethodDispatcher:
                 raise OBJECT_NOT_EXIST(
                     message=f"no servant for key {req.object_key!r}")
             sig = self._resolve(servant, req.operation)
-            ctx = rm.make_demarshal_context(on_bytes=self.on_bytes,
+            hook = conn.bytes_hook() if conn.sink is not None \
+                else self.on_bytes
+            ctx = rm.make_demarshal_context(on_bytes=hook,
                                             generic_loop=conn.generic_loop,
                                             orb=conn.orb)
             dec = rm.params_decoder()
-            args = sig.demarshal_request(dec, ctx) if dec is not None else []
+            with stage_span(conn.sink, STAGE_DEMARSHAL) as span:
+                args = sig.demarshal_request(dec, ctx) \
+                    if dec is not None else []
+                if dec is not None:
+                    span.add_bytes(dec.tell())
             method = getattr(servant, req.operation, None)
             if method is None or not callable(method):
                 raise BAD_OPERATION(message=(
@@ -113,12 +121,15 @@ class MethodDispatcher:
             return
         try:
             result, outs = sig.split_servant_return(value)
-            reply_ctx = conn.make_marshal_context()
-            enc = conn.body_encoder()
-            sig.marshal_reply(enc, result, outs, reply_ctx)
+            with stage_span(conn.sink, STAGE_MARSHAL) as span:
+                reply_ctx = conn.make_marshal_context()
+                enc = conn.body_encoder()
+                sig.marshal_reply(enc, result, outs, reply_ctx)
+                params = enc.getvalue()
+                span.add_bytes(len(params))
             reply = ReplyHeader(request_id=req.request_id,
                                 reply_status=ReplyStatus.NO_EXCEPTION)
-            conn.send_message(reply, enc.getvalue(), reply_ctx)
+            conn.send_message(reply, params, reply_ctx)
         except SystemException as exc:
             self.errors += 1
             self._reply_system_exception(conn, req, exc)

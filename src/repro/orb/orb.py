@@ -66,11 +66,17 @@ class ORB:
                  transports: Optional[TransportRegistry] = None,
                  pool: Optional[BufferPool] = None,
                  on_bytes: Optional[Callable[[str, int], None]] = None,
-                 policy: Optional[InvocationPolicy] = None):
+                 policy: Optional[InvocationPolicy] = None,
+                 sink=None):
         self.config = config or ORBConfig()
         self.transports = transports or default_registry()
         self.pool = pool or default_pool()
         self.on_bytes = on_bytes
+        #: structured event sink (repro.obs.EventSink): stage spans,
+        #: wire events and byte events from every connection this ORB
+        #: creates.  Assign (or call :meth:`enable_tracing`) before the
+        #: first connection exists, like :attr:`on_bytes`.
+        self.sink = sink
         #: ORB-wide invocation policy (deadline/retry/backoff); a
         #: per-proxy or per-call policy overrides it.  None = one
         #: attempt, no deadline.
@@ -86,6 +92,33 @@ class ORB:
         self._lock = threading.Lock()
         self._shutdown = False
 
+    # -- observability -----------------------------------------------------------
+    def enable_tracing(self, registry=None, *, wire: bool = False,
+                       keep: int = 128):
+        """Install the built-in :class:`repro.obs.TracingInterceptor`.
+
+        Registers the interceptor, wires its stage timer in as this
+        ORB's event sink (composing with any sink already assigned)
+        and returns the tracer — ``tracer.last`` is the most recent
+        per-invocation stage breakdown, ``tracer.registry`` the metrics.
+        With ``wire=True`` a :class:`repro.obs.WireTracer` also logs
+        every GIOP message (``tracer.wire``).
+
+        Call before the first connection exists (like
+        :attr:`on_bytes`); existing connections keep their old sink.
+        """
+        from ..obs import CompositeSink, TracingInterceptor, WireTracer
+        tracer = TracingInterceptor(registry=registry, keep=keep)
+        self.interceptors.register(tracer)
+        sinks = [tracer.timer]
+        if wire:
+            tracer.wire = WireTracer(keep=max(keep * 4, 256))
+            sinks.append(tracer.wire)
+        if self.sink is not None:
+            sinks.append(self.sink)
+        self.sink = sinks[0] if len(sinks) == 1 else CompositeSink(sinks)
+        return tracer
+
     # -- server side ------------------------------------------------------------
     def _ensure_server(self) -> IIOPServer:
         with self._lock:
@@ -100,7 +133,8 @@ class ORB:
                                 generic_loop=cfg.generic_loop,
                                 on_bytes=self.on_bytes, orb=self,
                                 fragment_size=cfg.fragment_size,
-                                wire_little_endian=cfg.wire_little_endian)
+                                wire_little_endian=cfg.wire_little_endian,
+                                sink=self.sink)
             listener = server.listen_on(transport, host, cfg.port)
             self._server = server
             self._endpoint = listener.endpoint
@@ -246,7 +280,7 @@ class ORB:
                                 generic_loop=self.config.generic_loop,
                                 on_bytes=self.on_bytes, orb=self,
                                 fragment_size=self.config.fragment_size,
-                                **kw)
+                                sink=self.sink, **kw)
 
             proxy = IIOPProxy(connector)
             self._proxies[endpoint] = proxy

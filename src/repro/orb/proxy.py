@@ -28,6 +28,8 @@ import threading
 from typing import Any, Callable, Optional, Sequence, Union
 
 from ..giop import MsgType, ReplyHeader, ReplyStatus, RequestHeader
+from ..obs.events import stage_span
+from ..obs.stages import (STAGE_DEMARSHAL, STAGE_MARSHAL, STAGE_SERVER_WAIT)
 from ..transport.base import TransportError
 from .connection import ConnStats, GIOPConn, ReceivedMessage
 from .exceptions import (COMM_FAILURE, INTERNAL, MARSHAL, TIMEOUT, TRANSIENT,
@@ -166,9 +168,12 @@ class IIOPProxy:
             info = RequestInfo(operation=sig.name, object_key=object_key,
                                response_expected=not sig.oneway)
             chain.run("send_request", info)
-        ctx = conn.make_marshal_context(force_copy=force_copy)
-        enc = conn.body_encoder()
-        sig.marshal_request(enc, args, ctx)
+        with stage_span(conn.sink, STAGE_MARSHAL) as span:
+            ctx = conn.make_marshal_context(force_copy=force_copy)
+            enc = conn.body_encoder()
+            sig.marshal_request(enc, args, ctx)
+            params = enc.getvalue()
+            span.add_bytes(len(params))
         self._attempt_had_deposits = bool(ctx.descriptors)
         request = RequestHeader(
             request_id=conn.next_request_id(),
@@ -178,15 +183,20 @@ class IIOPProxy:
         )
         if info is not None:
             info.request_id = request.request_id
-        conn.send_message(request, enc.getvalue(), ctx)
+        conn.send_message(request, params, ctx)
         if sig.oneway:
             return None
         rm = self._await_reply(conn, request.request_id, deadline)
-        if info is not None:
-            reply = rm.msg.body_header
-            info.reply_status = reply.reply_status.name
-            chain.run("receive_reply", info)
-        return self._process_reply(sig, rm)
+        try:
+            return self._process_reply(sig, rm)
+        finally:
+            # the reply points run after demarshaling so tracing
+            # interceptors see the complete stage record (and honest
+            # wall time) of the invocation
+            if info is not None:
+                reply = rm.msg.body_header
+                info.reply_status = reply.reply_status.name
+                chain.run("receive_reply", info)
 
     # -- reply handling ---------------------------------------------------------
     def _await_reply(self, conn: GIOPConn, request_id: int,
@@ -199,7 +209,7 @@ class IIOPProxy:
         try:
             while True:
                 try:
-                    rm = conn.read_message()
+                    rm = conn.read_message(wait_stage=STAGE_SERVER_WAIT)
                 except COMM_FAILURE as exc:
                     if exc.completed is CompletionStatus.COMPLETED_NO:
                         # the request left in full; we simply cannot
@@ -239,7 +249,7 @@ class IIOPProxy:
         reply = rm.msg.body_header
         assert isinstance(reply, ReplyHeader)
         conn = self.conn
-        ctx = rm.make_demarshal_context(on_bytes=conn.on_bytes,
+        ctx = rm.make_demarshal_context(on_bytes=conn.bytes_hook(),
                                         generic_loop=conn.generic_loop,
                                         orb=conn.orb)
         dec = rm.params_decoder()
@@ -247,7 +257,10 @@ class IIOPProxy:
         if status is ReplyStatus.NO_EXCEPTION:
             if dec is None:
                 raise MARSHAL(message="reply without body")
-            return sig.demarshal_reply(dec, ctx)
+            with stage_span(conn.sink, STAGE_DEMARSHAL) as span:
+                result = sig.demarshal_reply(dec, ctx)
+                span.add_bytes(dec.tell())
+            return result
         if status is ReplyStatus.USER_EXCEPTION:
             from ..cdr import get_marshaller
             mark = dec.tell()

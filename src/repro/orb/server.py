@@ -29,13 +29,15 @@ class IIOPServer:
                  zero_copy: bool = True, generic_loop: bool = False,
                  on_bytes: Optional[Callable[[str, int], None]] = None,
                  orb=None, fragment_size: int = 0,
-                 wire_little_endian=None):
+                 wire_little_endian=None, sink=None):
         self.poa = poa
         self.orb = orb
         self.pool = pool
         self.zero_copy = zero_copy
         self.generic_loop = generic_loop
         self.on_bytes = on_bytes
+        #: structured event sink handed to every accepted connection
+        self.sink = sink
         self.fragment_size = fragment_size
         self.wire_little_endian = wire_little_endian
         self.dispatcher = MethodDispatcher(poa, on_bytes=on_bytes)
@@ -54,10 +56,12 @@ class IIOPServer:
         kw = {}
         if self.wire_little_endian is not None:
             kw["little_endian"] = self.wire_little_endian
+        sink = self.sink if self.sink is not None \
+            else getattr(self.orb, "sink", None)
         conn = GIOPConn(stream, pool=self.pool, zero_copy=self.zero_copy,
                         generic_loop=self.generic_loop,
                         on_bytes=self.on_bytes, orb=self.orb,
-                        fragment_size=self.fragment_size, **kw)
+                        fragment_size=self.fragment_size, sink=sink, **kw)
         with self._lock:
             if self._shutdown:
                 conn.close()

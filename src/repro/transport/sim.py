@@ -73,6 +73,9 @@ class SimStream:
         self._transport.charge_transfer(total)
         self._inner.sendv(chunks)
 
+    def send_batch(self):
+        return self._inner.send_batch()
+
     def recv_exact(self, n: int):
         return self._inner.recv_exact(n)
 

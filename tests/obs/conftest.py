@@ -1,0 +1,21 @@
+"""Shared helpers for the observability tests."""
+
+import pytest
+
+
+class FakeClock:
+    """A manually advanced clock, injectable wherever perf_counter goes."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()

@@ -1,0 +1,116 @@
+"""MetricsRegistry: counters, gauges and fixed-bucket histograms."""
+
+import pytest
+
+from repro.obs import (DEFAULT_SIZE_BUCKETS, Counter, Gauge, Histogram,
+                       MetricsRegistry)
+
+
+def test_counter_counts_and_rejects_decrease():
+    reg = MetricsRegistry()
+    c = reg.counter("invocations_total", operation="put")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 5
+
+
+def test_gauge_moves_both_ways():
+    g = MetricsRegistry().gauge("pool_buffers")
+    g.set(10)
+    g.inc(2)
+    g.dec(5)
+    assert g.value == 7
+
+
+def test_registry_is_get_or_create_per_label_set():
+    reg = MetricsRegistry()
+    a = reg.counter("invocations_total", operation="put")
+    b = reg.counter("invocations_total", operation="put")
+    c = reg.counter("invocations_total", operation="get")
+    assert a is b
+    assert a is not c
+    assert len(reg) == 2
+    assert reg.get("invocations_total", operation="get") is c
+    assert reg.get("missing") is None
+    assert len(reg) == 2  # get() never creates
+
+
+def test_registry_rejects_type_mismatch():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_histogram_fixed_buckets_and_overflow():
+    h = Histogram("stage_seconds", {}, buckets=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.001, 0.005, 0.05, 99.0):
+        h.observe(v)
+    # per-bucket counts are non-cumulative; the last entry is +Inf
+    assert h.bucket_counts() == [2, 1, 1, 1]
+    assert h.count == 5
+    assert h.sum == pytest.approx(0.0005 + 0.001 + 0.005 + 0.05 + 99.0)
+
+
+def test_histogram_snapshot_is_cumulative():
+    h = Histogram("stage_seconds", {"stage": "marshal"},
+                  buckets=(1.0, 2.0))
+    for v in (0.5, 1.5, 3.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["type"] == "histogram"
+    assert snap["labels"] == {"stage": "marshal"}
+    assert snap["buckets"] == [
+        {"le": 1.0, "count": 1},
+        {"le": 2.0, "count": 2},
+        {"le": "+Inf", "count": 3},
+    ]
+
+
+def test_histogram_validates_buckets():
+    with pytest.raises(ValueError):
+        Histogram("bad", {}, buckets=())
+    with pytest.raises(ValueError):
+        Histogram("bad", {}, buckets=(2.0, 1.0))
+
+
+def test_histogram_time_uses_registry_clock(clock):
+    reg = MetricsRegistry(clock=clock)
+    h = reg.histogram("stage_seconds", buckets=(1.0, 10.0), stage="wait")
+    with h.time():
+        clock.advance(5.0)
+    assert h.count == 1
+    assert h.sum == 5.0
+    assert h.bucket_counts() == [0, 1, 0]
+
+
+def test_size_bucket_ladder_covers_paper_payloads():
+    # 64 B .. 64 MiB in powers of four: every ttcp block size has a home
+    assert DEFAULT_SIZE_BUCKETS[0] == 64
+    assert DEFAULT_SIZE_BUCKETS[-1] == 64 * 1024 * 1024
+    h = Histogram("stage_payload_bytes", {}, buckets=DEFAULT_SIZE_BUCKETS)
+    h.observe(2 * 1024 * 1024)
+    assert h.count == 1
+
+
+def test_series_sorted_and_snapshot_shape():
+    reg = MetricsRegistry()
+    reg.counter("b_total")
+    reg.gauge("a_gauge")
+    names = [m.name for m in reg.series()]
+    assert names == ["a_gauge", "b_total"]
+    snap = reg.snapshot()
+    assert {m["name"] for m in snap["metrics"]} == {"a_gauge", "b_total"}
+    for m in snap["metrics"]:
+        assert m["type"] in ("counter", "gauge", "histogram")
+
+
+def test_counter_and_gauge_classes_export_meta():
+    c = Counter("n", {"k": "v"})
+    g = Gauge("m", {})
+    assert c.snapshot() == {"name": "n", "type": "counter",
+                            "labels": {"k": "v"}, "value": 0}
+    assert g.snapshot() == {"name": "m", "type": "gauge", "value": 0.0}
