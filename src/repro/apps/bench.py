@@ -1,0 +1,224 @@
+"""``repro-bench``: the benchmark-trajectory pipeline in one command.
+
+Runs the paper's headline benchmarks — the Fig. 5 and Fig. 6 TTCP
+sweeps on the simulated 2003 testbed — plus a real-ORB latency probe,
+and writes everything as one schema-versioned JSON document (by
+convention ``BENCH_<tag>.json``).  CI runs this per PR and uploads the
+file as an artifact, so the repository accumulates a throughput/latency
+trajectory that future changes can be gated against.
+
+Document layout (``BENCH_SCHEMA_VERSION`` = 1)::
+
+    {
+      "schema": 1, "kind": "bench", "tag": "...",
+      "figures": {
+        "fig5":       {"<label>": [{"size":..., "mbit_per_s":...}, ...]},
+        "fig6_left":  {...},   # raw TCP: standard vs zero-copy stack
+        "fig6_right": {...}    # ORB x stack matrix
+      },
+      "latency": {
+        "<version>": {"size": ..., "count": N, "mean_s": ...,
+                      "p50": ..., "p95": ..., "p99": ...}
+      }
+    }
+
+Latency percentiles come from a :class:`repro.obs.Histogram` over the
+per-call wall time (the same bucket-interpolation estimator that
+``repro-metrics summary`` applies to exported dumps).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from ..obs.metrics import Histogram, MetricsRegistry
+from .ttcp import KB, MB, TTCPSeries, default_sizes, run_sim_ttcp
+
+__all__ = ["BENCH_SCHEMA_VERSION", "run_bench", "validate_bench", "main"]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: the sim-mode curve matrix per figure: label -> (version, stack)
+_FIGURES = {
+    "fig5": {
+        "raw/std": ("raw", "standard"),
+        "corba/std": ("corba", "standard"),
+    },
+    "fig6_left": {
+        "raw/std": ("raw", "standard"),
+        "raw/zc": ("raw", "zero-copy"),
+    },
+    "fig6_right": {
+        "corba/std": ("corba", "standard"),
+        "corba/zc": ("corba", "zero-copy"),
+        "zc-corba/std": ("zc-corba", "standard"),
+        "zc-corba/zc": ("zc-corba", "zero-copy"),
+    },
+}
+
+
+def _series_rows(series: TTCPSeries) -> List[dict]:
+    return [{"size": p.size, "mbit_per_s": round(p.mbit_per_s, 3)}
+            for p in series.points]
+
+
+def _measure_latency(version: str, scheme: str, size: int,
+                     calls: int) -> dict:
+    """Per-call wall-time percentiles through the real ORB."""
+    import time
+
+    from ..core import OctetSequence, ZCOctetSequence
+    from ..orb import ORB, ORBConfig
+    from .ttcp import _TTCPServant, _ttcp_api
+
+    _ttcp_api()
+    zero_copy = version == "zc-corba"
+    hist = Histogram(f"bench_latency_{version}", {},
+                     help="per-call wall seconds")
+    server = ORB(ORBConfig(scheme=scheme))
+    client = ORB(ORBConfig(scheme=scheme, collocated_calls=False))
+    try:
+        ref = server.activate(_TTCPServant())
+        stub = client.string_to_object(server.object_to_string(ref))
+        payload_bytes = bytes(size)
+        for _ in range(calls):
+            payload = ZCOctetSequence.from_data(payload_bytes) \
+                if zero_copy else OctetSequence(payload_bytes)
+            t0 = time.perf_counter()
+            if zero_copy:
+                stub.send_zc(payload)
+            else:
+                stub.send(payload)
+            hist.observe(time.perf_counter() - t0)
+    finally:
+        client.shutdown()
+        server.shutdown()
+    pct = hist.percentiles() or {}
+    return {"size": size, "count": hist.count,
+            "mean_s": hist.sum / max(hist.count, 1),
+            **{k: v for k, v in pct.items()}}
+
+
+def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
+              latency_size: int = 64 * KB, latency_calls: int = 50,
+              tag: str = "", registry: Optional[MetricsRegistry] = None
+              ) -> dict:
+    """The full trajectory document (see module docstring)."""
+    sizes = default_sizes(hi=max_size)
+    figures: Dict[str, Dict[str, List[dict]]] = {}
+    for fig, curves in _FIGURES.items():
+        figures[fig] = {}
+        for label, (version, stack) in curves.items():
+            series = run_sim_ttcp(version, stack=stack, sizes=sizes)
+            figures[fig][label] = _series_rows(series)
+            if registry is not None:
+                registry.gauge("bench_saturation_mbit", figure=fig,
+                               curve=label).set(series.saturation_mbit)
+    latency = {
+        version: _measure_latency(version, scheme, latency_size,
+                                  latency_calls)
+        for version in ("corba", "zc-corba")
+    }
+    return {"schema": BENCH_SCHEMA_VERSION, "kind": "bench", "tag": tag,
+            "figures": figures, "latency": latency}
+
+
+def validate_bench(doc: dict) -> List[str]:
+    """Schema problems in a parsed bench document (empty = valid)."""
+    problems = []
+    if doc.get("schema") != BENCH_SCHEMA_VERSION:
+        problems.append(f"schema is {doc.get('schema')!r}, expected "
+                        f"{BENCH_SCHEMA_VERSION}")
+    if doc.get("kind") != "bench":
+        problems.append(f"kind is {doc.get('kind')!r}, expected 'bench'")
+    figures = doc.get("figures")
+    if not isinstance(figures, dict):
+        return problems + ["'figures' missing or not an object"]
+    for fig in _FIGURES:
+        curves = figures.get(fig)
+        if not isinstance(curves, dict) or not curves:
+            problems.append(f"figures.{fig}: missing or empty")
+            continue
+        for label, rows in curves.items():
+            if not isinstance(rows, list) or not rows or any(
+                    "size" not in r or "mbit_per_s" not in r for r in rows):
+                problems.append(f"figures.{fig}.{label}: malformed points")
+    latency = doc.get("latency")
+    if not isinstance(latency, dict) or not latency:
+        return problems + ["'latency' missing or empty"]
+    for version, rec in latency.items():
+        for key in ("size", "count", "p50", "p95", "p99"):
+            if not isinstance(rec, dict) or key not in rec:
+                problems.append(f"latency.{version}: missing {key!r}")
+                break
+    return problems
+
+
+def main(argv: Optional[list] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="run the Fig. 5/6 benchmarks + a latency probe and "
+                    "write one schema-validated trajectory document")
+    ap.add_argument("--out", metavar="PATH", default="BENCH.json",
+                    help="output document (default: %(default)s)")
+    ap.add_argument("--tag", default="",
+                    help="free-form label stored in the document "
+                         "(e.g. the PR number)")
+    ap.add_argument("--max-size", type=int, default=16 * MB,
+                    help="largest TTCP block in the sim sweeps")
+    ap.add_argument("--scheme", choices=("loop", "tcp"), default="loop",
+                    help="transport for the real-ORB latency probe")
+    ap.add_argument("--latency-size", type=int, default=64 * KB)
+    ap.add_argument("--latency-calls", type=int, default=50)
+    ap.add_argument("--quick", action="store_true",
+                    help="tiny sweep for CI smoke (16 KiB max, 10 calls)")
+    ap.add_argument("--check", metavar="PATH", default=None,
+                    help="validate an existing document instead of "
+                         "running the benchmarks")
+    args = ap.parse_args(argv)
+
+    if args.check:
+        try:
+            with open(args.check, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"repro-bench: cannot read {args.check}: {e}",
+                  file=sys.stderr)
+            return 1
+        problems = validate_bench(doc)
+        for p in problems:
+            print(f"repro-bench: {p}", file=sys.stderr)
+        if not problems:
+            print(f"{args.check}: schema {doc['schema']}, OK")
+        return 1 if problems else 0
+
+    if args.quick:
+        args.max_size = min(args.max_size, 16 * KB)
+        args.latency_size = min(args.latency_size, 16 * KB)
+        args.latency_calls = min(args.latency_calls, 10)
+
+    doc = run_bench(max_size=args.max_size, scheme=args.scheme,
+                    latency_size=args.latency_size,
+                    latency_calls=args.latency_calls, tag=args.tag)
+    problems = validate_bench(doc)
+    if problems:  # a bug in this module, not in the caller's input
+        for p in problems:
+            print(f"repro-bench: internal: {p}", file=sys.stderr)
+        return 1
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    for version, rec in doc["latency"].items():
+        print(f"{version}: {rec['count']} calls of {rec['size']} B  "
+              f"p50={rec.get('p50', 0) * 1e3:.3f}ms  "
+              f"p95={rec.get('p95', 0) * 1e3:.3f}ms  "
+              f"p99={rec.get('p99', 0) * 1e3:.3f}ms")
+    print(f"bench document written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -34,12 +34,26 @@ def main(argv: Optional[list] = None) -> int:
     ap.add_argument("--metrics-dump", metavar="PATH", default=None,
                     help="trace every request and write a repro.obs "
                          "metrics dump (JSON) on exit")
+    ap.add_argument("--span-dump", metavar="PATH", default=None,
+                    help="distributed-trace every request and write a "
+                         "span dump (schema v2) on exit; render with "
+                         "'repro-metrics tree PATH'")
     args = ap.parse_args(argv)
 
     registry = None
     if args.metrics_dump:
         from ...obs import MetricsRegistry
         registry = MetricsRegistry()
+    collector = None
+    if args.span_dump:
+        from ...obs import SpanCollector
+        collector = SpanCollector(keep=8192)
+
+    def _trace(orb: ORB) -> None:
+        if registry is not None or collector is not None:
+            orb.enable_tracing(registry=registry,
+                               distributed=collector is not None,
+                               collector=collector)
 
     w, h = CIF if args.cif else QCIF
     source = FrameSource(w, h, seed=2003)
@@ -49,13 +63,11 @@ def main(argv: Optional[list] = None) -> int:
           f"{mp2.nbytes / 1e6:.2f} MB", file=sys.stderr)
 
     client = ORB(ORBConfig(scheme=args.scheme, collocated_calls=False))
-    if registry is not None:
-        client.enable_tracing(registry=registry)
+    _trace(client)
     worker_orbs, stubs = [], []
     for _ in range(args.workers):
         orb = ORB(ORBConfig(scheme=args.scheme))
-        if registry is not None:
-            orb.enable_tracing(registry=registry)
+        _trace(orb)
         ref = orb.activate(TranscoderWorker(gop=args.gop))
         stubs.append(client.string_to_object(orb.object_to_string(ref)))
         worker_orbs.append(orb)
@@ -83,6 +95,11 @@ def main(argv: Optional[list] = None) -> int:
         dump_metrics(registry, args.metrics_dump, workers=args.workers,
                      frames=args.frames)
         print(f"metrics written to {args.metrics_dump}", file=sys.stderr)
+    if collector is not None:
+        from ...obs import dump_spans
+        dump_spans(collector, args.span_dump, workers=args.workers,
+                   frames=args.frames)
+        print(f"spans written to {args.span_dump}", file=sys.stderr)
     return 0
 
 

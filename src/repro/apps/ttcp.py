@@ -190,14 +190,18 @@ def _real_corba_point(stub, size: int, zero_copy: bool,
 
 def run_real_ttcp(version: str, sizes: Optional[Sequence[int]] = None,
                   scheme: str = "loop", repeats: int = 3,
-                  registry=None) -> TTCPSeries:
+                  registry=None, collector=None) -> TTCPSeries:
     """One TTCP curve through the real ORB (wall-clock time).
 
     With ``registry`` (a :class:`repro.obs.MetricsRegistry`), both ORBs
     run the built-in :class:`~repro.obs.TracingInterceptor` and fold
     every request's stage breakdown into that shared registry — the
     live counterpart of the §5.2 overhead model, dumpable via
-    ``--metrics-dump``.
+    ``--metrics-dump``.  With ``collector`` (a
+    :class:`repro.obs.SpanCollector`), both ORBs additionally run
+    distributed tracing: every request becomes a client+server span
+    pair in one trace, dumpable via ``--span-dump`` and renderable
+    with ``repro-metrics tree``.
     """
     sizes = list(sizes) if sizes is not None else default_sizes(hi=4 * MB)
     if version not in ("corba", "zc-corba"):
@@ -207,9 +211,12 @@ def run_real_ttcp(version: str, sizes: Optional[Sequence[int]] = None,
     _ttcp_api()
     server = ORB(ORBConfig(scheme=scheme))
     client = ORB(ORBConfig(scheme=scheme, collocated_calls=False))
-    if registry is not None:
-        client.enable_tracing(registry=registry)
-        server.enable_tracing(registry=registry)
+    if registry is not None or collector is not None:
+        distributed = collector is not None
+        client.enable_tracing(registry=registry, distributed=distributed,
+                              collector=collector)
+        server.enable_tracing(registry=registry, distributed=distributed,
+                              collector=collector)
     try:
         servant = _TTCPServant()
         ref = server.activate(servant)
@@ -259,12 +266,22 @@ def main(argv: Optional[list] = None) -> int:
                          "this enables per-request stage tracing")
     ap.add_argument("--metrics-format", choices=("json", "text"),
                     default="json")
+    ap.add_argument("--span-dump", metavar="PATH", default=None,
+                    help="(real mode) write a span dump (schema v2) of "
+                         "every traced request; render it with "
+                         "'repro-metrics tree PATH'")
     args = ap.parse_args(argv)
     sizes = default_sizes(hi=args.max_size)
     registry = None
     if args.metrics_dump:
         from ..obs import MetricsRegistry
         registry = MetricsRegistry()
+    collector = None
+    if args.span_dump:
+        if args.mode != "real":
+            ap.error("--span-dump requires --mode real")
+        from ..obs import SpanCollector
+        collector = SpanCollector(keep=8192)
     out = []
     for version in args.versions.split(","):
         version = version.strip()
@@ -273,8 +290,14 @@ def main(argv: Optional[list] = None) -> int:
         else:
             out.append(run_real_ttcp(version, sizes=sizes,
                                      scheme=args.scheme,
-                                     registry=registry))
+                                     registry=registry,
+                                     collector=collector))
     print(format_table(out))
+    if collector is not None:
+        from ..obs import dump_spans
+        dump_spans(collector, args.span_dump, mode=args.mode,
+                   versions=args.versions)
+        print(f"spans written to {args.span_dump}")
     if registry is not None:
         from ..obs import dump_metrics
         for series in out:

@@ -27,7 +27,8 @@ from ..core.direct_deposit import DEPOSIT_MAGIC, DepositDescriptor
 __all__ = [
     "GIOP_MAGIC", "GIOP_HEADER_SIZE", "MsgType", "ReplyStatus",
     "LocateStatus", "GIOPHeader", "ServiceContext",
-    "SVC_CTX_DEPOSIT",
+    "SVC_CTX_DEPOSIT", "SVC_CTX_TRACE", "TRACE_CTX_SIZE",
+    "encode_trace_context", "decode_trace_context",
     "RequestHeader", "ReplyHeader", "CancelRequestHeader",
     "LocateRequestHeader", "LocateReplyHeader",
     "GIOPMessage", "encode_message", "decode_header", "decode_body",
@@ -39,6 +40,40 @@ GIOP_HEADER_SIZE = 12
 
 #: service-context id carrying direct-deposit descriptors (vendor range)
 SVC_CTX_DEPOSIT = DEPOSIT_MAGIC
+
+#: service-context id carrying the distributed-tracing context, in the
+#: same private vendor range as the deposit tag.  Compliant peers that
+#: do not understand it simply ignore (and, as interop demands,
+#: preserve) the entry.
+SVC_CTX_TRACE = DEPOSIT_MAGIC + 1
+
+#: W3C-traceparent-style binary layout: version octet, 16-byte trace
+#: id, 8-byte span id, flags octet (bit 0 = sampled)
+TRACE_CTX_SIZE = 26
+
+
+def encode_trace_context(trace_id: bytes, span_id: bytes,
+                         sampled: bool = True) -> bytes:
+    """Pack a trace context into its service-context payload."""
+    if len(trace_id) != 16:
+        raise GIOPError(f"trace id must be 16 bytes, got {len(trace_id)}")
+    if len(span_id) != 8:
+        raise GIOPError(f"span id must be 8 bytes, got {len(span_id)}")
+    return b"\x00" + trace_id + span_id + (b"\x01" if sampled else b"\x00")
+
+
+def decode_trace_context(data) -> tuple:
+    """Unpack a trace-context payload -> (trace_id, span_id, sampled).
+
+    Future versions may append fields, so trailing bytes are tolerated;
+    a higher version octet is not.
+    """
+    raw = bytes(data)
+    if len(raw) < TRACE_CTX_SIZE:
+        raise GIOPError(f"short trace context: {len(raw)} bytes")
+    if raw[0] != 0:
+        raise GIOPError(f"unsupported trace context version {raw[0]}")
+    return raw[1:17], raw[17:25], bool(raw[25] & 0x01)
 
 #: GIOP flags bit 1: more fragments follow (GIOP 1.1)
 FLAG_MORE_FRAGMENTS = 0x02

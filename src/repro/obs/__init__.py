@@ -15,8 +15,11 @@ live ORB instead of the offline model:
 * :mod:`repro.obs.tracing` — :class:`TracingInterceptor` (the built-in
   interceptor producing breakdowns + metrics) and :class:`WireTracer`
   (per-GIOP-message wire log);
+* :mod:`repro.obs.dtrace` — distributed tracing: trace contexts carried
+  in GIOP service contexts, cross-process span trees splitting each
+  invocation along the control/deposit boundary;
 * :mod:`repro.obs.export` — text/JSON exporters and the
-  ``dump_metrics`` hook the benchmark CLI exposes.
+  ``dump_metrics``/``dump_spans`` hooks the benchmark CLI exposes.
 
 Quickstart::
 
@@ -28,12 +31,16 @@ Quickstart::
     print(render_text(tracer.registry))      # metrics exposition
 """
 
+from .dtrace import (DistributedTracer, Span, SpanCollector, TraceContext,
+                     build_span_tree, extract_trace_context, render_span_tree)
 from .events import (ByteEvent, CallbackSink, CompositeSink, EventSink,
                      NullSink, RecordingSink, StageEvent, StageSpan,
                      WireEvent, stage_span)
-from .export import dump_metrics, render_text, to_dict, to_json
+from .export import (dump_metrics, dump_spans, render_text, spans_to_dict,
+                     to_dict, to_json)
 from .metrics import (DEFAULT_LATENCY_BUCKETS, DEFAULT_SIZE_BUCKETS, Counter,
-                      Gauge, Histogram, MetricsRegistry)
+                      Gauge, Histogram, MetricsRegistry,
+                      quantile_from_buckets)
 from .stages import (CLIENT_STAGES, STAGE_CONTROL_SEND, STAGE_DEMARSHAL,
                      STAGE_DEPOSIT_RECV, STAGE_DEPOSIT_SEND, STAGE_MARSHAL,
                      STAGE_RECV_WAIT, STAGE_SERVER_WAIT, InvocationBreakdown,
@@ -52,4 +59,7 @@ __all__ = [
     "InvocationBreakdown", "StageTimer",
     "TracingInterceptor", "WireTracer", "format_wire_event",
     "to_dict", "to_json", "render_text", "dump_metrics",
+    "DistributedTracer", "Span", "SpanCollector", "TraceContext",
+    "extract_trace_context", "build_span_tree", "render_span_tree",
+    "spans_to_dict", "dump_spans", "quantile_from_buckets",
 ]

@@ -1,10 +1,12 @@
-"""``repro-metrics``: inspect and validate metrics dumps.
+"""``repro-metrics``: inspect and validate metrics and span dumps.
 
 The benchmark harness and the app CLIs write JSON dumps via
-:func:`repro.obs.export.dump_metrics`.  This tool is the consumer side:
-it validates a dump against the export schema (the CI smoke step's
-assertion) and re-renders it as Prometheus-style text or summary lines
-for humans.
+:func:`repro.obs.export.dump_metrics` (schema v1) and
+:func:`repro.obs.export.dump_spans` (schema v2, distributed-tracing
+spans).  This tool is the consumer side: it validates a dump against
+its schema (the CI smoke step's assertion) and re-renders it for
+humans — Prometheus-style text and percentile summaries for metrics,
+flat span listings and ASCII span trees for traces.
 
 Exit status: 0 on a valid dump, 1 on a malformed or wrong-schema file —
 so ``repro-metrics check dump.json`` is usable directly as a CI gate.
@@ -17,15 +19,22 @@ import json
 import sys
 from typing import List, Optional
 
-from .export import SCHEMA_VERSION
+from .export import SCHEMA_VERSION, SPAN_SCHEMA_VERSION
+from .metrics import PERCENTILES, quantile_from_buckets
 
-__all__ = ["main", "validate_dump"]
+__all__ = ["main", "validate_dump", "validate_span_dump"]
 
 _TYPES = ("counter", "gauge", "histogram")
 
+_SPAN_KINDS = ("client", "server")
+
+#: required fields of every schema-v2 span object
+_SPAN_FIELDS = ("trace_id", "span_id", "name", "kind", "start_s",
+                "duration_s", "control_bytes", "deposit_bytes", "stages")
+
 
 def validate_dump(doc: dict) -> List[str]:
-    """Schema problems in a parsed dump (empty list = valid)."""
+    """Schema problems in a parsed v1 metrics dump (empty = valid)."""
     problems = []
     if doc.get("schema") != SCHEMA_VERSION:
         problems.append(
@@ -53,6 +62,55 @@ def validate_dump(doc: dict) -> List[str]:
                     f"{where} ({m['name']}): histogram missing sum/count")
         elif "value" not in m:
             problems.append(f"{where} ({m['name']}): missing 'value'")
+    return problems
+
+
+def _is_hex(s, length: int) -> bool:
+    if not isinstance(s, str) or len(s) != length:
+        return False
+    try:
+        int(s, 16)
+        return True
+    except ValueError:
+        return False
+
+
+def validate_span_dump(doc: dict) -> List[str]:
+    """Schema problems in a parsed v2 span dump (empty = valid)."""
+    problems = []
+    if doc.get("schema") != SPAN_SCHEMA_VERSION:
+        problems.append(f"schema is {doc.get('schema')!r}, expected "
+                        f"{SPAN_SCHEMA_VERSION}")
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        return problems + ["'spans' missing or not a list"]
+    for i, s in enumerate(spans):
+        where = f"spans[{i}]"
+        if not isinstance(s, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        missing = [f for f in _SPAN_FIELDS if f not in s]
+        if missing:
+            problems.append(f"{where}: missing {', '.join(missing)}")
+            continue
+        if not _is_hex(s["trace_id"], 32):
+            problems.append(f"{where}: trace_id is not 32 hex chars")
+        if not _is_hex(s["span_id"], 16):
+            problems.append(f"{where}: span_id is not 16 hex chars")
+        if s.get("parent_id") is not None and \
+                not _is_hex(s["parent_id"], 16):
+            problems.append(f"{where}: parent_id is not 16 hex chars")
+        if s["kind"] not in _SPAN_KINDS:
+            problems.append(f"{where}: bad kind {s['kind']!r}")
+        for split in ("control_bytes", "deposit_bytes"):
+            v = s[split]
+            if not isinstance(v, dict) or "sent" not in v or "recv" not in v:
+                problems.append(f"{where}: {split} needs sent/recv")
+        if not isinstance(s["stages"], list):
+            problems.append(f"{where}: 'stages' is not a list")
+        elif any(not isinstance(st, dict) or "stage" not in st
+                 or "duration_s" not in st for st in s["stages"]):
+            problems.append(f"{where}: malformed stage entry")
     return problems
 
 
@@ -84,14 +142,67 @@ def _render_lines(doc: dict) -> str:
     return render_text(reg)
 
 
+def _dump_percentiles(m: dict) -> str:
+    """p50/p95/p99 estimates from an exported histogram's buckets."""
+    bounds: List[float] = []
+    counts: List[int] = []
+    prev = 0
+    for b in m["buckets"]:
+        n = b["count"] - prev
+        prev = b["count"]
+        if b["le"] == "+Inf":
+            counts.append(m["count"] - sum(counts))
+        else:
+            bounds.append(float(b["le"]))
+            counts.append(n)
+    parts = []
+    for q in PERCENTILES:
+        est = quantile_from_buckets(bounds, counts, q)
+        parts.append(f"p{int(q * 100)}="
+                     f"{'-' if est is None else f'{est:.6g}'}")
+    return " ".join(parts)
+
+
+def _summary(doc: dict) -> None:
+    for m in doc["metrics"]:
+        labels = m.get("labels", {})
+        lab = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        head = f"{m['name']}{{{lab}}}" if lab else m["name"]
+        if m["type"] == "histogram":
+            print(f"{head}  count={m['count']} sum={m['sum']:.6g} "
+                  f"{_dump_percentiles(m)}")
+        else:
+            print(f"{head}  {m['value']}")
+
+
+def _span_dump_spans(doc: dict):
+    from .dtrace import Span
+    return [Span.from_dict(d) for d in doc["spans"]]
+
+
+def _spans_flat(doc: dict) -> None:
+    for s in _span_dump_spans(doc):
+        parent = s.parent_id or "-"
+        print(f"{s.trace_id[:8]} {s.span_id} <- {parent:<16} "
+              f"{s.kind:<6} {s.name:<20} {s.duration_s * 1e3:9.3f}ms  "
+              f"ctl {s.control_bytes_sent}/{s.control_bytes_recv}B  "
+              f"dep {s.deposit_bytes_sent}/{s.deposit_bytes_recv}B"
+              + ("" if s.status in (None, "NO_EXCEPTION")
+                 else f"  [{s.status}]"))
+
+
 def main(argv: Optional[list] = None) -> int:
     ap = argparse.ArgumentParser(
         prog="repro-metrics",
-        description="validate and render repro.obs metrics dumps")
-    ap.add_argument("command", choices=("check", "render", "summary"),
-                    help="check: validate schema; render: Prometheus text; "
-                         "summary: one line per series")
-    ap.add_argument("path", help="JSON dump written by --metrics-dump")
+        description="validate and render repro.obs metrics and span dumps")
+    ap.add_argument("command",
+                    choices=("check", "render", "summary", "spans", "tree"),
+                    help="check: validate schema (v1 or v2, auto-detected); "
+                         "render: Prometheus text; summary: one line per "
+                         "series with percentiles; spans: one line per "
+                         "span; tree: ASCII span tree per trace")
+    ap.add_argument("path", help="JSON dump written by --metrics-dump "
+                                 "or --span-dump")
     args = ap.parse_args(argv)
 
     try:
@@ -102,26 +213,35 @@ def main(argv: Optional[list] = None) -> int:
               file=sys.stderr)
         return 1
 
-    problems = validate_dump(doc)
+    is_spans = doc.get("schema") == SPAN_SCHEMA_VERSION or "spans" in doc
+    if args.command in ("spans", "tree") and not is_spans:
+        print(f"repro-metrics: {args.path} is not a span dump "
+              f"(schema {doc.get('schema')!r})", file=sys.stderr)
+        return 1
+    if args.command in ("render", "summary") and is_spans:
+        print(f"repro-metrics: {args.path} is a span dump; use "
+              f"'spans' or 'tree'", file=sys.stderr)
+        return 1
+
+    problems = validate_span_dump(doc) if is_spans else validate_dump(doc)
     if problems:
         for p in problems:
             print(f"repro-metrics: {p}", file=sys.stderr)
         return 1
 
     if args.command == "check":
-        print(f"{args.path}: schema {doc['schema']}, "
-              f"{len(doc['metrics'])} series, OK")
+        body = (f"{len(doc['spans'])} spans" if is_spans
+                else f"{len(doc['metrics'])} series")
+        print(f"{args.path}: schema {doc['schema']}, {body}, OK")
     elif args.command == "render":
         sys.stdout.write(_render_lines(doc))
-    else:
-        for m in doc["metrics"]:
-            labels = m.get("labels", {})
-            lab = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
-            head = f"{m['name']}{{{lab}}}" if lab else m["name"]
-            if m["type"] == "histogram":
-                print(f"{head}  count={m['count']} sum={m['sum']:.6g}")
-            else:
-                print(f"{head}  {m['value']}")
+    elif args.command == "summary":
+        _summary(doc)
+    elif args.command == "spans":
+        _spans_flat(doc)
+    else:  # tree
+        from .dtrace import render_span_tree
+        sys.stdout.write(render_span_tree(_span_dump_spans(doc)))
     return 0
 
 

@@ -1,0 +1,531 @@
+"""Distributed tracing across the control/data split (``repro.obs.dtrace``).
+
+The Fig. 7 stage timers of :mod:`repro.obs.stages` see one process at a
+time.  This module follows a single invocation *across* processes: a
+W3C-traceparent-style context — 128-bit trace id, 64-bit span id, a
+sampled flag — rides every GIOP Request in a dedicated service context
+(:data:`repro.giop.SVC_CTX_TRACE`), is extracted by the server
+dispatcher, and is re-injected on any nested outbound call the servant
+makes (a naming lookup, a backend invoke...).  The result is one span
+tree per trace, spanning client, wire and server.
+
+Each :class:`Span` carries the six Fig. 7 stages of its invocation as
+sub-spans and splits its byte accounting along the paper's central
+boundary: control-path bytes (GIOP headers + marshaled bodies) vs
+deposit-path bytes (the zero-copy payloads).  Spans flow into a
+:class:`SpanCollector` — shareable between ORBs of one process, or
+dumped as JSON (span schema v2, see :mod:`repro.obs.export`) and merged
+offline by trace id for genuinely distributed runs.
+
+The :class:`DistributedTracer` is an :class:`~repro.obs.events.EventSink`:
+wired into an ORB's sink chain (``orb.enable_tracing(distributed=True)``)
+it attributes every stage event to the innermost active span of the
+emitting thread.  Propagation state is thread-local, which matches the
+ORB's dispatch model: a servant's nested calls run on the thread of the
+upcall, so the server span is exactly the innermost active span when
+the nested proxy asks for the current context.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+from ..giop.messages import (SVC_CTX_TRACE, GIOPError, ServiceContext,
+                             decode_trace_context, encode_trace_context)
+from .events import EventSink, StageEvent
+from .stages import (STAGE_CONTROL_SEND, STAGE_DEPOSIT_RECV,
+                     STAGE_DEPOSIT_SEND, STAGE_RECV_WAIT, STAGE_SERVER_WAIT)
+
+__all__ = [
+    "TraceContext", "Span", "SpanCollector", "DistributedTracer",
+    "InvocationScope", "extract_trace_context", "build_span_tree",
+    "render_span_tree", "SpanNode",
+]
+
+#: stages whose byte counts are control-path wire bytes.  The blocking
+#: read stages count the GIOP headers + bodies actually read, so the
+#: receive side of the control path is attributed to them.
+_CONTROL_SENT = (STAGE_CONTROL_SEND,)
+_CONTROL_RECV = (STAGE_SERVER_WAIT, STAGE_RECV_WAIT)
+_DEPOSIT_SENT = (STAGE_DEPOSIT_SEND,)
+_DEPOSIT_RECV = (STAGE_DEPOSIT_RECV,)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One propagated (trace id, span id, sampled) triple.
+
+    Ids are lowercase hex strings — 32 chars (128 bits) for the trace,
+    16 chars (64 bits) for the span — matching W3C traceparent.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def encode(self) -> bytes:
+        return encode_trace_context(bytes.fromhex(self.trace_id),
+                                    bytes.fromhex(self.span_id),
+                                    self.sampled)
+
+    @classmethod
+    def decode(cls, data) -> "TraceContext":
+        trace_id, span_id, sampled = decode_trace_context(data)
+        return cls(trace_id=trace_id.hex(), span_id=span_id.hex(),
+                   sampled=sampled)
+
+    def to_service_context(self) -> ServiceContext:
+        return ServiceContext(context_id=SVC_CTX_TRACE, data=self.encode())
+
+
+def extract_trace_context(
+        contexts: Iterable[ServiceContext]) -> Optional[TraceContext]:
+    """The trace context riding in a service context list, if any.
+
+    A malformed payload is treated as absent (a foreign peer's private
+    tag colliding with ours must not break dispatch).
+    """
+    for sc in contexts:
+        if sc.context_id == SVC_CTX_TRACE:
+            try:
+                return TraceContext.decode(sc.data)
+            except GIOPError:
+                return None
+    return None
+
+
+@dataclass
+class Span:
+    """One side of one invocation, with its stage record."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str  #: operation name
+    kind: str  #: "client" or "server"
+    node: str = ""  #: which ORB produced the span (e.g. "orb3")
+    start_s: float = 0.0
+    end_s: float = 0.0
+    status: Optional[str] = None  #: reply status or exception type name
+    request_id: Optional[int] = None
+    stages: List[StageEvent] = field(default_factory=list)
+
+    # -- derived views -------------------------------------------------------
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+    def stage_s(self, stage: str) -> float:
+        return sum(e.duration_s for e in self.stages if e.stage == stage)
+
+    def stage_bytes(self, stage: str) -> int:
+        return sum(e.nbytes for e in self.stages if e.stage == stage)
+
+    def _bytes(self, stages) -> int:
+        return sum(e.nbytes for e in self.stages if e.stage in stages)
+
+    def _seconds(self, stages) -> float:
+        return sum(e.duration_s for e in self.stages if e.stage in stages)
+
+    @property
+    def control_bytes_sent(self) -> int:
+        return self._bytes(_CONTROL_SENT)
+
+    @property
+    def control_bytes_recv(self) -> int:
+        return self._bytes(_CONTROL_RECV)
+
+    @property
+    def deposit_bytes_sent(self) -> int:
+        return self._bytes(_DEPOSIT_SENT)
+
+    @property
+    def deposit_bytes_recv(self) -> int:
+        return self._bytes(_DEPOSIT_RECV)
+
+    @property
+    def control_seconds(self) -> float:
+        return self._seconds(_CONTROL_SENT + _CONTROL_RECV)
+
+    @property
+    def deposit_seconds(self) -> float:
+        return self._seconds(_DEPOSIT_SENT + _DEPOSIT_RECV)
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    # -- schema v2 -----------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "node": self.node,
+            "request_id": self.request_id,
+            "status": self.status,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "control_bytes": {"sent": self.control_bytes_sent,
+                              "recv": self.control_bytes_recv},
+            "deposit_bytes": {"sent": self.deposit_bytes_sent,
+                              "recv": self.deposit_bytes_recv},
+            "stages": [
+                {"stage": e.stage, "duration_s": e.duration_s,
+                 "nbytes": e.nbytes}
+                for e in self.stages
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        span = cls(trace_id=d["trace_id"], span_id=d["span_id"],
+                   parent_id=d.get("parent_id"), name=d.get("name", "?"),
+                   kind=d.get("kind", "?"), node=d.get("node", ""),
+                   start_s=float(d.get("start_s", 0.0)),
+                   status=d.get("status"),
+                   request_id=d.get("request_id"))
+        span.end_s = span.start_s + float(d.get("duration_s", 0.0))
+        span.stages = [StageEvent(stage=s["stage"],
+                                  duration_s=float(s.get("duration_s", 0.0)),
+                                  nbytes=int(s.get("nbytes", 0)))
+                       for s in d.get("stages", [])]
+        return span
+
+
+class SpanCollector:
+    """Thread-safe bounded store of finished spans.
+
+    One collector can back several :class:`DistributedTracer` instances
+    (client + server ORBs of one process share it, so a cross-process
+    trace assembles in memory); distributed deployments dump each
+    process's collector and merge by trace id.
+    """
+
+    def __init__(self, keep: int = 2048):
+        self._spans: Deque[Span] = deque(maxlen=keep)
+        self._lock = threading.Lock()
+
+    def add(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def for_trace(self, trace_id: str) -> List[Span]:
+        with self._lock:
+            return [s for s in self._spans if s.trace_id == trace_id]
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids in first-seen order."""
+        seen: List[str] = []
+        with self._lock:
+            for s in self._spans:
+                if s.trace_id not in seen:
+                    seen.append(s.trace_id)
+        return seen
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+@dataclass(frozen=True)
+class InvocationScope:
+    """The per-logical-call trace decision, fixed across retries.
+
+    The proxy creates one scope per :meth:`IIOPProxy.invoke`; every
+    attempt (the first try and each retry) opens a *fresh* span inside
+    it, so a retried call keeps its trace id while each attempt on the
+    wire is distinguishable.
+    """
+
+    trace_id: str
+    parent_id: Optional[str]
+    sampled: bool
+
+
+class _ActiveSpan:
+    """A started span plus its place on the thread's span stack."""
+
+    __slots__ = ("span", "sampled")
+
+    def __init__(self, span: Span, sampled: bool):
+        self.span = span
+        self.sampled = sampled
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(trace_id=self.span.trace_id,
+                            span_id=self.span.span_id,
+                            sampled=self.sampled)
+
+    def set_request_id(self, request_id: int) -> None:
+        self.span.request_id = request_id
+
+    def record_status(self, status: Optional[str]) -> None:
+        self.span.status = status
+
+
+class DistributedTracer(EventSink):
+    """Produces spans; attributes stage events to the active span.
+
+    Wired as (part of) an ORB's event sink.  The proxy and dispatcher
+    drive the span lifecycle explicitly (:meth:`begin_invocation` /
+    :meth:`start_client_span` / :meth:`start_server_span` /
+    :meth:`finish`); stage events emitted by the connection layer while
+    a span is active on the same thread are appended to the innermost
+    one — which is exactly the span whose invocation produced them,
+    because dispatch and nested calls share the upcall's thread.
+    """
+
+    def __init__(self, node: str = "", registry=None,
+                 collector: Optional[SpanCollector] = None,
+                 clock: Callable[[], float] = time.perf_counter,
+                 sample_rate: float = 1.0, seed: Optional[int] = None,
+                 keep: int = 2048):
+        super().__init__(clock=clock)
+        self.node = node
+        self.registry = registry
+        self.collector = collector if collector is not None \
+            else SpanCollector(keep=keep)
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1]: {sample_rate}")
+        self.sample_rate = sample_rate
+        self._rng = random.Random(seed)
+        self._tls = threading.local()
+
+    # -- id generation -------------------------------------------------------
+    def new_trace_id(self) -> str:
+        while True:
+            bits = self._rng.getrandbits(128)
+            if bits:  # the all-zero id is invalid (W3C)
+                return f"{bits:032x}"
+
+    def new_span_id(self) -> str:
+        while True:
+            bits = self._rng.getrandbits(64)
+            if bits:
+                return f"{bits:016x}"
+
+    # -- thread-local state --------------------------------------------------
+    def _stack(self) -> List[_ActiveSpan]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def current_context(self) -> Optional[TraceContext]:
+        """The innermost active span's context on this thread."""
+        stack = self._stack()
+        return stack[-1].context if stack else None
+
+    # -- sampling ------------------------------------------------------------
+    def _sample(self) -> bool:
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        return self._rng.random() < self.sample_rate
+
+    # -- span lifecycle ------------------------------------------------------
+    def begin_invocation(self) -> InvocationScope:
+        """Fix the trace identity for one logical client call.
+
+        Inside an active span (a servant's nested call) the scope joins
+        that span's trace; at top level it roots a new trace and makes
+        the sampling decision.
+        """
+        ctx = self.current_context()
+        if ctx is not None:
+            return InvocationScope(trace_id=ctx.trace_id,
+                                   parent_id=ctx.span_id,
+                                   sampled=ctx.sampled)
+        return InvocationScope(trace_id=self.new_trace_id(),
+                               parent_id=None, sampled=self._sample())
+
+    def start_client_span(self, name: str,
+                          scope: InvocationScope) -> _ActiveSpan:
+        span = Span(trace_id=scope.trace_id, span_id=self.new_span_id(),
+                    parent_id=scope.parent_id, name=name, kind="client",
+                    node=self.node, start_s=self.clock())
+        active = _ActiveSpan(span, sampled=scope.sampled)
+        self._stack().append(active)
+        return active
+
+    def start_server_span(self, name: str, ctx: Optional[TraceContext],
+                          request_id: Optional[int] = None) -> _ActiveSpan:
+        """Open the server-side span of an incoming request.
+
+        With an incoming context the span joins its trace (honouring
+        the sampled flag); without one — a non-tracing client — the
+        request roots a new trace here.
+        """
+        if ctx is not None:
+            trace_id, parent_id, sampled = \
+                ctx.trace_id, ctx.span_id, ctx.sampled
+        else:
+            trace_id, parent_id, sampled = \
+                self.new_trace_id(), None, self._sample()
+        span = Span(trace_id=trace_id, span_id=self.new_span_id(),
+                    parent_id=parent_id, name=name, kind="server",
+                    node=self.node, start_s=self.clock(),
+                    request_id=request_id)
+        active = _ActiveSpan(span, sampled=sampled)
+        self._stack().append(active)
+        return active
+
+    def finish(self, active: _ActiveSpan,
+               status: Optional[str] = None) -> Optional[Span]:
+        """Close ``active``; record it if its trace is sampled.
+
+        Returns the finished span (None when unsampled).  Finishing is
+        tolerant of a corrupted stack (an exception that skipped inner
+        finishes): everything above ``active`` is discarded.
+        """
+        stack = self._stack()
+        while stack:
+            top = stack.pop()
+            if top is active:
+                break
+        span = active.span
+        span.end_s = self.clock()
+        if status is not None:
+            span.status = status
+        if not active.sampled:
+            return None
+        self.collector.add(span)
+        self._record_metrics(span)
+        return span
+
+    def _record_metrics(self, span: Span) -> None:
+        reg = self.registry
+        if reg is None:
+            return
+        reg.counter("spans_total", kind=span.kind,
+                    operation=span.name).inc()
+        reg.histogram("span_seconds",
+                      kind=span.kind).observe(span.duration_s)
+        ctl = span.control_bytes_sent + span.control_bytes_recv
+        dep = span.deposit_bytes_sent + span.deposit_bytes_recv
+        if ctl:
+            reg.counter("span_control_bytes_total", kind=span.kind).inc(ctl)
+        if dep:
+            reg.counter("span_deposit_bytes_total", kind=span.kind).inc(dep)
+
+    # -- sink interface ------------------------------------------------------
+    def emit(self, event) -> None:
+        if not isinstance(event, StageEvent):
+            return
+        stack = self._stack()
+        if stack:
+            stack[-1].span.stages.append(event)
+
+
+# ---------------------------------------------------------------------------
+# span trees
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SpanNode:
+    """One node of an assembled span tree."""
+
+    span: Span
+    children: List["SpanNode"] = field(default_factory=list)
+
+
+def build_span_tree(spans: Iterable[Span]) -> Dict[str, List[SpanNode]]:
+    """Assemble spans into per-trace trees.
+
+    Returns ``{trace_id: [roots]}``.  A span whose parent is unknown
+    (the parent ran in a process whose dump was not merged, or was
+    unsampled) becomes a root of its trace; roots and children are
+    ordered by start time.
+    """
+    by_trace: Dict[str, List[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    out: Dict[str, List[SpanNode]] = {}
+    for trace_id, members in by_trace.items():
+        nodes = {s.span_id: SpanNode(s) for s in members}
+        roots: List[SpanNode] = []
+        for node in nodes.values():
+            parent = nodes.get(node.span.parent_id) \
+                if node.span.parent_id else None
+            if parent is None or parent is node:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        for node in nodes.values():
+            node.children.sort(key=lambda n: n.span.start_s)
+        roots.sort(key=lambda n: n.span.start_s)
+        out[trace_id] = roots
+    return out
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f}MiB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}KiB"
+    return f"{n}B"
+
+
+def _span_line(span: Span) -> str:
+    out = (f"{span.kind} {span.name}  {span.duration_s * 1e3:.3f}ms")
+    if span.node:
+        out += f"  @{span.node}"
+    out += (f"  ctl {_fmt_bytes(span.control_bytes_sent)}"
+            f"/{_fmt_bytes(span.control_bytes_recv)}"
+            f"  dep {_fmt_bytes(span.deposit_bytes_sent)}"
+            f"/{_fmt_bytes(span.deposit_bytes_recv)}")
+    if span.status not in (None, "NO_EXCEPTION"):
+        out += f"  [{span.status}]"
+    return out
+
+
+def render_span_tree(spans: Iterable[Span]) -> str:
+    """ASCII trees, one per trace: per-span durations and the
+    control/deposit byte split (sent/received)."""
+    lines: List[str] = []
+    forest = build_span_tree(spans)
+    for trace_id, roots in forest.items():
+        members = list(_iter_nodes(roots))
+        total = sum(r.span.duration_s for r in roots)
+        lines.append(f"trace {trace_id}  "
+                     f"({len(members)} span{'s' if len(members) != 1 else ''}"
+                     f", {total * 1e3:.3f}ms)")
+        for i, root in enumerate(roots):
+            _render_node(root, "", i == len(roots) - 1, lines)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _iter_nodes(roots: List[SpanNode]):
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children)
+
+
+def _render_node(node: SpanNode, prefix: str, last: bool,
+                 lines: List[str]) -> None:
+    branch = "`-- " if last else "|-- "
+    lines.append(prefix + branch + _span_line(node.span))
+    child_prefix = prefix + ("    " if last else "|   ")
+    for i, child in enumerate(node.children):
+        _render_node(child, child_prefix, i == len(node.children) - 1, lines)

@@ -1,23 +1,35 @@
-"""Exporters: render a MetricsRegistry as text or JSON.
+"""Exporters: render a MetricsRegistry or a span set as text or JSON.
 
 The text form is a Prometheus-flavoured line format (stable, greppable,
 shows up well in CI logs); the JSON form is the machine interface the
 benchmark harness and the CI smoke step parse.  Both read one
 :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, so an export is
 internally consistent even while the ORB keeps counting.
+
+Two dump schemas coexist, distinguished by their ``schema`` field:
+
+* **v1** — metrics dumps (``{"schema": 1, "metrics": [...]}``);
+* **v2** — span dumps from :mod:`repro.obs.dtrace`
+  (``{"schema": 2, "spans": [...]}``), one object per finished span
+  with its parentage, stage record, and the control/deposit byte split.
 """
 
 from __future__ import annotations
 
 import json
-from typing import IO, List, Optional, Union
+from typing import IO, Iterable, List, Optional, Union
 
 from .metrics import MetricsRegistry
 
-__all__ = ["to_dict", "to_json", "render_text", "dump_metrics"]
+__all__ = ["to_dict", "to_json", "render_text", "dump_metrics",
+           "spans_to_dict", "dump_spans",
+           "SCHEMA_VERSION", "SPAN_SCHEMA_VERSION"]
 
-#: bumped when the snapshot shape changes; parsers check it
+#: bumped when the metrics snapshot shape changes; parsers check it
 SCHEMA_VERSION = 1
+
+#: the span-dump schema, versioned alongside (and distinct from) v1
+SPAN_SCHEMA_VERSION = 2
 
 
 def to_dict(registry: MetricsRegistry, **meta) -> dict:
@@ -68,6 +80,30 @@ def render_text(registry: MetricsRegistry) -> str:
             lines.append(f"{name}{_fmt_labels(labels)} "
                          f"{_fmt_value(snap['value'])}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_to_dict(spans: Iterable, **meta) -> dict:
+    """JSON-ready span dump (schema v2).
+
+    ``spans`` is an iterable of :class:`repro.obs.dtrace.Span` or a
+    :class:`~repro.obs.dtrace.SpanCollector`.
+    """
+    members = getattr(spans, "spans", spans)
+    out = {"schema": SPAN_SCHEMA_VERSION}
+    out.update(meta)
+    out["spans"] = [s.as_dict() for s in members]
+    return out
+
+
+def dump_spans(spans: Iterable, target: Union[str, IO[str]],
+               indent: Optional[int] = 2, **meta) -> None:
+    """Write a schema-v2 span dump to a path or open text file."""
+    payload = json.dumps(spans_to_dict(spans, **meta), indent=indent) + "\n"
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    else:
+        target.write(payload)
 
 
 def dump_metrics(registry: MetricsRegistry,

@@ -25,7 +25,42 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS", "DEFAULT_SIZE_BUCKETS",
+    "quantile_from_buckets", "PERCENTILES",
 ]
+
+#: the percentiles surfaced by ``Histogram.percentiles`` and the
+#: ``repro-metrics summary`` command
+PERCENTILES: Tuple[float, ...] = (0.50, 0.95, 0.99)
+
+
+def quantile_from_buckets(bounds: Sequence[float], counts: Sequence[int],
+                          q: float) -> Optional[float]:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram.
+
+    ``bounds`` are the finite upper bucket bounds, ``counts`` the
+    per-bucket (non-cumulative) observation counts with the implicit
+    ``+Inf`` bucket last (``len(counts) == len(bounds) + 1``).  The
+    estimate interpolates linearly within the bucket holding the rank —
+    the same estimator as Prometheus's ``histogram_quantile`` — and
+    clamps ranks falling in the ``+Inf`` bucket to the last finite
+    bound.  Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1]: {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cum = 0.0
+    lower = 0.0
+    for bound, n in zip(bounds, counts):
+        if n and cum + n >= rank:
+            if rank <= cum:
+                return lower
+            return lower + (bound - lower) * ((rank - cum) / n)
+        cum += n
+        lower = bound
+    return float(bounds[-1]) if bounds else None
 
 #: seconds ladder: 1 µs .. 10 s, a decade-and-thirds ladder that
 #: resolves both loopback (~µs) and cross-network (~ms) stages
@@ -159,6 +194,18 @@ class Histogram(_Metric):
     def time(self) -> "_HistogramTimer":
         """Context manager observing its elapsed (registry-clock) time."""
         return _HistogramTimer(self)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated quantile estimate (None when empty)."""
+        with self._lock:
+            counts = list(self._counts)
+        return quantile_from_buckets(self.bounds, counts, q)
+
+    def percentiles(self) -> Optional[Dict[str, float]]:
+        """p50/p95/p99 estimates, or None for an empty histogram."""
+        if self.count == 0:
+            return None
+        return {f"p{int(q * 100)}": self.quantile(q) for q in PERCENTILES}
 
     @property
     def count(self) -> int:

@@ -54,6 +54,8 @@ class TracingInterceptor(RequestInterceptor):
         self.timer = StageTimer(clock=clock, keep=keep)
         #: optionally attached by ORB.enable_tracing(wire=True)
         self.wire: Optional["WireTracer"] = None
+        #: SpanCollector, attached by ORB.enable_tracing(distributed=True)
+        self.spans = None
 
     # -- client side ---------------------------------------------------------
     def send_request(self, info: RequestInfo) -> None:

@@ -13,7 +13,9 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..cdr import get_marshaller
-from ..giop import ReplyHeader, ReplyStatus, RequestHeader
+from ..giop import (SVC_CTX_DEPOSIT, SVC_CTX_TRACE, ReplyHeader, ReplyStatus,
+                    RequestHeader)
+from ..obs.dtrace import extract_trace_context
 from ..obs.events import stage_span
 from ..obs.stages import STAGE_DEMARSHAL, STAGE_MARSHAL
 from .connection import GIOPConn, ReceivedMessage
@@ -35,6 +37,16 @@ _IS_A = OperationSignature(name="_is_a",
 _NON_EXISTENT = OperationSignature(name="_non_existent",
                                    result_tc=TC_BOOLEAN)
 _IMPLICIT = {"_is_a": _IS_A, "_non_existent": _NON_EXISTENT}
+
+#: service-context tags this ORB consumes; anything else in a Request
+#: is an unknown (foreign) tag and is echoed on the Reply unmodified
+_KNOWN_CTX_TAGS = (SVC_CTX_DEPOSIT, SVC_CTX_TRACE)
+
+
+def _echo_contexts(req: RequestHeader) -> list:
+    """Unknown-tag service contexts to re-emit on every reply."""
+    return [sc for sc in req.service_contexts
+            if sc.context_id not in _KNOWN_CTX_TAGS]
 
 
 class MethodDispatcher:
@@ -75,6 +87,24 @@ class MethodDispatcher:
                                request_id=req.request_id,
                                response_expected=req.response_expected)
             chain.run("receive_request", info)
+        tracer = getattr(conn.orb, "dtracer", None) if conn.orb else None
+        active = None
+        if tracer is not None:
+            # join the incoming trace (or root a new one); the span stays
+            # on this thread's stack through the upcall, so the servant's
+            # nested outbound calls parent under it
+            active = tracer.start_server_span(
+                req.operation, extract_trace_context(req.service_contexts),
+                request_id=req.request_id)
+        try:
+            self._dispatch_once(conn, rm, req, chain, info, active)
+        finally:
+            if active is not None:
+                tracer.finish(active)
+
+    def _dispatch_once(self, conn: GIOPConn, rm: ReceivedMessage,
+                       req: RequestHeader, chain, info, active) -> None:
+        echo = _echo_contexts(req)
         try:
             servant = self.poa.find_servant(req.object_key)
             if servant is None:
@@ -99,24 +129,25 @@ class MethodDispatcher:
                     f"{req.operation!r}"))
             value = method(*args)
         except UserException as exc:
-            self._notify_reply(chain, info, "USER_EXCEPTION")
-            self._reply_user_exception(conn, req, exc)
+            self._notify_reply(chain, info, active, "USER_EXCEPTION")
+            self._reply_user_exception(conn, req, exc, echo=echo)
             return
         except SystemException as exc:
             self.errors += 1
-            self._notify_reply(chain, info, "SYSTEM_EXCEPTION")
-            self._reply_system_exception(conn, req, exc)
+            self._notify_reply(chain, info, active, "SYSTEM_EXCEPTION")
+            self._reply_system_exception(conn, req, exc, echo=echo)
             return
         except Exception as exc:  # servant bug -> CORBA::UNKNOWN
             self.errors += 1
-            self._notify_reply(chain, info, "SYSTEM_EXCEPTION")
+            self._notify_reply(chain, info, active, "SYSTEM_EXCEPTION")
             self._reply_system_exception(
                 conn, req,
                 UNKNOWN(completed=CompletionStatus.COMPLETED_MAYBE,
-                        message=f"{type(exc).__name__}: {exc}"))
+                        message=f"{type(exc).__name__}: {exc}"),
+                echo=echo)
             return
 
-        self._notify_reply(chain, info, "NO_EXCEPTION")
+        self._notify_reply(chain, info, active, "NO_EXCEPTION")
         if not req.response_expected:
             return
         try:
@@ -128,21 +159,24 @@ class MethodDispatcher:
                 params = enc.getvalue()
                 span.add_bytes(len(params))
             reply = ReplyHeader(request_id=req.request_id,
-                                reply_status=ReplyStatus.NO_EXCEPTION)
+                                reply_status=ReplyStatus.NO_EXCEPTION,
+                                service_contexts=list(echo))
             conn.send_message(reply, params, reply_ctx)
         except SystemException as exc:
             self.errors += 1
-            self._reply_system_exception(conn, req, exc)
+            self._reply_system_exception(conn, req, exc, echo=echo)
 
     @staticmethod
-    def _notify_reply(chain, info, status: str) -> None:
+    def _notify_reply(chain, info, active, status: str) -> None:
+        if active is not None:
+            active.record_status(status)
         if chain is not None and info is not None:
             info.reply_status = status
             chain.run("send_reply", info)
 
     # -- exceptional replies ------------------------------------------------------
     def _reply_user_exception(self, conn: GIOPConn, req: RequestHeader,
-                              exc: UserException) -> None:
+                              exc: UserException, echo=()) -> None:
         if not req.response_expected:
             return
         servant = self.poa.find_servant(req.object_key)
@@ -158,20 +192,23 @@ class MethodDispatcher:
             self._reply_system_exception(
                 conn, req,
                 UNKNOWN(completed=CompletionStatus.COMPLETED_YES,
-                        message=f"undeclared exception {type(exc).__name__}"))
+                        message=f"undeclared exception {type(exc).__name__}"),
+                echo=echo)
             return
         enc = conn.body_encoder()
         get_marshaller(tc).marshal(enc, exc, conn.make_marshal_context())
         reply = ReplyHeader(request_id=req.request_id,
-                            reply_status=ReplyStatus.USER_EXCEPTION)
+                            reply_status=ReplyStatus.USER_EXCEPTION,
+                            service_contexts=list(echo))
         conn.send_message(reply, enc.getvalue())
 
     def _reply_system_exception(self, conn: GIOPConn, req: RequestHeader,
-                                exc: SystemException) -> None:
+                                exc: SystemException, echo=()) -> None:
         if not req.response_expected:
             return
         enc = conn.body_encoder()
         encode_system_exception(enc, exc)
         reply = ReplyHeader(request_id=req.request_id,
-                            reply_status=ReplyStatus.SYSTEM_EXCEPTION)
+                            reply_status=ReplyStatus.SYSTEM_EXCEPTION,
+                            service_contexts=list(echo))
         conn.send_message(reply, enc.getvalue())

@@ -82,6 +82,10 @@ class ORB:
         #: attempt, no deadline.
         self.policy = policy
         self.orb_id = next(_orb_ids)
+        #: distributed tracer (repro.obs.dtrace.DistributedTracer);
+        #: installed by ``enable_tracing(distributed=True)``.  The proxy
+        #: and dispatcher consult it to propagate trace contexts.
+        self.dtracer = None
         self.poa = POA(name=f"POA{self.orb_id}")
         self._server: Optional[IIOPServer] = None
         self._endpoint: Optional[Endpoint] = None
@@ -94,7 +98,9 @@ class ORB:
 
     # -- observability -----------------------------------------------------------
     def enable_tracing(self, registry=None, *, wire: bool = False,
-                       keep: int = 128):
+                       keep: int = 128, distributed: bool = False,
+                       collector=None, sample_rate: float = 1.0,
+                       trace_seed: Optional[int] = None):
         """Install the built-in :class:`repro.obs.TracingInterceptor`.
 
         Registers the interceptor, wires its stage timer in as this
@@ -103,6 +109,16 @@ class ORB:
         per-invocation stage breakdown, ``tracer.registry`` the metrics.
         With ``wire=True`` a :class:`repro.obs.WireTracer` also logs
         every GIOP message (``tracer.wire``).
+
+        With ``distributed=True`` a
+        :class:`repro.obs.dtrace.DistributedTracer` joins the sink
+        chain: every Request this ORB sends carries a trace context in
+        its service contexts, incoming contexts open server spans, and
+        finished spans land in ``tracer.spans`` (a
+        :class:`~repro.obs.dtrace.SpanCollector` — pass ``collector=``
+        to share one across the ORBs of a process so cross-ORB traces
+        assemble in memory).  ``sample_rate`` decides per-trace at the
+        root; ``trace_seed`` makes id generation reproducible.
 
         Call before the first connection exists (like
         :attr:`on_bytes`); existing connections keep their old sink.
@@ -114,6 +130,14 @@ class ORB:
         if wire:
             tracer.wire = WireTracer(keep=max(keep * 4, 256))
             sinks.append(tracer.wire)
+        if distributed:
+            from ..obs.dtrace import DistributedTracer
+            self.dtracer = DistributedTracer(
+                node=f"orb{self.orb_id}", registry=tracer.registry,
+                collector=collector, sample_rate=sample_rate,
+                seed=trace_seed)
+            tracer.spans = self.dtracer.collector
+            sinks.append(self.dtracer)
         if self.sink is not None:
             sinks.append(self.sink)
         self.sink = sinks[0] if len(sinks) == 1 else CompositeSink(sinks)
@@ -282,7 +306,7 @@ class ORB:
                                 fragment_size=self.config.fragment_size,
                                 sink=self.sink, **kw)
 
-            proxy = IIOPProxy(connector)
+            proxy = IIOPProxy(connector, orb=self)
             self._proxies[endpoint] = proxy
             return proxy
 

@@ -48,7 +48,8 @@ class IIOPProxy:
     """Synchronous request/reply engine over one (logical) GIOPConn."""
 
     def __init__(self, conn: Union[GIOPConn, Connector],
-                 policy: Optional[InvocationPolicy] = None):
+                 policy: Optional[InvocationPolicy] = None,
+                 orb=None):
         if isinstance(conn, GIOPConn):
             self._conn: Optional[GIOPConn] = conn
             self._connector: Optional[Connector] = None
@@ -58,6 +59,9 @@ class IIOPProxy:
             self._connector = conn
             self._stats = ConnStats()
         self.policy = policy
+        #: the owning ORB (for tracers/interceptors); falls back to the
+        #: connection's ORB when constructed around a live GIOPConn
+        self._orb = orb
         self._call_lock = threading.Lock()
         self.calls = 0
 
@@ -103,6 +107,13 @@ class IIOPProxy:
         orb = self.conn.orb
         return getattr(orb, "interceptors", None) if orb else None
 
+    def _dtracer(self):
+        """The ORB's DistributedTracer, if any — without dialing."""
+        orb = self._orb
+        if orb is None and self._conn is not None:
+            orb = self._conn.orb
+        return getattr(orb, "dtracer", None) if orb is not None else None
+
     # -- invocation ----------------------------------------------------------
     def invoke(self, object_key: bytes, sig: OperationSignature,
                args: Sequence[Any],
@@ -114,6 +125,11 @@ class IIOPProxy:
         deadline = policy.start_deadline()
         attempt = 0
         force_copy = False
+        tracer = self._dtracer()
+        # the trace identity of this logical call is fixed here, before
+        # the retry loop: every attempt below shares the trace id but
+        # opens a fresh span, so retries are distinguishable on the wire
+        scope = tracer.begin_invocation() if tracer is not None else None
         with self._call_lock:
             while True:
                 if deadline is not None and deadline.expired:
@@ -124,7 +140,8 @@ class IIOPProxy:
                                  f"before the request was sent"))
                 try:
                     return self._invoke_once(object_key, sig, args,
-                                             deadline, force_copy)
+                                             deadline, force_copy,
+                                             scope=scope)
                 except (TRANSIENT, COMM_FAILURE) as exc:
                     if attempt >= policy.max_retries or \
                             not policy.retryable(exc, sig.idempotent):
@@ -155,12 +172,30 @@ class IIOPProxy:
 
     def _invoke_once(self, object_key: bytes, sig: OperationSignature,
                      args: Sequence[Any], deadline: Optional[Deadline],
-                     force_copy: bool) -> Any:
+                     force_copy: bool, scope=None) -> Any:
         self.calls += 1
         self._attempt_had_deposits = False
         conn = self.conn
         if conn.closed:
             conn = self.reconnect()
+        tracer = self._dtracer() if scope is not None else None
+        active = tracer.start_client_span(sig.name, scope) \
+            if tracer is not None else None
+        try:
+            return self._attempt(conn, object_key, sig, args, deadline,
+                                 force_copy, active)
+        except BaseException as exc:
+            if active is not None:
+                active.record_status(type(exc).__name__)
+            raise
+        finally:
+            if active is not None:
+                tracer.finish(active)
+
+    def _attempt(self, conn: GIOPConn, object_key: bytes,
+                 sig: OperationSignature, args: Sequence[Any],
+                 deadline: Optional[Deadline], force_copy: bool,
+                 active) -> Any:
         chain = self._interceptors()
         info = None
         if chain is not None and len(chain):
@@ -183,12 +218,20 @@ class IIOPProxy:
         )
         if info is not None:
             info.request_id = request.request_id
+        if active is not None:
+            active.set_request_id(request.request_id)
+            request.service_contexts.append(
+                active.context.to_service_context())
         conn.send_message(request, params, ctx)
         if sig.oneway:
             return None
         rm = self._await_reply(conn, request.request_id, deadline)
         try:
-            return self._process_reply(sig, rm)
+            result = self._process_reply(sig, rm)
+            if active is not None:
+                active.record_status(
+                    rm.msg.body_header.reply_status.name)
+            return result
         finally:
             # the reply points run after demarshaling so tracing
             # interceptors see the complete stage record (and honest

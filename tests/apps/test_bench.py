@@ -1,0 +1,74 @@
+"""repro-bench: the benchmark-trajectory document and its validator."""
+
+import json
+
+from repro.apps.bench import (BENCH_SCHEMA_VERSION, main, run_bench,
+                              validate_bench)
+from repro.apps.ttcp import KB
+from repro.obs import MetricsRegistry
+
+
+def _tiny_doc(**kw):
+    kw.setdefault("max_size", 4 * KB)
+    kw.setdefault("latency_size", 1 * KB)
+    kw.setdefault("latency_calls", 3)
+    return run_bench(**kw)
+
+
+class TestRunBench:
+    def test_document_shape_and_self_validation(self):
+        reg = MetricsRegistry()
+        doc = _tiny_doc(tag="unit", registry=reg)
+        assert doc["schema"] == BENCH_SCHEMA_VERSION
+        assert doc["kind"] == "bench"
+        assert doc["tag"] == "unit"
+        assert validate_bench(doc) == []
+        # all three paper figures present with the expected curves
+        assert set(doc["figures"]) == {"fig5", "fig6_left", "fig6_right"}
+        assert set(doc["figures"]["fig6_right"]) == \
+            {"corba/std", "corba/zc", "zc-corba/std", "zc-corba/zc"}
+        # latency probe covers both ORB flavours with percentiles
+        for version in ("corba", "zc-corba"):
+            rec = doc["latency"][version]
+            assert rec["count"] == 3
+            assert rec["p50"] <= rec["p95"] <= rec["p99"]
+        # saturation gauges exported for trajectory dashboards
+        assert reg.get("bench_saturation_mbit", figure="fig5",
+                       curve="corba/std").value > 0
+
+    def test_zero_copy_beats_standard_in_sim_sweep(self):
+        doc = _tiny_doc()
+        std = doc["figures"]["fig6_right"]["corba/std"][-1]["mbit_per_s"]
+        zc = doc["figures"]["fig6_right"]["zc-corba/zc"][-1]["mbit_per_s"]
+        assert zc > std
+
+
+class TestValidator:
+    def test_flags_missing_pieces(self):
+        doc = _tiny_doc()
+        bad = json.loads(json.dumps(doc))
+        bad["schema"] = 99
+        del bad["figures"]["fig5"]
+        del bad["latency"]["corba"]["p95"]
+        problems = validate_bench(bad)
+        assert any("schema" in p for p in problems)
+        assert any("fig5" in p for p in problems)
+        assert any("latency.corba" in p for p in problems)
+
+    def test_cli_check_round_trip(self, tmp_path, capsys):
+        doc = _tiny_doc()
+        path = tmp_path / "BENCH_t.json"
+        path.write_text(json.dumps(doc))
+        assert main(["--check", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+        path.write_text(json.dumps({"schema": 1}))
+        assert main(["--check", str(path)]) == 1
+
+    def test_cli_quick_writes_valid_document(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_q.json"
+        assert main(["--quick", "--tag", "t", "--out", str(out),
+                     "--max-size", "4096", "--latency-size", "1024",
+                     "--latency-calls", "3"]) == 0
+        doc = json.loads(out.read_text())
+        assert validate_bench(doc) == []
+        assert "bench document written" in capsys.readouterr().out

@@ -77,3 +77,27 @@ class TestFormatting:
         assert "raw/standard" in table
         assert "corba/standard" in table
         assert table.count("\n") == len(SIZES) + 1
+
+
+class TestSpanDump:
+    def test_cli_span_dump_renders_as_tree(self, tmp_path, capsys):
+        from repro.apps.ttcp import main
+        from repro.obs.cli import main as metrics_cli
+
+        path = tmp_path / "spans.json"
+        assert main(["--mode", "real", "--scheme", "loop",
+                     "--max-size", "4096", "--versions", "zc-corba",
+                     "--span-dump", str(path)]) == 0
+        capsys.readouterr()
+        assert metrics_cli(["check", str(path)]) == 0
+        assert metrics_cli(["tree", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "schema 2" in out
+        assert "client send_zc" in out
+
+    def test_span_dump_requires_real_mode(self, tmp_path):
+        from repro.apps.ttcp import main
+
+        with pytest.raises(SystemExit):
+            main(["--mode", "sim",
+                  "--span-dump", str(tmp_path / "x.json")])

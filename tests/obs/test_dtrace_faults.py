@@ -1,0 +1,71 @@
+"""Tracing under fault injection.
+
+A retried invocation is ONE logical call: every attempt must share the
+trace id fixed at invoke() time, while each attempt gets its own span
+id — so a span tree shows the failed attempt next to the one that
+succeeded, both under the same trace.
+"""
+
+from repro.core import OctetSequence
+from repro.obs import SpanCollector
+from repro.orb import ORB, InvocationPolicy, ORBConfig
+from repro.transport import FaultPlan, faulty_registry
+
+
+def _traced_faulty_pair(plan, store_impl, orbs):
+    collector = SpanCollector()
+    pol = InvocationPolicy(max_retries=3, seed=7, sleep=lambda s: None)
+    server = ORB(ORBConfig(scheme="loop"))
+    client = ORB(ORBConfig(scheme="loop", collocated_calls=False),
+                 transports=faulty_registry(plan), policy=pol)
+    server.enable_tracing(distributed=True, collector=collector,
+                          trace_seed=21)
+    client.enable_tracing(distributed=True, collector=collector,
+                          trace_seed=22)
+    orbs.extend([client, server])
+    ref = server.activate(store_impl)
+    stub = client.string_to_object(server.object_to_string(ref))
+    return stub, collector
+
+
+class TestRetryTraceIdentity:
+    def test_reset_midcall_retry_reuses_trace_id(self, test_api,
+                                                 store_impl):
+        """Connection reset on the first send: the retry must carry the
+        SAME trace id but a FRESH span id (satellite contract)."""
+        orbs = []
+        try:
+            plan = FaultPlan().reset_on_send(nth=1)
+            stub, collector = _traced_faulty_pair(plan, store_impl, orbs)
+            stub.put_std(OctetSequence(b"retried-payload"))
+
+            cli = [s for s in collector.spans if s.kind == "client"]
+            assert len(cli) == 2, "failed attempt + successful retry"
+            first, second = cli
+            assert first.trace_id == second.trace_id
+            assert first.span_id != second.span_id
+            assert first.status == "COMM_FAILURE"
+            assert second.status == "NO_EXCEPTION"
+
+            # only the successful attempt reached the server, and its
+            # span parents under the retry's span, not the first's
+            srv = [s for s in collector.spans if s.kind == "server"]
+            assert len(srv) == 1
+            assert srv[0].trace_id == second.trace_id
+            assert srv[0].parent_id == second.span_id
+        finally:
+            for orb in orbs:
+                orb.shutdown()
+
+    def test_clean_call_is_single_attempt(self, test_api, store_impl):
+        orbs = []
+        try:
+            stub, collector = _traced_faulty_pair(FaultPlan(), store_impl,
+                                                  orbs)
+            stub.put_std(OctetSequence(b"clean"))
+            cli = [s for s in collector.spans if s.kind == "client"]
+            assert len(cli) == 1
+            assert cli[0].status == "NO_EXCEPTION"
+        finally:
+            for orb in orbs:
+                orb.shutdown()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.obs import (DEFAULT_SIZE_BUCKETS, Counter, Gauge, Histogram,
-                       MetricsRegistry)
+                       MetricsRegistry, quantile_from_buckets)
 
 
 def test_counter_counts_and_rejects_decrease():
@@ -114,3 +114,54 @@ def test_counter_and_gauge_classes_export_meta():
     assert c.snapshot() == {"name": "n", "type": "counter",
                             "labels": {"k": "v"}, "value": 0}
     assert g.snapshot() == {"name": "m", "type": "gauge", "value": 0.0}
+
+
+class TestPercentiles:
+    """Quantile estimation from fixed buckets (histogram_quantile
+    style linear interpolation within the covering bucket)."""
+
+    def test_quantile_interpolates_within_bucket(self):
+        # 100 samples uniformly in one (0, 10] bucket
+        bounds = [10.0, 20.0]
+        counts = [100, 0, 0]  # non-cumulative, +Inf last
+        assert quantile_from_buckets(bounds, counts, 0.5) == \
+            pytest.approx(5.0)
+        assert quantile_from_buckets(bounds, counts, 0.95) == \
+            pytest.approx(9.5)
+
+    def test_quantile_crosses_buckets(self):
+        bounds = [1.0, 2.0, 4.0]
+        counts = [50, 30, 20, 0]
+        # p50 sits exactly at the first bucket's upper bound
+        assert quantile_from_buckets(bounds, counts, 0.5) == \
+            pytest.approx(1.0)
+        # p90: 80 below 2.0, need 10 of the 20 in (2, 4]
+        assert quantile_from_buckets(bounds, counts, 0.9) == \
+            pytest.approx(3.0)
+
+    def test_quantile_in_overflow_clamps_to_last_bound(self):
+        bounds = [1.0]
+        counts = [1, 9]  # 9 samples beyond the last finite bound
+        assert quantile_from_buckets(bounds, counts, 0.99) == 1.0
+
+    def test_quantile_empty_is_none(self):
+        assert quantile_from_buckets([1.0], [0, 0], 0.5) is None
+
+    def test_quantile_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            quantile_from_buckets([1.0], [1, 0], 1.5)
+
+    def test_histogram_percentiles(self):
+        h = Histogram("lat", {}, buckets=[0.001, 0.01, 0.1])
+        for _ in range(90):
+            h.observe(0.0005)
+        for _ in range(10):
+            h.observe(0.05)
+        p = h.percentiles()
+        assert set(p) == {"p50", "p95", "p99"}
+        assert p["p50"] <= 0.001
+        assert 0.01 < p["p95"] <= 0.1
+        assert h.quantile(0.5) == pytest.approx(p["p50"])
+
+    def test_histogram_percentiles_empty(self):
+        assert Histogram("lat", {}, buckets=[1.0]).percentiles() is None

@@ -11,7 +11,7 @@ from repro.transport.sim import SimClock, SimTransport
 
 
 def _orb_pair_over_sim(test_api, store_impl, stack, zero_copy,
-                       generic_loop=False):
+                       generic_loop=False, collector=None):
     clock = SimClock(PENTIUM_II_400)
     transport = SimTransport(clock=clock, stack=stack)
     reg = TransportRegistry()
@@ -20,6 +20,11 @@ def _orb_pair_over_sim(test_api, store_impl, stack, zero_copy,
                     generic_loop=generic_loop, collocated_calls=False)
     server = ORB(cfg, transports=reg, on_bytes=clock.on_bytes)
     client = ORB(cfg, transports=reg, on_bytes=clock.on_bytes)
+    if collector is not None:
+        server.enable_tracing(distributed=True, collector=collector,
+                              trace_seed=1)
+        client.enable_tracing(distributed=True, collector=collector,
+                              trace_seed=2)
     ref = server.activate(store_impl)
     stub = client.string_to_object(server.object_to_string(ref))
     return stub, clock, client, server
@@ -102,3 +107,84 @@ class TestRealOrbOverSimTransport:
         fast = self._measure_real(test_api, fresh_impl, zero_copy_stack(),
                                   zero_copy=True)
         assert slow / fast > 6.0
+
+
+class TestTracedSimTransport:
+    """Distributed tracing over the modelled transport: the stage
+    record must match loopback's, and observing must not change the
+    modelled time (the tracer is a read-only lens on 2003)."""
+
+    SIZE = 1 << 16
+
+    def _run_traced(self, test_api, store_impl, collector):
+        from repro.core import ZCOctetSequence
+        stub, clock, client, server = _orb_pair_over_sim(
+            test_api, store_impl, zero_copy_stack(), zero_copy=True,
+            collector=collector)
+        try:
+            before = clock.now_ns
+            stub.put(ZCOctetSequence.from_data(bytes(self.SIZE)))
+            return clock.now_ns - before
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_sim_client_stages_match_loopback(self, test_api,
+                                              store_impl):
+        """A traced simnet invocation records the same six Fig. 7
+        stages, in the same order, as the loopback transport."""
+        from repro.obs import SpanCollector
+
+        sim_col = SpanCollector()
+        self._run_traced(test_api, store_impl, sim_col)
+
+        loop_col = SpanCollector()
+        server = ORB(ORBConfig(scheme="loop"))
+        client = ORB(ORBConfig(scheme="loop", collocated_calls=False))
+        server.enable_tracing(distributed=True, collector=loop_col)
+        client.enable_tracing(distributed=True, collector=loop_col)
+        try:
+            from repro.core import ZCOctetSequence
+            impl = type(store_impl)()
+            ref = server.activate(impl)
+            stub = client.string_to_object(server.object_to_string(ref))
+            stub.put(ZCOctetSequence.from_data(bytes(self.SIZE)))
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+        def client_stages(col):
+            span = next(s for s in col.spans if s.kind == "client")
+            return [e.stage for e in span.stages]
+
+        assert client_stages(sim_col) == client_stages(loop_col) == [
+            "marshal", "control-send", "deposit-send", "server-wait",
+            "deposit-recv", "demarshal"]
+        sim_span = next(s for s in sim_col.spans if s.kind == "client")
+        assert sim_span.deposit_bytes_sent == self.SIZE
+
+    def test_tracing_does_not_distort_modelled_time(self, test_api,
+                                                    store_impl):
+        """The tracer splits one gather-write into per-path stage
+        spans; the sim must still charge the cost model ONCE for the
+        batch total.  The only honest cost of tracing is the ~40-byte
+        service context riding the control message — if the split
+        double-charged the 64 KiB deposit the delta would be tens of
+        microseconds, not a handful of control bytes."""
+        from repro.core import ZCOctetSequence
+        from repro.obs import SpanCollector
+
+        stub, clock, client, server = _orb_pair_over_sim(
+            test_api, store_impl, zero_copy_stack(), zero_copy=True)
+        try:
+            before = clock.now_ns
+            stub.put(ZCOctetSequence.from_data(bytes(self.SIZE)))
+            plain_ns = clock.now_ns - before
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+        traced_ns = self._run_traced(test_api, type(store_impl)(),
+                                     SpanCollector())
+        overhead_ns = traced_ns - plain_ns
+        assert 0 <= overhead_ns < 2000
