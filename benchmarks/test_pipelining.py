@@ -1,0 +1,50 @@
+"""PIPE — request pipelining: 1 vs N in-flight calls per connection.
+
+GIOP allows any number of outstanding requests on one connection,
+matched to replies by request id.  This benchmark drives a sleeping
+(GIL-releasing) servant through one proxy connection with 1 and with 8
+concurrent callers and reports the throughput ratio — the headline
+number of the multiplexing layer, over loopback and over real TCP.
+
+The acceptance floor for the loopback case is 3x: with 8 callers and
+8 server workers the upcall sleeps fully overlap, so anything near
+serialized throughput means the connection is still a lock-per-call
+bottleneck.
+"""
+
+from repro.apps.bench import measure_pipelining
+
+from conftest import report
+
+INFLIGHT = 8
+CALLS = 48
+WORK_S = 0.01
+
+
+def _fmt(rec) -> list:
+    rows = [f"{lv['inflight']:>2} in flight  "
+            f"{lv['calls_per_s']:8.1f} calls/s  "
+            f"({lv['seconds'] * 1e3:7.1f} ms for {lv['calls']} calls)"
+            for lv in rec["levels"]]
+    rows.append(f"speedup: {rec['speedup']:.2f}x")
+    return rows
+
+
+def test_pipelining_loopback(once):
+    rec = once(measure_pipelining, "loop", inflight=INFLIGHT,
+               calls=CALLS, work_s=WORK_S)
+    report(f"Pipelining — loopback, {WORK_S * 1e3:.0f} ms servant",
+           _fmt(rec),
+           "GIOP request multiplexing: one connection, N outstanding")
+    # the acceptance floor: 8 in flight must beat serialized >= 3x
+    assert rec["speedup"] >= 3.0
+
+
+def test_pipelining_tcp(once):
+    rec = once(measure_pipelining, "tcp", inflight=INFLIGHT,
+               calls=CALLS, work_s=WORK_S)
+    report(f"Pipelining — TCP, {WORK_S * 1e3:.0f} ms servant",
+           _fmt(rec),
+           "GIOP request multiplexing: one connection, N outstanding")
+    # real sockets add latency but the overlap win must survive
+    assert rec["speedup"] >= 2.0

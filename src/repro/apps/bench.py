@@ -7,10 +7,10 @@ convention ``BENCH_<tag>.json``).  CI runs this per PR and uploads the
 file as an artifact, so the repository accumulates a throughput/latency
 trajectory that future changes can be gated against.
 
-Document layout (``BENCH_SCHEMA_VERSION`` = 1)::
+Document layout (``BENCH_SCHEMA_VERSION`` = 2)::
 
     {
-      "schema": 1, "kind": "bench", "tag": "...",
+      "schema": 2, "kind": "bench", "tag": "...",
       "figures": {
         "fig5":       {"<label>": [{"size":..., "mbit_per_s":...}, ...]},
         "fig6_left":  {...},   # raw TCP: standard vs zero-copy stack
@@ -19,12 +19,22 @@ Document layout (``BENCH_SCHEMA_VERSION`` = 1)::
       "latency": {
         "<version>": {"size": ..., "count": N, "mean_s": ...,
                       "p50": ..., "p95": ..., "p99": ...}
+      },
+      "pipelining": {          # schema 2: request multiplexing
+        "<scheme>": {
+          "work_s": ..., "speedup": ...,
+          "levels": [{"inflight": K, "calls": N, "seconds": ...,
+                      "calls_per_s": ...}, ...]
+        }
       }
     }
 
 Latency percentiles come from a :class:`repro.obs.Histogram` over the
 per-call wall time (the same bucket-interpolation estimator that
-``repro-metrics summary`` applies to exported dumps).
+``repro-metrics summary`` applies to exported dumps).  The pipelining
+section drives a GIL-releasing servant with 1 and N concurrent callers
+on a *single* connection; ``speedup`` is the N-in-flight throughput
+over serialized — the headline number of the multiplexing layer.
 """
 
 from __future__ import annotations
@@ -37,9 +47,10 @@ from typing import Dict, List, Optional
 from ..obs.metrics import Histogram, MetricsRegistry
 from .ttcp import KB, MB, TTCPSeries, default_sizes, run_sim_ttcp
 
-__all__ = ["BENCH_SCHEMA_VERSION", "run_bench", "validate_bench", "main"]
+__all__ = ["BENCH_SCHEMA_VERSION", "run_bench", "measure_pipelining",
+           "validate_bench", "main"]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 #: the sim-mode curve matrix per figure: label -> (version, stack)
 _FIGURES = {
@@ -102,8 +113,68 @@ def _measure_latency(version: str, scheme: str, size: int,
             **{k: v for k, v in pct.items()}}
 
 
+_pipe_bench_api = None
+
+
+def _pipe_api():
+    """The sleeping-servant IDL module for the pipelining probe."""
+    global _pipe_bench_api
+    if _pipe_bench_api is None:
+        from ..idl import compile_idl
+        _pipe_bench_api = compile_idl(
+            "interface BenchPipe { double work(in double seconds); };",
+            module_name="_bench_pipe_idl")
+    return _pipe_bench_api
+
+
+def measure_pipelining(scheme: str = "loop", inflight: int = 8,
+                       calls: int = 32, work_s: float = 0.01) -> dict:
+    """1-vs-N in-flight throughput on ONE connection (see docstring).
+
+    The servant sleeps ``work_s`` per call (releasing the GIL, like
+    any real I/O- or compute-offloading upcall), so the measurement
+    isolates the multiplexing win: with serialized calls the wall
+    time is ``calls * work_s``; with N in flight the server's worker
+    pool overlaps the sleeps.
+    """
+    import time
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..orb import ORB, ORBConfig
+
+    api = _pipe_api()
+
+    class _Servant(api.BenchPipe_skel):
+        def work(self, seconds):
+            time.sleep(seconds)
+            return seconds
+
+    server = ORB(ORBConfig(scheme=scheme, server_workers=inflight))
+    client = ORB(ORBConfig(scheme=scheme, collocated_calls=False))
+    levels = []
+    try:
+        ref = server.activate(_Servant())
+        stub = client.string_to_object(server.object_to_string(ref))
+        stub.work(0.0)  # connect + warm the path outside the timing
+        for level in (1, inflight):
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=level) as pool:
+                list(pool.map(lambda _: stub.work(work_s), range(calls)))
+            seconds = time.perf_counter() - t0
+            levels.append({"inflight": level, "calls": calls,
+                           "seconds": round(seconds, 6),
+                           "calls_per_s": round(calls / seconds, 3)})
+    finally:
+        client.shutdown()
+        server.shutdown()
+    speedup = levels[-1]["calls_per_s"] / levels[0]["calls_per_s"]
+    return {"work_s": work_s, "speedup": round(speedup, 3),
+            "levels": levels}
+
+
 def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
               latency_size: int = 64 * KB, latency_calls: int = 50,
+              pipeline_inflight: int = 8, pipeline_calls: int = 32,
               tag: str = "", registry: Optional[MetricsRegistry] = None
               ) -> dict:
     """The full trajectory document (see module docstring)."""
@@ -122,8 +193,18 @@ def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
                                   latency_calls)
         for version in ("corba", "zc-corba")
     }
+    pipelining = {
+        sch: measure_pipelining(sch, inflight=pipeline_inflight,
+                                calls=pipeline_calls)
+        for sch in ("loop", "tcp")
+    }
+    if registry is not None:
+        for sch, rec in pipelining.items():
+            registry.gauge("bench_pipelining_speedup",
+                           scheme=sch).set(rec["speedup"])
     return {"schema": BENCH_SCHEMA_VERSION, "kind": "bench", "tag": tag,
-            "figures": figures, "latency": latency}
+            "figures": figures, "latency": latency,
+            "pipelining": pipelining}
 
 
 def validate_bench(doc: dict) -> List[str]:
@@ -154,6 +235,16 @@ def validate_bench(doc: dict) -> List[str]:
             if not isinstance(rec, dict) or key not in rec:
                 problems.append(f"latency.{version}: missing {key!r}")
                 break
+    pipelining = doc.get("pipelining")
+    if not isinstance(pipelining, dict) or not pipelining:
+        return problems + ["'pipelining' missing or empty"]
+    for sch, rec in pipelining.items():
+        levels = rec.get("levels") if isinstance(rec, dict) else None
+        if not isinstance(rec, dict) or "speedup" not in rec or \
+                not isinstance(levels, list) or not levels or any(
+                    "inflight" not in lv or "calls_per_s" not in lv
+                    for lv in levels):
+            problems.append(f"pipelining.{sch}: malformed")
     return problems
 
 
@@ -173,6 +264,9 @@ def main(argv: Optional[list] = None) -> int:
                     help="transport for the real-ORB latency probe")
     ap.add_argument("--latency-size", type=int, default=64 * KB)
     ap.add_argument("--latency-calls", type=int, default=50)
+    ap.add_argument("--pipeline-inflight", type=int, default=8,
+                    help="concurrent callers in the pipelining probe")
+    ap.add_argument("--pipeline-calls", type=int, default=32)
     ap.add_argument("--quick", action="store_true",
                     help="tiny sweep for CI smoke (16 KiB max, 10 calls)")
     ap.add_argument("--check", metavar="PATH", default=None,
@@ -199,10 +293,13 @@ def main(argv: Optional[list] = None) -> int:
         args.max_size = min(args.max_size, 16 * KB)
         args.latency_size = min(args.latency_size, 16 * KB)
         args.latency_calls = min(args.latency_calls, 10)
+        args.pipeline_calls = min(args.pipeline_calls, 16)
 
     doc = run_bench(max_size=args.max_size, scheme=args.scheme,
                     latency_size=args.latency_size,
-                    latency_calls=args.latency_calls, tag=args.tag)
+                    latency_calls=args.latency_calls,
+                    pipeline_inflight=args.pipeline_inflight,
+                    pipeline_calls=args.pipeline_calls, tag=args.tag)
     problems = validate_bench(doc)
     if problems:  # a bug in this module, not in the caller's input
         for p in problems:
@@ -216,6 +313,11 @@ def main(argv: Optional[list] = None) -> int:
               f"p50={rec.get('p50', 0) * 1e3:.3f}ms  "
               f"p95={rec.get('p95', 0) * 1e3:.3f}ms  "
               f"p99={rec.get('p99', 0) * 1e3:.3f}ms")
+    for sch, rec in doc["pipelining"].items():
+        top = rec["levels"][-1]
+        print(f"pipelining/{sch}: {top['inflight']} in flight "
+              f"{top['calls_per_s']:.0f} calls/s "
+              f"({rec['speedup']:.1f}x over serialized)")
     print(f"bench document written to {args.out}")
     return 0
 

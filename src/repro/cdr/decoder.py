@@ -9,9 +9,7 @@ when the payload was already landed in its final buffer (§4.5).
 
 from __future__ import annotations
 
-import struct
-
-from .encoder import NATIVE_LITTLE
+from .encoder import _STRUCTS, NATIVE_LITTLE, compiled_struct
 
 __all__ = ["CDRDecoder", "CDRError"]
 
@@ -30,6 +28,7 @@ class CDRDecoder:
             self._view = self._view.cast("B")
         self.little_endian = little_endian
         self._prefix = "<" if little_endian else ">"
+        self._structs = _STRUCTS[self._prefix]
         self._pos = 0
         self._offset = offset
 
@@ -49,7 +48,8 @@ class CDRDecoder:
 
     def _unpack(self, fmt: str, size: int):
         pos = self._advance(size)
-        return struct.unpack_from(self._prefix + fmt, self._view, pos)[0]
+        s = self._structs.get(fmt) or compiled_struct(self._prefix, fmt)
+        return s.unpack_from(self._view, pos)[0]
 
     @property
     def remaining(self) -> int:

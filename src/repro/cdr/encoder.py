@@ -17,11 +17,30 @@ from __future__ import annotations
 import struct
 import sys
 
-__all__ = ["CDREncoder", "NATIVE_LITTLE"]
+__all__ = ["CDREncoder", "NATIVE_LITTLE", "compiled_struct"]
 
 NATIVE_LITTLE = sys.byteorder == "little"
 
 _PAD = b"\x00" * 8
+
+#: every CDR primitive format, pre-compiled per byte order — a
+#: ``struct.Struct`` skips the format-string parse that dominates
+#: ``struct.pack``/``unpack_from`` for one-value formats
+_PRIMITIVE_FMTS = "BhHiIqQfd"
+_STRUCTS = {
+    prefix: {fmt: struct.Struct(prefix + fmt) for fmt in _PRIMITIVE_FMTS}
+    for prefix in ("<", ">")
+}
+
+
+def compiled_struct(prefix: str, fmt: str) -> struct.Struct:
+    """The cached compiled ``Struct`` for ``prefix + fmt`` (compiling
+    and caching on first use for formats beyond the CDR primitives)."""
+    table = _STRUCTS[prefix]
+    s = table.get(fmt)
+    if s is None:
+        s = table[fmt] = struct.Struct(prefix + fmt)
+    return s
 
 
 class CDREncoder:
@@ -36,6 +55,7 @@ class CDREncoder:
     def __init__(self, little_endian: bool = NATIVE_LITTLE, offset: int = 0):
         self.little_endian = little_endian
         self._prefix = "<" if little_endian else ">"
+        self._structs = _STRUCTS[self._prefix]
         self._buf = bytearray()
         self._offset = offset
 
@@ -51,7 +71,8 @@ class CDREncoder:
         self._buf += data
 
     def _pack(self, fmt: str, value) -> None:
-        self._buf += struct.pack(self._prefix + fmt, value)
+        s = self._structs.get(fmt) or compiled_struct(self._prefix, fmt)
+        self._buf += s.pack(value)
 
     # -- primitives ------------------------------------------------------------
     def put_octet(self, v: int) -> None:

@@ -44,7 +44,8 @@ class ZCBuffer:
     :class:`memoryview` so every consumer shares the same storage.
     """
 
-    __slots__ = ("_base", "_view", "capacity", "_length", "_pool", "_released")
+    __slots__ = ("_base", "_view", "capacity", "_length", "_pool",
+                 "_released", "_release_lock")
 
     def __init__(self, capacity: int, pool: Optional["BufferPool"] = None):
         if capacity <= 0:
@@ -56,6 +57,11 @@ class ZCBuffer:
         self._length = capacity
         self._pool = pool
         self._released = False
+        #: serializes the released check-and-set: without it, two
+        #: threads racing release() could both pass _check_live and
+        #: reclaim the buffer twice — putting one free-list entry under
+        #: two owners once re-acquired
+        self._release_lock = threading.Lock()
 
     # -- geometry -----------------------------------------------------------
     @property
@@ -109,9 +115,13 @@ class ZCBuffer:
         return self._released
 
     def release(self) -> None:
-        """Return the buffer to its pool (or just mark it dead)."""
-        self._check_live()
-        self._released = True
+        """Return the buffer to its pool (or just mark it dead).
+
+        Atomic: concurrent double release raises :class:`BufferError`
+        in the loser instead of racing the reclaim."""
+        with self._release_lock:
+            self._check_live()
+            self._released = True
         if self._pool is not None:
             self._pool._reclaim(self)
 
@@ -144,6 +154,20 @@ class BufferPool:
     Thread-safe; the receiver side of the ORB allocates deposit targets
     here on every direct-deposit request, so a warm pool removes the
     per-request allocation cost §2.1 identifies.
+
+    Concurrency contract (audited for the pipelining ORB, where server
+    workers and client readers lease/release in parallel):
+
+    * every mutation of the free lists and counters happens under
+      ``self._lock``; ``acquire`` revives and sizes the buffer while
+      still holding it, so a concurrent ``acquire`` can never hand out
+      the same free-list entry twice;
+    * each live buffer has exactly one owner, who alone may call
+      ``release()``; release is atomic per buffer and a double release
+      raises :class:`BufferError` (from the buffer's own check-and-set
+      or, failing that, the free-list identity check in ``_reclaim``);
+    * the *contents* of a live buffer are not locked — single-owner
+      access is the zero-copy deal, exactly as with a malloc'd region.
     """
 
     def __init__(self, max_cached_bytes: int = 256 * 1024 * 1024):

@@ -35,7 +35,7 @@ from typing import Callable, Iterable, List, Optional, Tuple
 __all__ = [
     "ByteEvent", "StageEvent", "WireEvent",
     "EventSink", "NullSink", "RecordingSink", "CompositeSink",
-    "CallbackSink", "StageSpan", "stage_span",
+    "CallbackSink", "CaptureSink", "StageSpan", "stage_span",
 ]
 
 
@@ -184,6 +184,27 @@ class CompositeSink(EventSink):
     def emit(self, event) -> None:
         for sink in self.sinks:
             sink.emit(event)
+
+
+class CaptureSink(EventSink):
+    """Collects events into a caller-supplied list instead of handling
+    them.
+
+    This is the hand-off vehicle for thread-sensitive sinks: a reply
+    read on a demultiplexer thread captures its stage events here, and
+    the thread that *awaits* the reply re-emits them while its own span
+    and timers are active — so attribution follows the logical
+    invocation, not the physical reader thread.  Not synchronized: each
+    capture list belongs to exactly one read.
+    """
+
+    def __init__(self, into: List,
+                 clock: Callable[[], float] = time.perf_counter):
+        super().__init__(clock=clock)
+        self.into = into
+
+    def emit(self, event) -> None:
+        self.into.append(event)
 
 
 class CallbackSink(EventSink):

@@ -4,10 +4,11 @@ CORBA Messaging added asynchronous method invocation after this
 paper's era; real applications wanted it for exactly the farm pattern
 of §5.4 — submit GOPs to every worker, then collect.  This module
 provides the polling model over our synchronous proxy: each deferred
-call runs on a dispatcher thread per target endpoint, so calls to
-*different* servers genuinely overlap (calls to the same server
-serialize on its connection, matching the GIOP request/reply
-discipline of this ORB).
+call runs on one of a small pool of dispatcher threads per target
+endpoint.  Calls to *different* servers genuinely overlap, and — now
+that the proxy pipelines — so do calls to the *same* server: the
+workers share one connection and their requests are in flight
+concurrently, matched to replies by request id.
 """
 
 from __future__ import annotations
@@ -25,7 +26,7 @@ __all__ = ["AsyncInvoker", "invoke_async"]
 class AsyncInvoker:
     """Per-endpoint dispatcher threads for deferred invocations."""
 
-    def __init__(self, max_workers_per_endpoint: int = 1):
+    def __init__(self, max_workers_per_endpoint: int = 4):
         self._executors: Dict[tuple, ThreadPoolExecutor] = {}
         self._lock = threading.Lock()
         self._max = max_workers_per_endpoint

@@ -31,7 +31,7 @@ from ..core.direct_deposit import (DepositError, DepositReceiver,
                                    DepositRegistry)
 from ..giop import (GIOP_HEADER_SIZE, GIOPError, GIOPHeader, GIOPMessage,
                     MsgType, ServiceContext, decode_body, decode_header)
-from ..obs.events import EventSink, WireEvent, stage_span
+from ..obs.events import CaptureSink, EventSink, WireEvent, stage_span
 from ..obs.stages import (STAGE_CONTROL_SEND, STAGE_DEPOSIT_RECV,
                           STAGE_DEPOSIT_SEND, STAGE_RECV_WAIT)
 from ..transport.base import Stream, TransportError, TransportTimeout
@@ -213,6 +213,14 @@ class GIOPConn:
                                 span.add_bytes(
                                     sum(v.nbytes for v in payloads))
                                 self.stream.sendv(payloads)
+                # still under the send lock: pipelined calls send
+                # concurrently, and unserialized += on the shared
+                # counters would lose updates
+                self.stats.messages_sent += 1
+                self.stats.bytes_sent += control_nbytes
+                for _, view in deposits:
+                    self.stats.deposits_sent += 1
+                    self.stats.deposit_bytes_sent += view.nbytes
         except TransportTimeout as e:
             # an incompletely sent GIOP message can never execute
             self._closed = True
@@ -222,12 +230,8 @@ class GIOPConn:
         except TransportError as e:
             self._closed = True
             raise COMM_FAILURE(message=str(e)) from e
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += control_nbytes
-        for _, view in deposits:
-            self.stats.deposits_sent += 1
-            self.stats.deposit_bytes_sent += view.nbytes
-            if self.on_bytes is not None:
+        if self.on_bytes is not None:
+            for _, view in deposits:
                 self.on_bytes("deposit-send", view.nbytes)
         if self.sink is not None:
             descs = ctx.descriptors if ctx is not None else ()
@@ -274,18 +278,28 @@ class GIOPConn:
             self.stream.send(header.encode())
 
     # -- receiving ---------------------------------------------------------------
-    def read_message(self, wait_stage: str = STAGE_RECV_WAIT
-                     ) -> ReceivedMessage:
+    def read_message(self, wait_stage: str = STAGE_RECV_WAIT,
+                     capture: Optional[list] = None) -> ReceivedMessage:
         """Block for the next message; land its deposits (the MICO
         ``do_read`` path with the direct-deposit callback of §4.5).
 
         ``wait_stage`` names the stage span charged for the blocking
         control-message read when a sink is attached; the client proxy
         passes ``server-wait``, servers keep the ``recv-wait`` default.
+
+        ``capture`` (a list) diverts this read's *stage events* into it
+        instead of the sink.  The reply demultiplexer reads on a thread
+        that is not the invoking thread; stage sinks attribute by
+        emitting thread, so the demux captures the events and the
+        awaiting caller re-emits them on its own thread.  Wire events
+        are thread-agnostic and still go to the sink directly.
         """
         fragments = 1
+        stage_sink = self.sink
+        if capture is not None and stage_sink is not None:
+            stage_sink = CaptureSink(capture, clock=self.sink.clock)
         try:
-            with stage_span(self.sink, wait_stage) as span:
+            with stage_span(stage_sink, wait_stage) as span:
                 raw_header = self.stream.recv_exact(GIOP_HEADER_SIZE)
                 header = decode_header(raw_header)
                 body = self.stream.recv_exact(header.size) if header.size \
@@ -338,7 +352,7 @@ class GIOPConn:
         if descriptors is not None:
             receiver = DepositReceiver(self.pool)
             try:
-                with stage_span(self.sink, STAGE_DEPOSIT_RECV) as span:
+                with stage_span(stage_sink, STAGE_DEPOSIT_RECV) as span:
                     for desc in descriptors():
                         receiver.prepare(desc)
                     for desc, buf in receiver.pending_in_order():
@@ -376,8 +390,12 @@ class GIOPConn:
             self.stats.deposits_received += len(deposits)
             self.stats.deposit_bytes_received += sum(
                 b.length for b in deposits.values())
-        if self.sink is not None:
-            self.sink.emit(WireEvent(
+        if stage_sink is not None:
+            # under capture the wire event travels with the stage events
+            # and is re-emitted by the awaiting thread, preserving the
+            # send-before-recv order a nested synchronous read would
+            # otherwise invert
+            stage_sink.emit(WireEvent(
                 direction="recv", msg_type=header.msg_type.name,
                 size=header.size,
                 request_id=getattr(msg.body_header, "request_id", None),

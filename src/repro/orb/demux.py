@@ -1,0 +1,292 @@
+"""Reply demultiplexing: concurrent in-flight requests per connection.
+
+GIOP explicitly permits multiple outstanding requests on one connection
+with out-of-order replies, matched by ``request_id``.  The seed ORB did
+not exploit that: the proxy serialized every call behind a per-proxy
+lock, so one slow request stalled every other caller sharing the
+connection.  This module removes that bottleneck.
+
+A :class:`ReplyDemux` owns the *receive side* of one client
+:class:`~repro.orb.connection.GIOPConn`.  Callers register a
+:class:`ReplyFuture` keyed by request id *before* sending; the demux
+reads every inbound message and completes the matching future — in
+whatever order the replies arrive.  Two read-drive modes mirror
+``IIOPServer``:
+
+* streams with a ``set_data_handler`` hook (loopback) are pumped
+  synchronously from whichever thread delivered the bytes;
+* blocking streams (TCP) get one dedicated daemon reader thread.
+
+Failure semantics: a connection-fatal event — stream reset, GIOP
+framing error, ``CloseConnection``, ``MessageError`` — fails **all**
+in-flight futures, each with its own CORBA system exception instance
+carrying ``COMPLETED_MAYBE`` (every registered request had left in
+full; the peer's progress is unknowable).  A per-request deadline, by
+contrast, cancels only its own future via :meth:`discard`; the
+connection stays healthy and the late reply, when it eventually
+arrives, is dropped as stale (its deposit buffers go back to the pool).
+
+Stage attribution: the demux reads with ``capture=`` so the
+``server-wait`` / ``deposit-recv`` stage events of a reply are *not*
+emitted from the reader thread (where they would be attributed to the
+wrong — or no — span).  They travel with the future and the awaiting
+caller re-emits them on its own thread, where its client span and its
+invocation breakdown are active.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..giop import GIOPError, MsgType
+from ..obs.events import StageEvent
+from ..obs.stages import STAGE_SERVER_WAIT
+from .connection import GIOPConn, ReceivedMessage
+from .exceptions import (COMM_FAILURE, INTERNAL, TRANSIENT,
+                         CompletionStatus, SystemException)
+
+__all__ = ["ReplyFuture", "ReplyDemux"]
+
+
+class ReplyFuture:
+    """Completion of one in-flight request: a reply or a failure.
+
+    Exactly one of :attr:`message` / :attr:`exception` is set when
+    :meth:`wait` returns True.  :attr:`stages` carries the captured
+    stage events of the reply read (see module docstring).
+    """
+
+    __slots__ = ("request_id", "_event", "message", "stages", "exception")
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self.message: Optional[ReceivedMessage] = None
+        self.stages: Tuple[StageEvent, ...] = ()
+        self.exception: Optional[SystemException] = None
+
+    def complete(self, rm: ReceivedMessage,
+                 stages: Tuple[StageEvent, ...] = ()) -> None:
+        self.message = rm
+        self.stages = tuple(stages)
+        self._event.set()
+
+    def fail(self, exc: SystemException) -> None:
+        self.exception = exc
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until completed; False when ``timeout`` expired first."""
+        return self._event.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+
+#: message types that complete a pending future by request id
+_MATCHED = (MsgType.Reply, MsgType.LocateReply)
+
+
+class ReplyDemux:
+    """Per-connection reader matching inbound replies to futures."""
+
+    def __init__(self, conn: GIOPConn):
+        self.conn = conn
+        self._pending: Dict[int, ReplyFuture] = {}
+        self._lock = threading.Lock()
+        #: the connection-fatal failure, once one happened
+        self._failed: Optional[SystemException] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+        self._pump_lock = threading.Lock()
+        self._pump_pending = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Begin demultiplexing (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        set_handler = getattr(self.conn.stream, "set_data_handler", None)
+        if set_handler is not None:
+            # synchronous delivery (loopback): pump on data arrival
+            set_handler(self._pump)
+        else:
+            self._thread = threading.Thread(
+                target=self._read_loop,
+                name=f"giop-demux-{getattr(self.conn.stream, 'name', '?')}",
+                daemon=True)
+            self._thread.start()
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # -- registration ------------------------------------------------------
+    def register(self, request_id: int) -> ReplyFuture:
+        """A future for ``request_id``; register BEFORE sending, so the
+        reply cannot race the registration."""
+        fut = ReplyFuture(request_id)
+        with self._lock:
+            if self._failed is not None:
+                # the conn is already dead; the caller's send will fail
+                # with its own (COMPLETED_NO) error — but if it somehow
+                # does not, the future must not hang
+                fut.fail(self._copy_exc(self._failed))
+                return fut
+            self._pending[request_id] = fut
+        return fut
+
+    def discard(self, request_id: int) -> None:
+        """Forget a future (deadline expiry / failed send).  A reply
+        arriving later is dropped as stale."""
+        with self._lock:
+            self._pending.pop(request_id, None)
+
+    # -- message loops -----------------------------------------------------
+    def _pump(self) -> None:
+        """Drain complete messages (synchronous-delivery streams).
+
+        Several threads can deliver data (server workers sending
+        replies, a peer closing): one pumper drains at a time, and a
+        notification arriving while a drain is running flags a re-run
+        instead of pumping concurrently or recursively.
+        """
+        self._pump_pending = True
+        while self._pump_pending:
+            if not self._pump_lock.acquire(blocking=False):
+                # the active pumper re-checks _pump_pending after its
+                # drain, so our bytes will be seen
+                return
+            try:
+                self._pump_pending = False
+                self._drain()
+            finally:
+                self._pump_lock.release()
+
+    def _drain(self) -> None:
+        conn = self.conn
+        stream = conn.stream
+        while not conn.closed:
+            if getattr(stream, "available", 0) <= 0:
+                # no bytes: if the stream died under us, outstanding
+                # replies can never arrive — fail them now, because a
+                # closed loopback stream never raises from a blocked
+                # read (there is no blocked read to raise from)
+                if getattr(stream, "closed", False) and self._has_pending():
+                    conn.close()
+                    self._fail_all(COMM_FAILURE(
+                        completed=CompletionStatus.COMPLETED_MAYBE,
+                        message="connection closed with replies "
+                                "outstanding"))
+                return
+            if not self._step():
+                return
+
+    def _read_loop(self) -> None:
+        """Blocking read loop (dedicated reader thread, TCP)."""
+        while not self.conn.closed:
+            if not self._step():
+                return
+
+    def _step(self) -> bool:
+        """Read and route one message; False ends the loop."""
+        conn = self.conn
+        capture: Optional[List[StageEvent]] = \
+            [] if conn.sink is not None else None
+        try:
+            rm = conn.read_message(wait_stage=STAGE_SERVER_WAIT,
+                                   capture=capture)
+        except GIOPError as e:
+            # framing is unrecoverable: the stream position is undefined.
+            # No MessageError courtesy here — on synchronous-delivery
+            # streams the pump can run nested inside our own
+            # send_message, and send_error would deadlock on _send_lock.
+            conn.close()
+            self._fail_all(COMM_FAILURE(
+                completed=CompletionStatus.COMPLETED_MAYBE,
+                message=f"GIOP framing error on reply stream: {e}"))
+            return False
+        except SystemException as exc:
+            self._fail_all(self._as_inflight_failure(exc))
+            return False
+        mtype = rm.header.msg_type
+        if mtype in _MATCHED:
+            request_id = rm.msg.body_header.request_id
+            with self._lock:
+                fut = self._pending.pop(request_id, None)
+            if fut is not None:
+                fut.complete(rm, tuple(capture or ()))
+            else:
+                self._drop_stale(rm)
+            return True
+        if mtype is MsgType.CloseConnection:
+            conn.close()
+            self._fail_all(TRANSIENT(
+                completed=CompletionStatus.COMPLETED_MAYBE,
+                message="server closed the connection"))
+            return False
+        if mtype is MsgType.MessageError:
+            # the server rejected a message at the framing layer and is
+            # dropping the connection; its in-order read loop never
+            # dispatched the garbled request, so COMPLETED_NO (which
+            # makes the retry safe) — matching the pre-demux client
+            conn.close()
+            self._fail_all(COMM_FAILURE(
+                completed=CompletionStatus.COMPLETED_NO,
+                message="peer reported a message error"))
+            return False
+        # a client connection must never see Requests and friends
+        conn.close()
+        self._fail_all(INTERNAL(
+            completed=CompletionStatus.COMPLETED_MAYBE,
+            message=f"unexpected {mtype.name} on client connection"))
+        return False
+
+    # -- failure fan-out ---------------------------------------------------
+    def _has_pending(self) -> bool:
+        with self._lock:
+            return bool(self._pending)
+
+    @staticmethod
+    def _copy_exc(exc: SystemException) -> SystemException:
+        """A fresh instance per future: raised in several threads, a
+        shared instance would cross-contaminate tracebacks."""
+        return type(exc)(minor=exc.minor, completed=exc.completed,
+                         message=exc.message)
+
+    @staticmethod
+    def _as_inflight_failure(exc: SystemException) -> SystemException:
+        """The exception in-flight requests should see for a fatal read
+        error.  Every registered request left in full, so a read-side
+        ``COMM_FAILURE`` reported as ``COMPLETED_NO`` (the stream's
+        view) becomes ``COMPLETED_MAYBE`` (the request's view)."""
+        if isinstance(exc, COMM_FAILURE) and \
+                exc.completed is CompletionStatus.COMPLETED_NO:
+            return COMM_FAILURE(minor=exc.minor,
+                                completed=CompletionStatus.COMPLETED_MAYBE,
+                                message=exc.message)
+        return exc
+
+    def _fail_all(self, exc: SystemException) -> None:
+        """Fail every in-flight future with (a copy of) ``exc``."""
+        with self._lock:
+            if self._failed is None:
+                self._failed = exc
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for fut in pending:
+            fut.fail(self._copy_exc(exc))
+
+    @staticmethod
+    def _drop_stale(rm: ReceivedMessage) -> None:
+        """Release a stale reply's deposit buffers back to the pool —
+        nobody will ever demarshal them."""
+        for buf in rm.deposits.values():
+            try:
+                buf.release()
+            except Exception:  # noqa: BLE001 - already released is fine
+                pass

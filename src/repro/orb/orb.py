@@ -54,6 +54,11 @@ class ORBConfig:
     collocated_calls: bool = True
     #: GIOP 1.1 fragmentation threshold for control messages (0 = off)
     fragment_size: int = 0
+    #: dispatch threads of the server's bounded worker pool; 0 restores
+    #: inline (in-reader) dispatch, serializing upcalls per connection
+    server_workers: int = 4
+    #: request-queue bound of the worker pool (blocking = backpressure)
+    server_queue_depth: int = 32
     #: wire byte order; flip to emulate a foreign-endian peer (the
     #: receiver-makes-right path of §2.1's architecture negotiation)
     wire_little_endian: bool | None = None
@@ -86,6 +91,10 @@ class ORB:
         #: installed by ``enable_tracing(distributed=True)``.  The proxy
         #: and dispatcher consult it to propagate trace contexts.
         self.dtracer = None
+        #: metrics registry (repro.obs.MetricsRegistry); installed by
+        #: :meth:`enable_tracing`.  The server worker pool reports its
+        #: in-flight gauge and queue-depth histogram here when present.
+        self.metrics = None
         self.poa = POA(name=f"POA{self.orb_id}")
         self._server: Optional[IIOPServer] = None
         self._endpoint: Optional[Endpoint] = None
@@ -126,6 +135,7 @@ class ORB:
         from ..obs import CompositeSink, TracingInterceptor, WireTracer
         tracer = TracingInterceptor(registry=registry, keep=keep)
         self.interceptors.register(tracer)
+        self.metrics = tracer.registry
         sinks = [tracer.timer]
         if wire:
             tracer.wire = WireTracer(keep=max(keep * 4, 256))
@@ -158,7 +168,9 @@ class ORB:
                                 on_bytes=self.on_bytes, orb=self,
                                 fragment_size=cfg.fragment_size,
                                 wire_little_endian=cfg.wire_little_endian,
-                                sink=self.sink)
+                                sink=self.sink,
+                                workers=cfg.server_workers,
+                                queue_depth=cfg.server_queue_depth)
             listener = server.listen_on(transport, host, cfg.port)
             self._server = server
             self._endpoint = listener.endpoint
@@ -249,32 +261,32 @@ class ORB:
     def locate(self, ref: ObjectStub) -> bool:
         """GIOP LocateRequest: is the referenced object reachable and
         known to its server?  (OBJECT_HERE -> True.)"""
-        from ..giop import (LocateReplyHeader, LocateRequestHeader,
-                            LocateStatus, MsgType)
+        from ..giop import LocateReplyHeader, LocateRequestHeader, LocateStatus
+        from .exceptions import TRANSIENT
         ior = ref.ior
         if self.find_local_servant(ior) is not None:
             return True
         profile = ior.iiop_profile()
         proxy = self._proxy_for(profile.endpoint)
-        with proxy._call_lock:
-            conn = proxy.conn
-            if conn.closed:
-                conn = proxy.reconnect()
-            request = LocateRequestHeader(
-                request_id=conn.next_request_id(),
-                object_key=profile.object_key)
+        conn, demux = proxy._ensure_conn()
+        request = LocateRequestHeader(
+            request_id=conn.next_request_id(),
+            object_key=profile.object_key)
+        future = demux.register(request.request_id)
+        try:
             conn.send_message(request)
-            while True:
-                rm = conn.read_message()
-                if rm.header.msg_type is MsgType.LocateReply:
-                    reply = rm.msg.body_header
-                    assert isinstance(reply, LocateReplyHeader)
-                    if reply.request_id == request.request_id:
-                        return reply.locate_status is \
-                            LocateStatus.OBJECT_HERE
-                elif rm.header.msg_type is MsgType.CloseConnection:
-                    conn.close()
-                    return False
+        except BaseException:
+            demux.discard(request.request_id)
+            raise
+        future.wait()
+        if future.exception is not None:
+            if isinstance(future.exception, TRANSIENT):
+                # the server closed the connection instead of answering
+                return False
+            raise future.exception
+        reply = future.message.msg.body_header
+        assert isinstance(reply, LocateReplyHeader)
+        return reply.locate_status is LocateStatus.OBJECT_HERE
 
     def find_local_servant(self, ior: IOR) -> Optional[Servant]:
         if self._endpoint is None:

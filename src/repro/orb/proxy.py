@@ -17,21 +17,30 @@ deposit payload was interrupted mid-stream, the retry falls back to the
 copy path so zero-copy never compromises delivery (§4.4's regime is an
 optimisation, not a correctness requirement).
 
-Send and receive of one synchronous call are serialized per
-connection; this matches the request/reply discipline of the paper's
-TTCP-over-CORBA workload and keeps the reply matching trivial.
+Concurrency model: invocations are **pipelined**.  GIOP matches replies
+to requests by ``request_id``, so any number of threads (and
+``AsyncInvoker`` workers) share this proxy's single connection with
+overlapped in-flight requests.  Each call registers a
+:class:`~repro.orb.demux.ReplyFuture` with the connection's
+:class:`~repro.orb.demux.ReplyDemux` before sending; only the socket
+write itself is serialized (``GIOPConn._send_lock`` keeps the
+control/deposit split atomic per message).  A deadline expiry abandons
+only its own future — the connection stays up and a late reply is
+dropped as stale — while a connection-fatal error fails every in-flight
+future with the appropriate CORBA system exception.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import Any, Callable, Optional, Sequence, Tuple, Union
 
-from ..giop import MsgType, ReplyHeader, ReplyStatus, RequestHeader
+from ..giop import ReplyHeader, ReplyStatus, RequestHeader
 from ..obs.events import stage_span
-from ..obs.stages import (STAGE_DEMARSHAL, STAGE_MARSHAL, STAGE_SERVER_WAIT)
+from ..obs.stages import STAGE_DEMARSHAL, STAGE_MARSHAL
 from ..transport.base import TransportError
 from .connection import ConnStats, GIOPConn, ReceivedMessage
+from .demux import ReplyDemux, ReplyFuture
 from .exceptions import (COMM_FAILURE, INTERNAL, MARSHAL, TIMEOUT, TRANSIENT,
                          CompletionStatus, UserException,
                          decode_system_exception)
@@ -44,8 +53,18 @@ __all__ = ["IIOPProxy"]
 Connector = Callable[[], GIOPConn]
 
 
+class _Attempt:
+    """Per-attempt state.  One invoke() may run several attempts, and
+    several invokes run concurrently, so this cannot live on the proxy."""
+
+    __slots__ = ("had_deposits",)
+
+    def __init__(self):
+        self.had_deposits = False
+
+
 class IIOPProxy:
-    """Synchronous request/reply engine over one (logical) GIOPConn."""
+    """Pipelined request/reply engine over one (logical) GIOPConn."""
 
     def __init__(self, conn: Union[GIOPConn, Connector],
                  policy: Optional[InvocationPolicy] = None,
@@ -62,24 +81,50 @@ class IIOPProxy:
         #: the owning ORB (for tracers/interceptors); falls back to the
         #: connection's ORB when constructed around a live GIOPConn
         self._orb = orb
-        self._call_lock = threading.Lock()
+        #: guards the conn/demux *lifecycle* (dial, reconnect) — never
+        #: held across a send or a reply wait
+        self._conn_lock = threading.Lock()
+        self._demux: Optional[ReplyDemux] = None
         self.calls = 0
 
     # -- connection management -----------------------------------------------
     @property
     def conn(self) -> GIOPConn:
         """The live connection, dialing lazily on first use."""
-        conn = self._conn
-        if conn is None:
-            conn = self._connect()
-        return conn
+        return self._ensure_conn()[0]
 
     @property
     def stats(self) -> ConnStats:
         """Cumulative stats across every connection this proxy used."""
         return self._stats
 
-    def _connect(self) -> GIOPConn:
+    def _ensure_conn(self) -> Tuple[GIOPConn, ReplyDemux]:
+        """The live (conn, demux) pair, dialing or replacing a dead
+        connection.  Concurrent callers race benignly: whoever gets the
+        lock first dials; the rest reuse the result."""
+        with self._conn_lock:
+            conn = self._conn
+            if conn is not None and not conn.closed:
+                if self._demux is None:
+                    # proxy constructed around a live GIOPConn: adopt it
+                    self._demux = ReplyDemux(conn)
+                    self._demux.start()
+                return conn, self._demux
+            replacing = conn is not None
+            if conn is not None:
+                conn.close()
+                self._conn = None
+                self._demux = None
+            conn = self._dial()
+            demux = ReplyDemux(conn)
+            self._conn = conn
+            self._demux = demux
+            if replacing:
+                self._stats.reconnects += 1
+            demux.start()
+            return conn, demux
+
+    def _dial(self) -> GIOPConn:
         if self._connector is None:
             raise COMM_FAILURE(
                 completed=CompletionStatus.COMPLETED_NO,
@@ -90,21 +135,22 @@ class IIOPProxy:
             raise TRANSIENT(completed=CompletionStatus.COMPLETED_NO,
                             message=f"connect failed: {e}") from e
         conn.stats = self._stats
-        self._conn = conn
         return conn
 
     def reconnect(self) -> GIOPConn:
-        """Tear down the dead connection and dial a replacement; the
+        """Tear down the current connection and dial a replacement; the
         shared ConnStats rides along."""
-        old, self._conn = self._conn, None
-        if old is not None:
-            old.close()
-        conn = self._connect()
-        self._stats.reconnects += 1
-        return conn
+        with self._conn_lock:
+            if self._conn is not None:
+                self._conn.close()
+        # _ensure_conn sees the dead conn and replaces it (counting the
+        # reconnect); with no conn at all this is just the first dial
+        return self._ensure_conn()[0]
 
     def _interceptors(self):
-        orb = self.conn.orb
+        orb = self._orb
+        if orb is None and self._conn is not None:
+            orb = self._conn.orb
         return getattr(orb, "interceptors", None) if orb else None
 
     def _dtracer(self):
@@ -120,7 +166,9 @@ class IIOPProxy:
                policy: Optional[InvocationPolicy] = None) -> Any:
         """One static invocation under the effective policy: marshal,
         send, await reply, demarshal — with deadline, retry budget and
-        deposit fallback applied around the attempt."""
+        deposit fallback applied around the attempt.  Any number of
+        threads may invoke through one proxy concurrently; their
+        requests pipeline on the shared connection."""
         policy = policy or self.policy or NO_RETRY
         deadline = policy.start_deadline()
         attempt = 0
@@ -130,60 +178,57 @@ class IIOPProxy:
         # the retry loop: every attempt below shares the trace id but
         # opens a fresh span, so retries are distinguishable on the wire
         scope = tracer.begin_invocation() if tracer is not None else None
-        with self._call_lock:
-            while True:
+        while True:
+            if deadline is not None and deadline.expired:
+                self._stats.timeouts += 1
+                raise TIMEOUT(
+                    completed=CompletionStatus.COMPLETED_NO,
+                    message=(f"deadline of {policy.timeout}s expired "
+                             f"before the request was sent"))
+            state = _Attempt()
+            try:
+                return self._invoke_once(object_key, sig, args,
+                                         deadline, force_copy, state,
+                                         scope=scope)
+            except (TRANSIENT, COMM_FAILURE) as exc:
+                if attempt >= policy.max_retries or \
+                        not policy.retryable(exc, sig.idempotent):
+                    raise
                 if deadline is not None and deadline.expired:
+                    # retry would be futile; report the deadline,
+                    # carrying the completion status we actually know
                     self._stats.timeouts += 1
                     raise TIMEOUT(
-                        completed=CompletionStatus.COMPLETED_NO,
-                        message=(f"deadline of {policy.timeout}s expired "
-                                 f"before the request was sent"))
-                try:
-                    return self._invoke_once(object_key, sig, args,
-                                             deadline, force_copy,
-                                             scope=scope)
-                except (TRANSIENT, COMM_FAILURE) as exc:
-                    if attempt >= policy.max_retries or \
-                            not policy.retryable(exc, sig.idempotent):
-                        raise
-                    if deadline is not None and deadline.expired:
-                        # retry would be futile; report the deadline,
-                        # carrying the completion status we actually know
-                        self._stats.timeouts += 1
-                        raise TIMEOUT(
-                            completed=exc.completed,
-                            message=(f"deadline of {policy.timeout}s "
-                                     f"expired after "
-                                     f"{attempt + 1} attempt(s): "
-                                     f"{exc.message}")) from exc
-                    if self._attempt_had_deposits and not force_copy:
-                        # a deposit payload died mid-stream: degrade to
-                        # the copy path so the retry cannot be bitten by
-                        # the same data-path failure
-                        force_copy = True
-                        self._stats.deposit_fallbacks += 1
-                    delay = policy.backoff(attempt)
-                    if deadline is not None:
-                        delay = min(delay, max(0.0, deadline.remaining))
-                    if delay > 0:
-                        policy.sleep(delay)
-                    attempt += 1
-                    self._stats.retries += 1
+                        completed=exc.completed,
+                        message=(f"deadline of {policy.timeout}s "
+                                 f"expired after "
+                                 f"{attempt + 1} attempt(s): "
+                                 f"{exc.message}")) from exc
+                if state.had_deposits and not force_copy:
+                    # a deposit payload died mid-stream: degrade to
+                    # the copy path so the retry cannot be bitten by
+                    # the same data-path failure
+                    force_copy = True
+                    self._stats.deposit_fallbacks += 1
+                delay = policy.backoff(attempt)
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline.remaining))
+                if delay > 0:
+                    policy.sleep(delay)
+                attempt += 1
+                self._stats.retries += 1
 
     def _invoke_once(self, object_key: bytes, sig: OperationSignature,
                      args: Sequence[Any], deadline: Optional[Deadline],
-                     force_copy: bool, scope=None) -> Any:
+                     force_copy: bool, state: _Attempt, scope=None) -> Any:
         self.calls += 1
-        self._attempt_had_deposits = False
-        conn = self.conn
-        if conn.closed:
-            conn = self.reconnect()
+        conn, demux = self._ensure_conn()
         tracer = self._dtracer() if scope is not None else None
         active = tracer.start_client_span(sig.name, scope) \
             if tracer is not None else None
         try:
-            return self._attempt(conn, object_key, sig, args, deadline,
-                                 force_copy, active)
+            return self._attempt(conn, demux, object_key, sig, args,
+                                 deadline, force_copy, state, active)
         except BaseException as exc:
             if active is not None:
                 active.record_status(type(exc).__name__)
@@ -192,10 +237,10 @@ class IIOPProxy:
             if active is not None:
                 tracer.finish(active)
 
-    def _attempt(self, conn: GIOPConn, object_key: bytes,
-                 sig: OperationSignature, args: Sequence[Any],
-                 deadline: Optional[Deadline], force_copy: bool,
-                 active) -> Any:
+    def _attempt(self, conn: GIOPConn, demux: ReplyDemux,
+                 object_key: bytes, sig: OperationSignature,
+                 args: Sequence[Any], deadline: Optional[Deadline],
+                 force_copy: bool, state: _Attempt, active) -> Any:
         chain = self._interceptors()
         info = None
         if chain is not None and len(chain):
@@ -209,7 +254,7 @@ class IIOPProxy:
             sig.marshal_request(enc, args, ctx)
             params = enc.getvalue()
             span.add_bytes(len(params))
-        self._attempt_had_deposits = bool(ctx.descriptors)
+        state.had_deposits = bool(ctx.descriptors)
         request = RequestHeader(
             request_id=conn.next_request_id(),
             object_key=object_key,
@@ -222,12 +267,21 @@ class IIOPProxy:
             active.set_request_id(request.request_id)
             request.service_contexts.append(
                 active.context.to_service_context())
-        conn.send_message(request, params, ctx)
+        # register BEFORE sending: on synchronous-delivery transports
+        # the reply can arrive inside send_message itself
+        future = demux.register(request.request_id) \
+            if not sig.oneway else None
+        try:
+            conn.send_message(request, params, ctx)
+        except BaseException:
+            if future is not None:
+                demux.discard(request.request_id)
+            raise
         if sig.oneway:
             return None
-        rm = self._await_reply(conn, request.request_id, deadline)
+        rm = self._await_reply(conn, demux, future, deadline)
         try:
-            result = self._process_reply(sig, rm)
+            result = self._process_reply(conn, sig, rm)
             if active is not None:
                 active.record_status(
                     rm.msg.body_header.reply_status.name)
@@ -242,56 +296,45 @@ class IIOPProxy:
                 chain.run("receive_reply", info)
 
     # -- reply handling ---------------------------------------------------------
-    def _await_reply(self, conn: GIOPConn, request_id: int,
+    def _await_reply(self, conn: GIOPConn, demux: ReplyDemux,
+                     future: ReplyFuture,
                      deadline: Optional[Deadline] = None) -> ReceivedMessage:
-        set_timeout = getattr(conn.stream, "set_timeout", None)
-        if deadline is not None and set_timeout is not None:
-            # blocking transports honour the remaining budget directly;
-            # expiry raises TIMEOUT (COMPLETED_MAYBE) via the conn
-            set_timeout(max(deadline.remaining, 1e-4))
-        try:
-            while True:
-                try:
-                    rm = conn.read_message(wait_stage=STAGE_SERVER_WAIT)
-                except COMM_FAILURE as exc:
-                    if exc.completed is CompletionStatus.COMPLETED_NO:
-                        # the request left in full; we simply cannot
-                        # know how far the peer got
-                        raise COMM_FAILURE(
-                            minor=exc.minor,
-                            completed=CompletionStatus.COMPLETED_MAYBE,
-                            message=exc.message) from exc
-                    raise
-                mtype = rm.header.msg_type
-                if mtype is MsgType.Reply:
-                    reply = rm.msg.body_header
-                    assert isinstance(reply, ReplyHeader)
-                    if reply.request_id == request_id:
-                        return rm
-                    # stale reply for a cancelled/abandoned request: skip
-                    continue
-                if mtype is MsgType.CloseConnection:
-                    conn.close()
-                    raise TRANSIENT(
-                        completed=CompletionStatus.COMPLETED_MAYBE,
-                        message="server closed the connection")
-                if mtype is MsgType.MessageError:
-                    conn.close()
-                    raise COMM_FAILURE(
-                        message="peer reported a message error")
-                raise INTERNAL(message=(
-                    f"unexpected {mtype.name} while awaiting reply "
-                    f"{request_id}"))
-        finally:
-            if deadline is not None and set_timeout is not None \
-                    and not conn.closed:
-                set_timeout(None)
+        """Block on this call's own future; other in-flight calls on the
+        connection proceed independently."""
+        timeout = None if deadline is None \
+            else max(deadline.remaining, 1e-4)
+        if not future.wait(timeout):
+            demux.discard(future.request_id)
+            # re-check: the reply may have squeaked in between the wait
+            # expiring and the discard — a completed future is a reply,
+            # not a timeout (and dropping it would leak its deposits)
+            if not future.done:
+                self._stats.timeouts += 1
+                raise TIMEOUT(
+                    completed=CompletionStatus.COMPLETED_MAYBE,
+                    message=(f"reply to request {future.request_id} did "
+                             f"not arrive within the deadline"))
+        if future.exception is not None:
+            raise future.exception
+        rm = future.message
+        assert rm is not None
+        if conn.sink is not None:
+            # the demux read this reply with its stage events captured;
+            # re-emit them here, on the invoking thread, so the active
+            # client span and stage timers attribute them to THIS call
+            for event in future.stages:
+                conn.sink.emit(event)
+        reply = rm.msg.body_header
+        if not isinstance(reply, ReplyHeader):
+            raise INTERNAL(message=(
+                f"request {future.request_id} answered by "
+                f"{type(reply).__name__}"))
+        return rm
 
-    def _process_reply(self, sig: OperationSignature,
+    def _process_reply(self, conn: GIOPConn, sig: OperationSignature,
                        rm: ReceivedMessage) -> Any:
         reply = rm.msg.body_header
         assert isinstance(reply, ReplyHeader)
-        conn = self.conn
         ctx = rm.make_demarshal_context(on_bytes=conn.bytes_hook(),
                                         generic_loop=conn.generic_loop,
                                         orb=conn.orb)
@@ -325,6 +368,3 @@ class IIOPProxy:
             raise TRANSIENT(message="LOCATION_FORWARD not supported; "
                                     "re-resolve the object reference")
         raise INTERNAL(message=f"unhandled reply status {status}")
-
-    #: set per attempt: did the last send carry deposit descriptors?
-    _attempt_had_deposits = False

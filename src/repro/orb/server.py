@@ -3,11 +3,28 @@
 MICO's ``IIOPServer`` (Fig. 3) wired to our transports.  Loopback
 streams are pumped synchronously from the sender's thread (their
 ``set_data_handler`` hook); blocking streams (TCP) get one reader
-thread each, which is the 2003-era connection-per-thread model.
+thread each.
+
+Dispatch is decoupled from the read loop: decoded requests go to a
+bounded :class:`RequestWorkerPool` shared by every connection, so a
+slow upcall no longer stalls the pipelined requests behind it and
+replies leave in completion order — out of order relative to their
+requests, which GIOP explicitly permits (replies are matched by
+``request_id``).  Only the socket writes stay serialized, under the
+connection's ``_send_lock``, keeping each reply's control/deposit
+split atomic on the wire.  The reader still *reads* sequentially per
+connection — including landing each request's deposit buffers, leased
+per request from the thread-safe ``BufferPool`` — so the worker pool
+never touches the receive side.
+
+A full queue applies backpressure by blocking the reader (and, over
+loopback, the sender behind it) instead of buffering unboundedly.
+``workers=0`` restores the seed's inline dispatch.
 """
 
 from __future__ import annotations
 
+import queue
 import threading
 from typing import Callable, List, Optional
 
@@ -19,7 +36,93 @@ from .dispatcher import MethodDispatcher
 from .exceptions import SystemException
 from .object_adapter import POA
 
-__all__ = ["IIOPServer"]
+__all__ = ["IIOPServer", "RequestWorkerPool"]
+
+
+class RequestWorkerPool:
+    """Bounded pool of dispatch threads shared by a server's connections.
+
+    ``submit`` blocks when the queue is full — backpressure, not
+    unbounded buffering.  Observability (when a metrics registry is
+    resolvable): ``server_inflight_requests`` gauge (queued + executing)
+    and a ``server_queue_depth`` histogram sampled at each submit.
+    """
+
+    #: histogram buckets for queue depth at submit time
+    QUEUE_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64)
+
+    def __init__(self, workers: int,
+                 handler: Callable[[GIOPConn, ReceivedMessage], None],
+                 queue_depth: int = 32,
+                 metrics: Optional[Callable[[], object]] = None,
+                 name: str = "iiop-worker"):
+        if workers <= 0:
+            raise ValueError(f"workers must be positive: {workers}")
+        self._handler = handler
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        #: zero-arg callable resolving the metrics registry lazily (the
+        #: ORB's registry appears when enable_tracing is called, which
+        #: may be after the server exists)
+        self._metrics = metrics
+        self._stop = threading.Event()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        for i in range(workers):
+            t = threading.Thread(target=self._work, name=f"{name}-{i}",
+                                 daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    @property
+    def inflight(self) -> int:
+        """Requests queued or executing right now."""
+        with self._inflight_lock:
+            return self._inflight
+
+    def _registry(self):
+        return self._metrics() if self._metrics is not None else None
+
+    def submit(self, conn: GIOPConn, rm: ReceivedMessage) -> None:
+        """Enqueue one decoded request; blocks when the queue is full."""
+        reg = self._registry()
+        if reg is not None:
+            reg.histogram("server_queue_depth",
+                          buckets=self.QUEUE_BUCKETS).observe(
+                              self._queue.qsize())
+        with self._inflight_lock:
+            self._inflight += 1
+        if reg is not None:
+            reg.gauge("server_inflight_requests").inc()
+        self._queue.put((conn, rm))
+
+    def _work(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, rm = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            try:
+                self._handler(conn, rm)
+            except SystemException:
+                # the reply could not be written (client gone, wire
+                # reset mid-send): drop this connection, not the server
+                conn.close()
+            except Exception:  # noqa: BLE001 - a worker must survive
+                conn.close()
+            finally:
+                with self._inflight_lock:
+                    self._inflight -= 1
+                reg = self._registry()
+                if reg is not None:
+                    reg.gauge("server_inflight_requests").dec()
+
+    def shutdown(self, timeout: float = 1.0) -> None:
+        """Stop accepting work and let workers drain their current
+        item; threads are daemons, so a stuck upcall cannot hang exit."""
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout=timeout)
 
 
 class IIOPServer:
@@ -29,7 +132,8 @@ class IIOPServer:
                  zero_copy: bool = True, generic_loop: bool = False,
                  on_bytes: Optional[Callable[[str, int], None]] = None,
                  orb=None, fragment_size: int = 0,
-                 wire_little_endian=None, sink=None):
+                 wire_little_endian=None, sink=None,
+                 workers: int = 4, queue_depth: int = 32):
         self.poa = poa
         self.orb = orb
         self.pool = pool
@@ -45,6 +149,12 @@ class IIOPServer:
         self._conns: List[GIOPConn] = []
         self._lock = threading.Lock()
         self._shutdown = False
+        #: bounded dispatch pool; None = inline dispatch (workers=0)
+        self.workers: Optional[RequestWorkerPool] = None
+        if workers > 0:
+            self.workers = RequestWorkerPool(
+                workers, self._dispatch_request, queue_depth=queue_depth,
+                metrics=lambda: getattr(self.orb, "metrics", None))
 
     # -- transport plumbing ------------------------------------------------------
     def listen_on(self, transport, host: str, port: int):
@@ -69,8 +179,12 @@ class IIOPServer:
             self._conns.append(conn)
         set_handler = getattr(stream, "set_data_handler", None)
         if set_handler is not None:
-            # synchronous loopback: pump whenever bytes arrive
-            set_handler(lambda: self._pump(conn, stream))
+            # synchronous loopback: pump whenever bytes arrive.  The
+            # pump guard serializes concurrent notifications (several
+            # pipelining client threads can deliver at once) without
+            # recursing or dropping a wakeup.
+            pump = _PumpGuard(lambda: self._pump(conn, stream))
+            set_handler(pump)
         else:
             threading.Thread(target=self._read_loop, args=(conn,),
                              name=f"iiop-server-{stream.peer}",
@@ -110,12 +224,16 @@ class IIOPServer:
     def _handle(self, conn: GIOPConn, rm: ReceivedMessage) -> None:
         mtype = rm.header.msg_type
         if mtype is MsgType.Request:
-            try:
-                self.dispatcher.dispatch(conn, rm)
-            except SystemException:
-                # the reply could not be written (client gone, wire
-                # reset mid-send): drop this connection, not the server
-                conn.close()
+            if self.workers is not None and \
+                    getattr(rm.msg.body_header, "response_expected", True):
+                # hand off; the reply leaves whenever the upcall is done
+                self.workers.submit(conn, rm)
+            else:
+                # oneway requests dispatch inline: there is no reply to
+                # reorder, and the seed's fire-and-forget semantics
+                # (visible effect once send returns, FIFO among
+                # oneways) are part of the loopback contract
+                self._dispatch_request(conn, rm)
         elif mtype is MsgType.LocateRequest:
             req = rm.msg.body_header
             assert isinstance(req, LocateRequestHeader)
@@ -125,13 +243,22 @@ class IIOPServer:
             conn.send_message(LocateReplyHeader(
                 request_id=req.request_id, locate_status=status))
         elif mtype is MsgType.CancelRequest:
-            pass  # nothing in flight survives our synchronous dispatch
+            pass  # best-effort per GIOP: we let in-flight work complete
         elif mtype in (MsgType.CloseConnection, MsgType.MessageError):
             conn.close()
         elif mtype is MsgType.Reply:
             pass  # server role does not await replies; drop stale ones
         else:
             conn.send_error()
+
+    def _dispatch_request(self, conn: GIOPConn,
+                          rm: ReceivedMessage) -> None:
+        try:
+            self.dispatcher.dispatch(conn, rm)
+        except SystemException:
+            # the reply could not be written (client gone, wire
+            # reset mid-send): drop this connection, not the server
+            conn.close()
 
     # -- lifecycle ---------------------------------------------------------------
     def shutdown(self) -> None:
@@ -142,9 +269,38 @@ class IIOPServer:
         for listener in self.listeners:
             listener.close()
         self.listeners.clear()
+        if self.workers is not None:
+            self.workers.shutdown()
         for conn in conns:
             try:
                 conn.send_close()
             except SystemException:
                 pass
             conn.close()
+
+
+class _PumpGuard:
+    """Callable wrapper serializing a pump across threads.
+
+    A notification during an active drain flags a re-run; the active
+    drainer loops, so no wakeup is lost and the pump never runs
+    re-entrantly (a nested close-notification would otherwise recurse
+    into a half-consumed stream)."""
+
+    __slots__ = ("_fn", "_lock", "_pending")
+
+    def __init__(self, fn: Callable[[], None]):
+        self._fn = fn
+        self._lock = threading.Lock()
+        self._pending = False
+
+    def __call__(self) -> None:
+        self._pending = True
+        while self._pending:
+            if not self._lock.acquire(blocking=False):
+                return
+            try:
+                self._pending = False
+                self._fn()
+            finally:
+                self._lock.release()

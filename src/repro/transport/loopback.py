@@ -141,11 +141,28 @@ class LoopbackStream:
         """Interface parity with TCP: loopback reads never block (they
         raise immediately when short of bytes), so this is a no-op."""
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
+        already = self._closed
         self._closed = True
         peer = self.peer_stream
-        if peer is not None and not peer._closed:
+        peer_was_open = peer is not None and not peer._closed
+        if peer_was_open:
             peer._closed = True
+        if already:
+            return
+        # wake both ends' data handlers: a reply demultiplexer pumped by
+        # data arrival would otherwise never learn the stream died (a
+        # loopback read never blocks, so there is no blocked read to
+        # raise from) and its in-flight futures would hang forever
+        if peer_was_open and peer._on_data is not None \
+                and not peer._suppress_notify:
+            peer._on_data()
+        if self._on_data is not None and not self._suppress_notify:
+            self._on_data()
 
     @property
     def peer(self) -> str:

@@ -25,6 +25,10 @@ __all__ = ["TCPTransport", "TCPStream", "TCPListener"]
 
 _SENDMSG_LIMIT = 64  # IOV_MAX is >=1024 everywhere; stay far below
 
+#: scatter-gather writes need socket.sendmsg, which some platforms
+#: (older Windows CPython) lack — sendv falls back to a sendall loop
+_HAVE_SENDMSG = hasattr(socket.socket, "sendmsg")
+
 
 class TCPStream:
     """A connected TCP socket with exact-read helpers."""
@@ -51,7 +55,9 @@ class TCPStream:
                     f"{self.name}: send timed out") from e
             except OSError as e:
                 raise TransportError(f"{self.name}: send failed: {e}") from e
-        self.bytes_sent += memoryview(data).nbytes
+            # counters update under _wlock: pipelined callers send
+            # concurrently and an unserialized += loses increments
+            self.bytes_sent += memoryview(data).nbytes
 
     def sendv(self, chunks) -> None:
         views = [c if isinstance(c, memoryview) else memoryview(c)
@@ -62,32 +68,44 @@ class TCPStream:
         total = sum(v.nbytes for v in views)
         with self._wlock:
             try:
-                i = 0
-                while i < len(views):
-                    batch = views[i:i + _SENDMSG_LIMIT]
-                    sent = self._sock.sendmsg(batch)
-                    want = sum(v.nbytes for v in batch)
-                    if sent == want:
-                        i += len(batch)
-                        continue
-                    # partial gather write: drop what went out, retry rest
-                    left = sent
-                    rest: list[memoryview] = []
-                    for v in batch:
-                        if left >= v.nbytes:
-                            left -= v.nbytes
-                        elif left > 0:
-                            rest.append(v[left:])
-                            left = 0
-                        else:
-                            rest.append(v)
-                    views[i:i + len(batch)] = rest
+                if _HAVE_SENDMSG:
+                    self._sendmsg_all(views)
+                else:
+                    # no scatter-gather on this platform: fall back to
+                    # one sendall per chunk.  More syscalls, but still
+                    # no staging concatenation — the chunks themselves
+                    # are never copied into a joint buffer
+                    for v in views:
+                        self._sock.sendall(v)
             except socket.timeout as e:
                 raise TransportTimeout(
                     f"{self.name}: sendv timed out") from e
             except OSError as e:
                 raise TransportError(f"{self.name}: sendv failed: {e}") from e
-        self.bytes_sent += total
+            self.bytes_sent += total
+
+    def _sendmsg_all(self, views) -> None:
+        """Gather-write every view, retrying partial sendmsg results."""
+        i = 0
+        while i < len(views):
+            batch = views[i:i + _SENDMSG_LIMIT]
+            sent = self._sock.sendmsg(batch)
+            want = sum(v.nbytes for v in batch)
+            if sent == want:
+                i += len(batch)
+                continue
+            # partial gather write: drop what went out, retry rest
+            left = sent
+            rest: list[memoryview] = []
+            for v in batch:
+                if left >= v.nbytes:
+                    left -= v.nbytes
+                elif left > 0:
+                    rest.append(v[left:])
+                    left = 0
+                else:
+                    rest.append(v)
+            views[i:i + len(batch)] = rest
 
     def recv_exact(self, n: int) -> memoryview:
         buf = bytearray(n)

@@ -12,6 +12,8 @@ def _tiny_doc(**kw):
     kw.setdefault("max_size", 4 * KB)
     kw.setdefault("latency_size", 1 * KB)
     kw.setdefault("latency_calls", 3)
+    kw.setdefault("pipeline_calls", 8)
+    kw.setdefault("pipeline_inflight", 4)
     return run_bench(**kw)
 
 
@@ -35,6 +37,13 @@ class TestRunBench:
         # saturation gauges exported for trajectory dashboards
         assert reg.get("bench_saturation_mbit", figure="fig5",
                        curve="corba/std").value > 0
+        # pipelining probe covers both transports on one connection
+        for sch in ("loop", "tcp"):
+            rec = doc["pipelining"][sch]
+            assert [lv["inflight"] for lv in rec["levels"]] == [1, 4]
+            assert rec["speedup"] > 1.0
+            assert reg.get("bench_pipelining_speedup",
+                           scheme=sch).value == rec["speedup"]
 
     def test_zero_copy_beats_standard_in_sim_sweep(self):
         doc = _tiny_doc()
@@ -54,6 +63,15 @@ class TestValidator:
         assert any("schema" in p for p in problems)
         assert any("fig5" in p for p in problems)
         assert any("latency.corba" in p for p in problems)
+
+    def test_flags_missing_pipelining(self):
+        doc = _tiny_doc()
+        bad = json.loads(json.dumps(doc))
+        del bad["pipelining"]
+        assert any("pipelining" in p for p in validate_bench(bad))
+        bad = json.loads(json.dumps(doc))
+        del bad["pipelining"]["loop"]["speedup"]
+        assert any("pipelining.loop" in p for p in validate_bench(bad))
 
     def test_cli_check_round_trip(self, tmp_path, capsys):
         doc = _tiny_doc()

@@ -33,9 +33,14 @@ def test_api():
 def make_store_impl(api):
     from repro.core import OctetSequence, ZCOctetSequence
 
+    import threading
+
     class StoreImpl(api.Test_Store_skel):
         def __init__(self):
             self._total = 0
+            # the server dispatches pipelined requests concurrently, so
+            # the accumulator must be atomic for deposit-total checks
+            self._mutate = threading.Lock()
             self.last = None
             self.resets = 0
 
@@ -45,14 +50,16 @@ def make_store_impl(api):
         def put(self, data):
             if len(data) == 0:
                 raise api.Test_Failed(reason="empty", code=7)
-            self.last = data
-            self._total += len(data)
-            return self._total
+            with self._mutate:
+                self.last = data
+                self._total += len(data)
+                return self._total
 
         def put_std(self, data):
-            self.last = data
-            self._total += len(data)
-            return self._total
+            with self._mutate:
+                self.last = data
+                self._total += len(data)
+                return self._total
 
         def get(self, n):
             return ZCOctetSequence.from_data(bytes(i % 256

@@ -160,3 +160,75 @@ class TestBufferPool:
         for buf in live:
             buf.release()
         assert pool.hits + pool.misses == len(sizes)
+
+
+class TestBufferPoolConcurrency:
+    """The pipelining ORB leases deposit buffers from worker and reader
+    threads in parallel; hammer the pool the same way."""
+
+    def test_hammer_concurrent_acquire_release(self):
+        import threading
+
+        pool = BufferPool()
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(seed):
+            try:
+                barrier.wait(timeout=10)
+                rng = (seed * 2654435761) % (1 << 32)
+                for i in range(400):
+                    rng = (rng * 1103515245 + 12345) % (1 << 31)
+                    size = 1 + rng % (64 * 1024)
+                    buf = pool.acquire(size)
+                    # stamp and verify: detects the same storage being
+                    # handed to two threads at once
+                    mark = (seed * 251 + i) % 256
+                    buf.view()[:16 if size >= 16 else size] = \
+                        bytes([mark]) * (16 if size >= 16 else size)
+                    assert buf.length == size
+                    assert buf.address % PAGE_SIZE == 0
+                    assert bytes(buf.view()[:1]) == bytes([mark])
+                    buf.release()
+            except Exception as e:  # noqa: BLE001 - collected for assert
+                errors.append(e)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        assert pool.hits + pool.misses == 8 * 400
+        # every buffer was released exactly once; the free lists'
+        # accounting must agree with themselves
+        with pool._lock:
+            assert pool.cached_bytes == sum(
+                b.capacity for free in pool._free.values() for b in free)
+
+    def test_concurrent_double_release_detected(self):
+        import threading
+
+        pool = BufferPool()
+        for _ in range(50):
+            buf = pool.acquire(1000)
+            raised = []
+            barrier = threading.Barrier(2)
+
+            def racer():
+                try:
+                    barrier.wait(timeout=10)
+                    buf.release()
+                except BufferError as e:
+                    raised.append(e)
+
+            ts = [threading.Thread(target=racer) for _ in range(2)]
+            for t in ts:
+                t.start()
+            for t in ts:
+                t.join(timeout=10)
+            # exactly one of the two racing releases must lose
+            assert len(raised) == 1, raised
+            assert pool.cached_count == 1
+            pool.clear()

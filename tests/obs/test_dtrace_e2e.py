@@ -258,6 +258,11 @@ class TestWireHygiene:
                                 operation="_non_existent",
                                 service_contexts=[foreign])
             conn.send_message(req)
+            # the reply leaves the server's worker pool asynchronously;
+            # loopback reads never block, so wait for it to be queued
+            deadline = time.monotonic() + 5.0
+            while stream.available == 0 and time.monotonic() < deadline:
+                time.sleep(0.001)
             rm = conn.read_message()
             assert rm.header.msg_type is MsgType.Reply
             reply = rm.msg.body_header

@@ -63,7 +63,11 @@ class TestAsyncInvoker:
             results = ami.map_unordered([
                 (stub, "put_std", (OctetSequence(bytes(n)),))
                 for n in (10, 20, 30)])
-        assert results[-1] == 60  # totals accumulate in order per server
+        # deferred calls to one server now pipeline, so arrival order
+        # is unspecified — but every deposit lands exactly once, and
+        # whichever call lands last sees the full total
+        assert max(results) == 60
+        assert impl._get_total() == 60
 
     def test_submit_after_shutdown_rejected(self, loop_pair):
         stub, *_ = loop_pair
