@@ -7,10 +7,10 @@ convention ``BENCH_<tag>.json``).  CI runs this per PR and uploads the
 file as an artifact, so the repository accumulates a throughput/latency
 trajectory that future changes can be gated against.
 
-Document layout (``BENCH_SCHEMA_VERSION`` = 2)::
+Document layout (``BENCH_SCHEMA_VERSION`` = 3)::
 
     {
-      "schema": 2, "kind": "bench", "tag": "...",
+      "schema": 3, "kind": "bench", "tag": "...",
       "figures": {
         "fig5":       {"<label>": [{"size":..., "mbit_per_s":...}, ...]},
         "fig6_left":  {...},   # raw TCP: standard vs zero-copy stack
@@ -25,6 +25,16 @@ Document layout (``BENCH_SCHEMA_VERSION`` = 2)::
           "work_s": ..., "speedup": ...,
           "levels": [{"inflight": K, "calls": N, "seconds": ...,
                       "calls_per_s": ...}, ...]
+        }
+      },
+      "shm": {                 # schema 3: shared-memory deposits
+        "size": ..., "repeats": N, "speedup": ...,
+        "schemes": {
+          "<scheme>": {"seconds_best": ..., "bytes_per_s": ...,
+                       "mbit_per_s": ...,
+                       # shm only:
+                       "shm_deposits_total": ...,
+                       "shm_fallbacks_total": ...}
         }
       }
     }
@@ -48,9 +58,9 @@ from ..obs.metrics import Histogram, MetricsRegistry
 from .ttcp import KB, MB, TTCPSeries, default_sizes, run_sim_ttcp
 
 __all__ = ["BENCH_SCHEMA_VERSION", "run_bench", "measure_pipelining",
-           "validate_bench", "main"]
+           "measure_shm", "validate_bench", "main"]
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: the sim-mode curve matrix per figure: label -> (version, stack)
 _FIGURES = {
@@ -172,9 +182,100 @@ def measure_pipelining(scheme: str = "loop", inflight: int = 8,
             "levels": levels}
 
 
+def measure_shm(size: int = 1 * MB, repeats: int = 5,
+                transfers: int = 16) -> dict:
+    """Deposit-path throughput: shm arena vs tcp loopback (schema 3).
+
+    Times ``transfers`` back-to-back deposits of ``size`` bytes through
+    a connected stream pair — the data plane alone, no GIOP control
+    round-trip — so the number isolates what the arena buys.  The shm
+    path is one copy into a mapped slot and the receiver lands
+    zero-copy; the tcp-loopback path pays copy-to-kernel + copy-out
+    plus per-chunk syscalls.  Best-of-``repeats``; the shm stream's own
+    deposit/fallback counters are recorded so the document proves the
+    arena (not the inline fallback) carried the bytes.
+    """
+    import threading
+    import time
+
+    from ..core.buffers import BufferPool
+    from ..core.direct_deposit import DepositDescriptor
+    from ..transport.shm import ShmTransport
+    from ..transport.tcp import TCPTransport
+
+    schemes: Dict[str, dict] = {}
+    for scheme in ("shm", "tcp"):
+        if scheme == "shm":
+            # a long slot wait: exhaustion must block for a free slot,
+            # never fall back, or the measurement stops being zero-copy
+            transport = ShmTransport(slot_size=size, slot_wait=10.0)
+        else:
+            transport = TCPTransport()
+        accepted: List = []
+        ready = threading.Event()
+
+        def on_accept(stream, _a=accepted, _r=ready):
+            _a.append(stream)
+            _r.set()
+
+        listener = transport.listen("127.0.0.1", 0, on_accept)
+        _, host, port = listener.endpoint
+        client = transport.connect((scheme, host, port))
+        if not ready.wait(5.0):
+            raise RuntimeError("bench server did not accept")
+        server = accepted[0]
+        pool = BufferPool()
+        payload = memoryview(bytes(size))
+        desc = DepositDescriptor(deposit_id=1, size=size)
+        best = float("inf")
+        try:
+            for _ in range(repeats):
+                done = threading.Event()
+
+                def drain(_s=server, _d=done):
+                    for _ in range(transfers):
+                        if scheme == "shm":
+                            buf, _ = _s.recv_deposit(desc, pool)
+                        else:
+                            buf = pool.acquire(size)
+                            _s.recv_into(buf.view()[:size])
+                        buf.release()
+                    _d.set()
+
+                rx = threading.Thread(target=drain, daemon=True)
+                rx.start()
+                t0 = time.perf_counter()
+                for _ in range(transfers):
+                    if scheme == "shm":
+                        client.send_deposit(payload)
+                    else:
+                        client.sendv([payload])
+                if not done.wait(60.0):
+                    raise RuntimeError("bench receiver stalled")
+                best = min(best, time.perf_counter() - t0)
+                rx.join()
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+        moved = transfers * size
+        rec = {"seconds_best": round(best, 6),
+               "bytes_per_s": round(moved / best, 1),
+               "mbit_per_s": round(moved * 8 / best / 1e6, 3)}
+        if scheme == "shm":
+            rec["shm_deposits_total"] = (client.shm_deposits_sent
+                                         + client.shm_references_sent)
+            rec["shm_fallbacks_total"] = client.shm_fallbacks_sent
+        schemes[scheme] = rec
+    speedup = schemes["shm"]["bytes_per_s"] / schemes["tcp"]["bytes_per_s"]
+    return {"size": size, "repeats": repeats, "transfers": transfers,
+            "speedup": round(speedup, 3), "schemes": schemes}
+
+
 def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
               latency_size: int = 64 * KB, latency_calls: int = 50,
               pipeline_inflight: int = 8, pipeline_calls: int = 32,
+              shm_size: int = 1 * MB, shm_repeats: int = 5,
               tag: str = "", registry: Optional[MetricsRegistry] = None
               ) -> dict:
     """The full trajectory document (see module docstring)."""
@@ -202,9 +303,12 @@ def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
         for sch, rec in pipelining.items():
             registry.gauge("bench_pipelining_speedup",
                            scheme=sch).set(rec["speedup"])
+    shm = measure_shm(size=shm_size, repeats=shm_repeats)
+    if registry is not None:
+        registry.gauge("bench_shm_speedup").set(shm["speedup"])
     return {"schema": BENCH_SCHEMA_VERSION, "kind": "bench", "tag": tag,
             "figures": figures, "latency": latency,
-            "pipelining": pipelining}
+            "pipelining": pipelining, "shm": shm}
 
 
 def validate_bench(doc: dict) -> List[str]:
@@ -245,6 +349,19 @@ def validate_bench(doc: dict) -> List[str]:
                     "inflight" not in lv or "calls_per_s" not in lv
                     for lv in levels):
             problems.append(f"pipelining.{sch}: malformed")
+    shm = doc.get("shm")
+    if not isinstance(shm, dict) or "speedup" not in shm:
+        return problems + ["'shm' missing or malformed"]
+    schemes = shm.get("schemes")
+    if not isinstance(schemes, dict):
+        return problems + ["shm.schemes: missing"]
+    for sch in ("shm", "tcp"):
+        rec = schemes.get(sch)
+        if not isinstance(rec, dict) or "bytes_per_s" not in rec:
+            problems.append(f"shm.schemes.{sch}: malformed")
+    shm_rec = schemes.get("shm")
+    if isinstance(shm_rec, dict) and "shm_deposits_total" not in shm_rec:
+        problems.append("shm.schemes.shm: missing shm_deposits_total")
     return problems
 
 
@@ -260,13 +377,17 @@ def main(argv: Optional[list] = None) -> int:
                          "(e.g. the PR number)")
     ap.add_argument("--max-size", type=int, default=16 * MB,
                     help="largest TTCP block in the sim sweeps")
-    ap.add_argument("--scheme", choices=("loop", "tcp"), default="loop",
+    ap.add_argument("--scheme", choices=("loop", "tcp", "shm"),
+                    default="loop",
                     help="transport for the real-ORB latency probe")
     ap.add_argument("--latency-size", type=int, default=64 * KB)
     ap.add_argument("--latency-calls", type=int, default=50)
     ap.add_argument("--pipeline-inflight", type=int, default=8,
                     help="concurrent callers in the pipelining probe")
     ap.add_argument("--pipeline-calls", type=int, default=32)
+    ap.add_argument("--shm-size", type=int, default=1 * MB,
+                    help="payload bytes in the shm-vs-tcp deposit probe")
+    ap.add_argument("--shm-repeats", type=int, default=5)
     ap.add_argument("--quick", action="store_true",
                     help="tiny sweep for CI smoke (16 KiB max, 10 calls)")
     ap.add_argument("--check", metavar="PATH", default=None,
@@ -294,12 +415,16 @@ def main(argv: Optional[list] = None) -> int:
         args.latency_size = min(args.latency_size, 16 * KB)
         args.latency_calls = min(args.latency_calls, 10)
         args.pipeline_calls = min(args.pipeline_calls, 16)
+        args.shm_size = min(args.shm_size, 256 * KB)
+        args.shm_repeats = min(args.shm_repeats, 3)
 
     doc = run_bench(max_size=args.max_size, scheme=args.scheme,
                     latency_size=args.latency_size,
                     latency_calls=args.latency_calls,
                     pipeline_inflight=args.pipeline_inflight,
-                    pipeline_calls=args.pipeline_calls, tag=args.tag)
+                    pipeline_calls=args.pipeline_calls,
+                    shm_size=args.shm_size, shm_repeats=args.shm_repeats,
+                    tag=args.tag)
     problems = validate_bench(doc)
     if problems:  # a bug in this module, not in the caller's input
         for p in problems:
@@ -318,6 +443,13 @@ def main(argv: Optional[list] = None) -> int:
         print(f"pipelining/{sch}: {top['inflight']} in flight "
               f"{top['calls_per_s']:.0f} calls/s "
               f"({rec['speedup']:.1f}x over serialized)")
+    shm = doc["shm"]
+    shm_rec = shm["schemes"]["shm"]
+    print(f"shm: {shm['size']} B deposit "
+          f"{shm_rec['mbit_per_s']:.0f} Mbit/s "
+          f"({shm['speedup']:.1f}x over tcp loopback, "
+          f"{shm_rec['shm_deposits_total']} arena deposits, "
+          f"{shm_rec['shm_fallbacks_total']} fallbacks)")
     print(f"bench document written to {args.out}")
     return 0
 

@@ -258,8 +258,8 @@ def main(argv: Optional[list] = None) -> int:
                     help="comma list: raw, corba, zc-corba")
     ap.add_argument("--stack", choices=("standard", "zero-copy"),
                     default="standard", help="(sim mode) TCP stack model")
-    ap.add_argument("--scheme", choices=("loop", "tcp"), default="loop",
-                    help="(real mode) transport")
+    ap.add_argument("--scheme", choices=("loop", "tcp", "shm"),
+                    default="loop", help="(real mode) transport")
     ap.add_argument("--max-size", type=int, default=16 * MB)
     ap.add_argument("--metrics-dump", metavar="PATH", default=None,
                     help="write a repro.obs metrics dump; in real mode "

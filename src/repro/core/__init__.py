@@ -6,13 +6,15 @@ datatypes, and the direct-deposit protocol that separates control- and
 data transfers (§3.2, §4.4-4.5).
 """
 
-from .buffers import PAGE_SIZE, BufferError, BufferPool, ZCBuffer, default_pool
+from .buffers import (PAGE_SIZE, BufferError, BufferPool, MappedBuffer,
+                      ZCBuffer, default_pool)
 from .direct_deposit import (DEPOSIT_MAGIC, DepositDescriptor, DepositError,
                              DepositReceiver, DepositRegistry)
 from .sequences import OctetSequence, ZCOctetSequence, as_octets
 
 __all__ = [
-    "PAGE_SIZE", "ZCBuffer", "BufferPool", "BufferError", "default_pool",
+    "PAGE_SIZE", "ZCBuffer", "MappedBuffer", "BufferPool", "BufferError",
+    "default_pool",
     "OctetSequence", "ZCOctetSequence", "as_octets",
     "DepositDescriptor", "DepositRegistry", "DepositReceiver",
     "DepositError", "DEPOSIT_MAGIC",

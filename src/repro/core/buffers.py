@@ -17,11 +17,13 @@ application or by the stub and skeleton code", §6).
 from __future__ import annotations
 
 import threading
-from typing import Optional
+import weakref
+from typing import Callable, Optional
 
 import numpy as np
 
-__all__ = ["PAGE_SIZE", "ZCBuffer", "BufferPool", "BufferError", "default_pool"]
+__all__ = ["PAGE_SIZE", "ZCBuffer", "MappedBuffer", "BufferPool",
+           "BufferError", "default_pool"]
 
 PAGE_SIZE = 4096
 
@@ -141,6 +143,58 @@ class ZCBuffer:
         return f"<ZCBuffer cap={self.capacity} {state} @0x{id(self):x}>"
 
 
+class MappedBuffer(ZCBuffer):
+    """A :class:`ZCBuffer` aliasing externally mapped memory.
+
+    Backs the shared-memory deposit path: the buffer does not own (or
+    allocate) its storage — it wraps a writable view of an arena slot
+    that some other mapping object keeps alive.  ``address`` is the
+    caller-supplied real address of that view, so the alignment checks
+    of the deposit receiver keep working.
+
+    ``on_release`` runs exactly once, on the first of an explicit
+    :meth:`release` or garbage collection — arena slots are returned
+    even when the application drops a landed sequence without releasing
+    it (the common case for received payloads).
+    """
+
+    __slots__ = ("_address", "_finalizer", "__weakref__")
+
+    def __init__(self, view, address: int,
+                 on_release: Optional[Callable[[], None]] = None):
+        mv = memoryview(view)
+        if mv.format != "B" or mv.ndim != 1:
+            mv = mv.cast("B")
+        if mv.nbytes <= 0:
+            raise ValueError(f"mapped view must be non-empty, got {mv.nbytes}")
+        if mv.readonly:
+            raise ValueError("mapped view must be writable")
+        self.capacity = mv.nbytes
+        self._base = None
+        self._view = mv
+        self._length = mv.nbytes
+        self._pool = None
+        self._released = False
+        self._release_lock = threading.Lock()
+        self._address = address
+        self._finalizer = (weakref.finalize(self, on_release)
+                           if on_release is not None else None)
+
+    @property
+    def address(self) -> int:
+        self._check_live()
+        return self._address
+
+    def release(self) -> None:
+        with self._release_lock:
+            self._check_live()
+            self._released = True
+            # drop the exported view so the underlying mapping can close
+            self._view = None
+        if self._finalizer is not None:
+            self._finalizer()  # runs on_release once; detaches from GC
+
+
 def _size_class(nbytes: int) -> int:
     """Round up to a whole number of pages, then to a power-of-two page
     count, so freed buffers are reusable across similar request sizes."""
@@ -172,6 +226,10 @@ class BufferPool:
 
     def __init__(self, max_cached_bytes: int = 256 * 1024 * 1024):
         self._free: dict[int, list[ZCBuffer]] = {}
+        #: identities of the buffers currently on a free list — gives
+        #: _reclaim an O(1) double-release check instead of scanning
+        #: the (possibly long) free list per release
+        self._free_ids: set[int] = set()
         self._lock = threading.Lock()
         self.max_cached_bytes = max_cached_bytes
         self.cached_bytes = 0
@@ -188,6 +246,7 @@ class BufferPool:
             free = self._free.get(cls)
             if free:
                 buf = free.pop()
+                self._free_ids.discard(id(buf))
                 self.cached_bytes -= buf.capacity
                 self.hits += 1
                 buf._revive()
@@ -201,11 +260,11 @@ class BufferPool:
     def _reclaim(self, buf: ZCBuffer) -> None:
         with self._lock:
             cls = buf.capacity
-            free = self._free.setdefault(cls, [])
-            if buf in free:
+            if id(buf) in self._free_ids:
                 raise BufferError("double release of a pooled ZCBuffer")
             if self.cached_bytes + cls <= self.max_cached_bytes:
-                free.append(buf)
+                self._free.setdefault(cls, []).append(buf)
+                self._free_ids.add(id(buf))
                 self.cached_bytes += cls
                 self.reclaims += 1
             # else: drop the buffer; GC frees the storage
@@ -218,6 +277,7 @@ class BufferPool:
     def clear(self) -> None:
         with self._lock:
             self._free.clear()
+            self._free_ids.clear()
             self.cached_bytes = 0
 
 

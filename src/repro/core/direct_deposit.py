@@ -136,17 +136,33 @@ class DepositReceiver:
     which :meth:`complete` hands the buffer to demarshaling.
     """
 
-    def __init__(self, pool: Optional[BufferPool] = None):
+    def __init__(self, pool: Optional[BufferPool] = None, channel=None):
         self.pool = pool or default_pool()
-        self._prepared: dict[int, tuple[DepositDescriptor, ZCBuffer]] = {}
+        #: optional deposit channel (e.g. ``ShmStream``): when present,
+        #: landing buffers come from :meth:`land` — the channel maps a
+        #: shared-memory slot (or reads the inline fallback) — instead
+        #: of being pool-acquired at prepare time
+        self.channel = channel
+        self._prepared: dict[int,
+                             tuple[DepositDescriptor,
+                                   Optional[ZCBuffer]]] = {}
         self._order: list[int] = []
         self.deposits_received = 0
         self.bytes_deposited = 0
         self.deposits_aborted = 0
+        #: channel-mode accounting: slot-mapped vs inline-fallback landings
+        self.shm_landed = 0
+        self.shm_fallbacks = 0
 
-    def prepare(self, desc: DepositDescriptor) -> ZCBuffer:
+    def prepare(self, desc: DepositDescriptor) -> Optional[ZCBuffer]:
         if desc.deposit_id in self._prepared:
             raise DepositError(f"duplicate deposit id {desc.deposit_id}")
+        if self.channel is not None:
+            # the landing buffer is chosen per deposit record at land()
+            # time; there is nothing to allocate yet
+            self._prepared[desc.deposit_id] = (desc, None)
+            self._order.append(desc.deposit_id)
+            return None
         buf = self.pool.acquire(max(desc.size, 1))
         buf.set_length(desc.size)
         if desc.alignment > 1 and buf.address % desc.alignment != 0:
@@ -160,15 +176,37 @@ class DepositReceiver:
         self._order.append(desc.deposit_id)
         return buf
 
-    def pending_in_order(self) -> list[tuple[DepositDescriptor, ZCBuffer]]:
+    def land(self, desc: DepositDescriptor) -> ZCBuffer:
+        """Channel mode: receive one prepared deposit through the
+        channel (slot-mapped buffer or inline fallback read)."""
+        if self.channel is None:
+            raise DepositError("land() requires a deposit channel")
+        prepared = self._prepared.get(desc.deposit_id)
+        if prepared is None or prepared[1] is not None:
+            raise DepositError(
+                f"deposit {desc.deposit_id} not awaiting landing")
+        buf, via_arena = self.channel.recv_deposit(desc, self.pool)
+        self._prepared[desc.deposit_id] = (desc, buf)
+        if via_arena:
+            self.shm_landed += 1
+        else:
+            self.shm_fallbacks += 1
+        return buf
+
+    def pending_in_order(self) -> list[tuple[DepositDescriptor,
+                                             Optional[ZCBuffer]]]:
         """Prepared deposits in control-message order (= data-path order)."""
         return [self._prepared[i] for i in self._order]
 
     def complete(self, deposit_id: int) -> ZCBuffer:
         try:
-            desc, buf = self._prepared.pop(deposit_id)
+            desc, buf = self._prepared[deposit_id]
         except KeyError:
             raise DepositError(f"deposit {deposit_id} was not prepared") from None
+        if buf is None:
+            raise DepositError(f"deposit {deposit_id} completed before "
+                               f"landing")
+        del self._prepared[deposit_id]
         self._order.remove(deposit_id)
         self.deposits_received += 1
         self.bytes_deposited += desc.size
@@ -189,7 +227,7 @@ class DepositReceiver:
         """
         released = 0
         for _, buf in self._prepared.values():
-            if not buf.released:
+            if buf is not None and not buf.released:
                 buf.release()
                 released += 1
         self._prepared.clear()

@@ -87,21 +87,38 @@ class IIOPProfile:
 
 @dataclass(frozen=True)
 class IOR:
-    """type id + tagged profiles (we always carry exactly one IIOP)."""
+    """type id + tagged profiles.
+
+    An IOR may carry several IIOP profiles — a multi-homed server
+    advertises one per transport endpoint (e.g. ``tcp`` and ``shm``),
+    and the client picks the profile it likes best (see
+    ``ORB.select_profile``).  Unknown-tag profiles survive decode /
+    re-encode byte-exactly.
+    """
 
     type_id: str
     profiles: Tuple[Tuple[int, bytes], ...] = ()
 
     @classmethod
-    def for_object(cls, type_id: str, profile: IIOPProfile) -> "IOR":
+    def for_object(cls, type_id: str, *profiles: IIOPProfile) -> "IOR":
+        if not profiles:
+            raise IORError(f"IOR for {type_id!r} needs at least one profile")
         return cls(type_id=type_id,
-                   profiles=((TAG_INTERNET_IOP, profile.encode()),))
+                   profiles=tuple((TAG_INTERNET_IOP, p.encode())
+                                  for p in profiles))
 
     def iiop_profile(self) -> IIOPProfile:
+        """The first IIOP profile (the server's primary endpoint)."""
         for tag, data in self.profiles:
             if tag == TAG_INTERNET_IOP:
                 return IIOPProfile.decode(data)
         raise IORError(f"IOR for {self.type_id!r} has no IIOP profile")
+
+    def iiop_profiles(self) -> Tuple[IIOPProfile, ...]:
+        """Every IIOP profile, in advertisement order."""
+        return tuple(IIOPProfile.decode(data)
+                     for tag, data in self.profiles
+                     if tag == TAG_INTERNET_IOP)
 
     # -- binary / stringified forms ------------------------------------------
     def encode(self) -> bytes:

@@ -58,6 +58,11 @@ class ConnStats:
     retries: int = 0
     deposit_fallbacks: int = 0
     timeouts: int = 0
+    #: shared-memory deposit channel (repro.transport.shm): deposits
+    #: that travelled through the arena vs the per-deposit inline
+    #: fallback, counted on both the send and receive side
+    shm_deposits: int = 0
+    shm_fallbacks: int = 0
 
 
 @dataclass
@@ -188,10 +193,35 @@ class GIOPConn:
         # headers _frame emitted
         control_nbytes = sum(len(c) for c in chunks)
         payloads = [view for _, view in deposits]
+        # shared-memory transports expose a deposit channel: payloads
+        # travel through the arena (or its per-deposit inline fallback)
+        # instead of trailing the control message on the stream
+        channel = getattr(self.stream, "deposit_channel", None) \
+            if payloads else None
+        shm_sent = shm_fallback = 0
+        slot_waits: list = []
+
+        def send_payloads() -> None:
+            nonlocal shm_sent, shm_fallback
+            if channel is None:
+                self.stream.sendv(payloads)
+                return
+            for view in payloads:
+                used_arena, waited = channel.send_deposit(view)
+                if used_arena:
+                    shm_sent += 1
+                else:
+                    shm_fallback += 1
+                slot_waits.append(waited)
+
         try:
             with self._send_lock:
                 if self.sink is None:
-                    self.stream.sendv(chunks + payloads)
+                    if channel is None:
+                        self.stream.sendv(chunks + payloads)
+                    else:
+                        self.stream.sendv(chunks)
+                        send_payloads()
                 else:
                     # traced: the gather-write splits at the control/
                     # data boundary so each path times separately (the
@@ -212,7 +242,7 @@ class GIOPConn:
                             if payloads:
                                 span.add_bytes(
                                     sum(v.nbytes for v in payloads))
-                                self.stream.sendv(payloads)
+                                send_payloads()
                 # still under the send lock: pipelined calls send
                 # concurrently, and unserialized += on the shared
                 # counters would lose updates
@@ -221,6 +251,8 @@ class GIOPConn:
                 for _, view in deposits:
                     self.stats.deposits_sent += 1
                     self.stats.deposit_bytes_sent += view.nbytes
+                self.stats.shm_deposits += shm_sent
+                self.stats.shm_fallbacks += shm_fallback
         except TransportTimeout as e:
             # an incompletely sent GIOP message can never execute
             self._closed = True
@@ -230,6 +262,9 @@ class GIOPConn:
         except TransportError as e:
             self._closed = True
             raise COMM_FAILURE(message=str(e)) from e
+        if channel is not None:
+            self._record_shm_metrics("send", shm_sent, shm_fallback,
+                                     slot_waits)
         if self.on_bytes is not None:
             for _, view in deposits:
                 self.on_bytes("deposit-send", view.nbytes)
@@ -260,6 +295,24 @@ class GIOPConn:
             chunks.append(header.encode())
             chunks.append(piece)
         return chunks
+
+    def _record_shm_metrics(self, op: str, arena_count: int,
+                            fallback_count: int, waits=()) -> None:
+        """Thread shm channel accounting into the ORB's metrics registry
+        (present once ``enable_tracing`` ran; a no-op otherwise)."""
+        registry = getattr(self.orb, "metrics", None) \
+            if self.orb is not None else None
+        if registry is None:
+            return
+        if arena_count:
+            registry.counter("shm_deposits_total", op=op).inc(arena_count)
+        if fallback_count:
+            registry.counter("shm_fallbacks_total", op=op).inc(
+                fallback_count)
+        if waits:
+            hist = registry.histogram("shm_slot_wait_seconds")
+            for waited in waits:
+                hist.observe(waited)
 
     def send_close(self) -> None:
         header = GIOPHeader(msg_type=MsgType.CloseConnection, size=0,
@@ -307,26 +360,33 @@ class GIOPConn:
                 # wire accounting: headers + bodies actually read, NOT
                 # the reassembled size (each fragment counts exactly once)
                 wire_nbytes = GIOP_HEADER_SIZE + header.size
-                while header.more_fragments:
-                    # GIOP 1.1 reassembly: Fragment messages continue
-                    # the body
+                # GIOP 1.1 reassembly: Fragment messages continue the
+                # body.  One growing bytearray takes each fragment in
+                # amortized O(1), so a 256-fragment message costs
+                # linear copy work — rebuilding the accumulator per
+                # fragment would be O(n^2) in the total size.
+                assembled: Optional[bytearray] = None
+                more_fragments = header.more_fragments
+                while more_fragments:
                     frag_header = decode_header(
                         self.stream.recv_exact(GIOP_HEADER_SIZE))
                     if frag_header.msg_type is not MsgType.Fragment:
                         raise GIOPError(
                             f"expected Fragment continuation, got "
                             f"{frag_header.msg_type.name}")
-                    frag = self.stream.recv_exact(frag_header.size)
-                    assembled = bytearray(body)
-                    assembled += frag
-                    body = memoryview(assembled)
+                    if assembled is None:
+                        assembled = bytearray(body)
+                    assembled += self.stream.recv_exact(frag_header.size)
                     wire_nbytes += GIOP_HEADER_SIZE + frag_header.size
                     fragments += 1
+                    more_fragments = frag_header.more_fragments
+                if assembled is not None:
+                    body = memoryview(assembled)
                     header = GIOPHeader(
                         msg_type=header.msg_type, size=len(body),
                         little_endian=header.little_endian,
                         major=header.major, minor=header.minor,
-                        more_fragments=frag_header.more_fragments)
+                        more_fragments=False)
                 span.add_bytes(wire_nbytes)
         except GIOPError:
             # the stream position is undefined after a framing error:
@@ -350,17 +410,30 @@ class GIOPConn:
         deposit_flags: Dict[int, int] = {}
         descriptors = getattr(msg.body_header, "deposit_descriptors", None)
         if descriptors is not None:
-            receiver = DepositReceiver(self.pool)
+            channel = getattr(self.stream, "deposit_channel", None)
+            receiver = DepositReceiver(self.pool, channel=channel)
             try:
                 with stage_span(stage_sink, STAGE_DEPOSIT_RECV) as span:
                     for desc in descriptors():
                         receiver.prepare(desc)
-                    for desc, buf in receiver.pending_in_order():
-                        # land the payload directly in its final buffer
-                        self.stream.recv_into(buf.view())
-                        span.add_bytes(desc.size)
-                        if self.on_bytes is not None:
-                            self.on_bytes("deposit-recv", desc.size)
+                    if channel is not None:
+                        # shared-memory landing: each deposit record
+                        # maps its arena slot as the final buffer (or
+                        # reads the inline fallback) — no recv_into on
+                        # the arena path
+                        for desc, _ in receiver.pending_in_order():
+                            receiver.land(desc)
+                            span.add_bytes(desc.size)
+                            if self.on_bytes is not None:
+                                self.on_bytes("deposit-recv", desc.size)
+                    else:
+                        for desc, buf in receiver.pending_in_order():
+                            # land the payload directly in its final
+                            # buffer
+                            self.stream.recv_into(buf.view())
+                            span.add_bytes(desc.size)
+                            if self.on_bytes is not None:
+                                self.on_bytes("deposit-recv", desc.size)
                     for desc, _ in list(receiver.pending_in_order()):
                         deposits[desc.deposit_id] = receiver.complete(
                             desc.deposit_id)
@@ -390,6 +463,11 @@ class GIOPConn:
             self.stats.deposits_received += len(deposits)
             self.stats.deposit_bytes_received += sum(
                 b.length for b in deposits.values())
+            if channel is not None:
+                self.stats.shm_deposits += receiver.shm_landed
+                self.stats.shm_fallbacks += receiver.shm_fallbacks
+                self._record_shm_metrics("recv", receiver.shm_landed,
+                                         receiver.shm_fallbacks)
         if stage_sink is not None:
             # under capture the wire event travels with the stage events
             # and is re-emitted by the awaiting thread, preserving the

@@ -49,6 +49,10 @@ class ORBConfig:
     scheme: str = "loop"
     host: str = ""  #: '' = auto (loopback token / 127.0.0.1)
     port: int = 0  #: 0 = auto-assign
+    #: additional schemes to listen on (each on an auto-assigned port);
+    #: every activated object's IOR then carries one profile per
+    #: endpoint, primary scheme first — a multi-homed server
+    extra_schemes: tuple = ()
     zero_copy: bool = True
     generic_loop: bool = False
     collocated_calls: bool = True
@@ -98,6 +102,7 @@ class ORB:
         self.poa = POA(name=f"POA{self.orb_id}")
         self._server: Optional[IIOPServer] = None
         self._endpoint: Optional[Endpoint] = None
+        self._endpoints: list[Endpoint] = []
         self._proxies: Dict[Endpoint, IIOPProxy] = {}
         self._initial_refs: Dict[str, ObjectStub] = {}
         from .interceptors import InterceptorRegistry
@@ -154,14 +159,18 @@ class ORB:
         return tracer
 
     # -- server side ------------------------------------------------------------
+    def _default_host(self, scheme: str) -> str:
+        """Socket-backed schemes bind a real loopback address; the
+        in-process schemes use the ORB's symbolic rendezvous token."""
+        if scheme in ("tcp", "shm"):
+            return "127.0.0.1"
+        return f"orb{self.orb_id}"
+
     def _ensure_server(self) -> IIOPServer:
         with self._lock:
             if self._server is not None:
                 return self._server
             cfg = self.config
-            transport = self.transports.get(cfg.scheme)
-            host = cfg.host or (f"orb{self.orb_id}" if cfg.scheme != "tcp"
-                                else "127.0.0.1")
             server = IIOPServer(self.poa, pool=self.pool,
                                 zero_copy=cfg.zero_copy,
                                 generic_loop=cfg.generic_loop,
@@ -171,14 +180,30 @@ class ORB:
                                 sink=self.sink,
                                 workers=cfg.server_workers,
                                 queue_depth=cfg.server_queue_depth)
-            listener = server.listen_on(transport, host, cfg.port)
+            schemes = [cfg.scheme] + [s for s in cfg.extra_schemes
+                                      if s != cfg.scheme]
+            endpoints = []
+            for scheme in schemes:
+                transport = self.transports.get(scheme)
+                host = cfg.host or self._default_host(scheme)
+                # the configured port binds the primary scheme only;
+                # extra listeners always auto-assign
+                port = cfg.port if scheme == cfg.scheme else 0
+                listener = server.listen_on(transport, host, port)
+                endpoints.append(listener.endpoint)
             self._server = server
-            self._endpoint = listener.endpoint
+            self._endpoint = endpoints[0]
+            self._endpoints = endpoints
             return server
 
     @property
     def endpoint(self) -> Optional[Endpoint]:
         return self._endpoint
+
+    @property
+    def endpoints(self) -> Sequence[Endpoint]:
+        """Every endpoint this ORB's server listens on (primary first)."""
+        return tuple(self._endpoints)
 
     def activate(self, servant: Servant,
                  stub_cls: Optional[Type[ObjectStub]] = None) -> ObjectStub:
@@ -193,11 +218,13 @@ class ORB:
         self.poa.deactivate_object(profile.object_key)
 
     def _make_ior(self, servant: Servant, key: bytes) -> IOR:
-        assert self._endpoint is not None
-        scheme, host, port = self._endpoint
-        wire_host = host if scheme == "tcp" else f"{scheme}!{host}"
-        profile = IIOPProfile(host=wire_host, port=port, object_key=key)
-        return IOR.for_object(servant._interface().repo_id, profile)
+        assert self._endpoints
+        profiles = []
+        for scheme, host, port in self._endpoints:
+            wire_host = host if scheme == "tcp" else f"{scheme}!{host}"
+            profiles.append(IIOPProfile(host=wire_host, port=port,
+                                        object_key=key))
+        return IOR.for_object(servant._interface().repo_id, *profiles)
 
     # -- initial references (CORBA::ORB bootstrapping) --------------------
     def register_initial_reference(self, name: str,
@@ -253,7 +280,7 @@ class ORB:
                 raise OBJECT_NOT_EXIST(message=(
                     f"local servant lacks operation {sig.name!r}"))
             return method(*args)
-        profile = ior.iiop_profile()
+        profile = self.select_profile(ior)
         proxy = self._proxy_for(profile.endpoint)
         return proxy.invoke(profile.object_key, sig, args,
                             policy=policy or self.policy)
@@ -266,7 +293,7 @@ class ORB:
         ior = ref.ior
         if self.find_local_servant(ior) is not None:
             return True
-        profile = ior.iiop_profile()
+        profile = self.select_profile(ior)
         proxy = self._proxy_for(profile.endpoint)
         conn, demux = proxy._ensure_conn()
         request = LocateRequestHeader(
@@ -288,13 +315,35 @@ class ORB:
         assert isinstance(reply, LocateReplyHeader)
         return reply.locate_status is LocateStatus.OBJECT_HERE
 
+    #: lower = preferred when a multi-profile IOR offers a choice:
+    #: in-process first, then the shared-memory data plane, then the
+    #: modelled testbed, plain tcp last; unknown schemes after all
+    _SCHEME_PREFERENCE = {"loop": 0, "shm": 1, "sim": 2, "tcp": 3}
+
+    def select_profile(self, ior: IOR) -> IIOPProfile:
+        """The IIOP profile this ORB likes best among those it can
+        reach: a colocated client prefers ``shm`` over ``tcp`` when
+        the server advertises both.  Falls back to the primary profile
+        when none of the advertised schemes is registered (preserving
+        the single-profile error behaviour)."""
+        best: Optional[IIOPProfile] = None
+        best_rank = None
+        for profile in ior.iiop_profiles():
+            if profile.scheme not in self.transports:
+                continue
+            rank = self._SCHEME_PREFERENCE.get(profile.scheme, 99)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = profile, rank
+        return best if best is not None else ior.iiop_profile()
+
     def find_local_servant(self, ior: IOR) -> Optional[Servant]:
-        if self._endpoint is None:
+        if not self._endpoints:
             return None
-        profile = ior.iiop_profile()
-        if profile.endpoint != self._endpoint:
-            return None
-        return self.poa.find_servant(profile.object_key)
+        local = set(self._endpoints)
+        for profile in ior.iiop_profiles():
+            if profile.endpoint in local:
+                return self.poa.find_servant(profile.object_key)
+        return None
 
     def _proxy_for(self, endpoint: Endpoint) -> IIOPProxy:
         """One persistent proxy per endpoint.  The proxy dials lazily

@@ -120,9 +120,11 @@ class TransportRegistry:
 def registry() -> TransportRegistry:
     """A fresh registry pre-loaded with the built-in transports."""
     from .loopback import LoopbackTransport
+    from .shm import ShmTransport
     from .tcp import TCPTransport
 
     reg = TransportRegistry()
     reg.register(LoopbackTransport())
     reg.register(TCPTransport())
+    reg.register(ShmTransport())
     return reg

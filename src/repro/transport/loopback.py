@@ -135,7 +135,9 @@ class LoopbackStream:
                 else:
                     self._rx[0] = chunk[take:]
                 self._rx_bytes -= take
-            self.bytes_received += need
+                # per-chunk counting, mirroring TCPStream.recv_into:
+                # partial progress is never lost from the counter
+                self.bytes_received += take
 
     def set_timeout(self, seconds) -> None:
         """Interface parity with TCP: loopback reads never block (they

@@ -1,0 +1,609 @@
+"""Shared-memory zero-copy transport: socket control plane, mmap data plane.
+
+The direct-deposit receiver (§4.5) lands payloads in pre-negotiated
+page-aligned buffers so the data never passes through an intermediate
+copy — but a stream transport still pays one kernel round-trip per
+payload.  For colocated peers this backend removes it: the GIOP
+control channel runs over a loopback TCP socket, while deposit
+payloads travel through a connection-scoped shared-memory **arena**
+carved into page-aligned slots sized by the :class:`BufferPool` size
+classes.  The sender writes (or, when the caller's buffer already
+lives in the arena, merely *references*) a slot; the receiver maps the
+same pages as the landing buffer — no ``recv_into``, no copy.
+
+Wire protocol (all little-endian, fixed — no receiver-makes-right on
+the side channel):
+
+* **Handshake** — immediately after connect, both ends exchange one
+  hello (magic, version, flags, slot size, slot count, arena path)
+  followed by one ack byte.  Each side creates its *send* arena and
+  attaches the peer's; the channel is active only when both acks say
+  so, otherwise both sides degrade to plain streaming and the
+  connection behaves exactly like ``tcp``.
+* **Deposit records** — each registered payload is preceded on the
+  control stream by one record ``(magic, slot, offset, size)``.
+  ``slot >= 0`` names an arena slot (the payload bytes are *not* on
+  the stream); ``slot == -1`` is the per-deposit inline fallback: the
+  raw payload bytes follow, landed via ``recv_into`` as on tcp.
+
+Slot lifecycle: ``FREE -> OWNED`` (sender allocates, under its local
+lock — only the arena's creator ever allocates), ``OWNED -> POSTED``
+(sender publishes), ``POSTED -> FREE`` (receiver, once the landed
+buffer is released or garbage-collected).  Every transition has a
+single writer, so plain byte stores in the shared state array are
+race-free.  Slot exhaustion (receiver still holding every slot) waits
+up to ``slot_wait`` and then falls back to the inline path for that
+deposit — the same graceful-degradation discipline as the policy
+layer's deposit fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import tempfile
+import threading
+import time
+from functools import partial
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.buffers import PAGE_SIZE, BufferPool, MappedBuffer, ZCBuffer
+from ..core.buffers import _size_class as _slot_size_class
+from ..core.direct_deposit import DepositDescriptor, DepositError
+from .base import AcceptHandler, Endpoint, TransportError
+from .tcp import TCPListener, TCPStream
+
+__all__ = ["ShmTransport", "ShmStream", "ShmArena", "ShmError"]
+
+#: 'SHM1' — marks the handshake hello and every deposit record
+SHM_MAGIC = 0x53484D31
+SHM_VERSION = 1
+
+#: magic, version, flags, slot_size, slot_count, path_len
+_HELLO = struct.Struct("<IHHQII")
+#: magic, slot (-1 = inline fallback), offset, size
+_RECORD = struct.Struct("<IiQQ")
+
+_ACK_OK = b"\x01"
+_ACK_NO = b"\x00"
+
+_HANDSHAKE_TIMEOUT = 10.0
+
+#: slot states (one byte per slot at the head of the mapping)
+SLOT_FREE = 0
+SLOT_OWNED = 1
+SLOT_POSTED = 2
+
+#: attach-side sanity bounds for negotiated geometry
+_MAX_SLOT_COUNT = 4096
+_MAX_SLOT_SIZE = 1 << 30
+
+
+class ShmError(TransportError):
+    """Arena setup or shared-memory protocol failure."""
+
+
+def _page_round(n: int) -> int:
+    return -(-n // PAGE_SIZE) * PAGE_SIZE
+
+
+def _view_address(view: memoryview) -> int:
+    """Real start address of a contiguous byte view."""
+    return np.frombuffer(view, dtype=np.uint8).ctypes.data
+
+
+class ShmArena:
+    """A file-backed shared mapping carved into page-aligned slots.
+
+    Layout: ``slot_count`` state bytes (page-rounded), then
+    ``slot_count`` slots of ``slot_size`` bytes each, every slot
+    starting on a page boundary.  The backing file lives in
+    ``/dev/shm`` when available, so the pages never touch a disk.
+
+    One process *creates* the arena (and alone allocates slots from
+    it); the peer *attaches* it (and alone frees posted slots).  The
+    creator unlinks the file on close — the attacher's mapping stays
+    valid until it too closes.
+    """
+
+    def __init__(self, path: str, slot_size: int, slot_count: int,
+                 create: bool):
+        if slot_count <= 0 or slot_count > _MAX_SLOT_COUNT:
+            raise ShmError(f"implausible slot count {slot_count}")
+        if slot_size <= 0 or slot_size > _MAX_SLOT_SIZE \
+                or slot_size % PAGE_SIZE:
+            raise ShmError(f"slot size must be a page multiple: {slot_size}")
+        import mmap
+        self.path = path
+        self.slot_size = slot_size
+        self.slot_count = slot_count
+        self.created = create
+        self.data_offset = _page_round(slot_count)
+        self.total_size = self.data_offset + slot_size * slot_count
+        if create:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o600)
+            try:
+                os.ftruncate(fd, self.total_size)
+            except OSError:
+                os.close(fd)
+                os.unlink(path)
+                raise
+        else:
+            fd = os.open(path, os.O_RDWR)
+            if os.fstat(fd).st_size < self.total_size:
+                os.close(fd)
+                raise ShmError(f"arena file {path} smaller than negotiated "
+                               f"geometry")
+        try:
+            self._mm = mmap.mmap(fd, self.total_size)
+        finally:
+            os.close(fd)
+        arr = np.frombuffer(self._mm, dtype=np.uint8, count=1)
+        self.base_address = int(arr.ctypes.data)
+        del arr  # releases the buffer export immediately
+        self._lock = threading.Lock()
+        self._owners: dict[int, int] = {}  # slot -> token, OWNED via acquire
+        self._next_token = 1
+        self._closed = False
+
+    @classmethod
+    def create(cls, directory: str, slot_size: int,
+               slot_count: int) -> "ShmArena":
+        name = f"repro-shm-{os.getpid()}-{os.urandom(6).hex()}"
+        return cls(os.path.join(directory, name), slot_size, slot_count,
+                   create=True)
+
+    # -- geometry ------------------------------------------------------------
+    def _slot_start(self, slot: int) -> int:
+        return self.data_offset + slot * self.slot_size
+
+    def slot_view(self, slot: int, offset: int, size: int) -> memoryview:
+        start = self._slot_start(slot) + offset
+        return memoryview(self._mm)[start:start + size]
+
+    def slot_address(self, slot: int, offset: int = 0) -> int:
+        return self.base_address + self._slot_start(slot) + offset
+
+    # -- sender side (creator) ----------------------------------------------
+    def alloc(self, timeout: float = 0.0) -> Tuple[Optional[int], float]:
+        """Claim a FREE slot (``-> OWNED``); ``(slot, waited_seconds)``.
+
+        Returns ``(None, waited)`` when every slot stayed busy past
+        ``timeout`` — the caller falls back to the inline path.  Only
+        the creator process allocates, so the local lock fully
+        serializes the FREE->OWNED transition; a concurrent receiver
+        free can at worst make us miss a just-freed slot this scan.
+        """
+        start = time.monotonic()
+        deadline = start + timeout if timeout > 0 else start
+        while True:
+            with self._lock:
+                if not self._closed:
+                    for i in range(self.slot_count):
+                        if self._mm[i] == SLOT_FREE:
+                            self._mm[i] = SLOT_OWNED
+                            return i, time.monotonic() - start
+            now = time.monotonic()
+            if self._closed or now >= deadline:
+                return None, now - start
+            time.sleep(0.0002)
+
+    def acquire(self, nbytes: int, timeout: float = 0.0) -> MappedBuffer:
+        """Lease a whole slot as a caller-owned staging buffer.
+
+        Payloads marshaled from such a buffer are *referenced* on send
+        (no copy at all); posting transfers slot ownership, after
+        which the caller's ``release()`` becomes a no-op.
+        """
+        if nbytes <= 0 or nbytes > self.slot_size:
+            raise ValueError(
+                f"nbytes must be in (0, {self.slot_size}], got {nbytes}")
+        slot, _ = self.alloc(timeout)
+        if slot is None:
+            raise ShmError(f"arena exhausted: all {self.slot_count} slots "
+                           f"busy")
+        with self._lock:
+            token = self._next_token
+            self._next_token += 1
+            self._owners[slot] = token
+        buf = MappedBuffer(self.slot_view(slot, 0, self.slot_size),
+                           self.slot_address(slot),
+                           on_release=partial(self._release_owned, slot,
+                                              token))
+        buf.set_length(nbytes)
+        return buf
+
+    def _release_owned(self, slot: int, token: int) -> None:
+        with self._lock:
+            if self._owners.get(slot) != token:
+                return  # posted (ownership transferred) or stale
+            del self._owners[slot]
+            try:
+                self._mm[slot] = SLOT_FREE
+            except (ValueError, IndexError):
+                pass  # mapping already closed
+
+    def post(self, slot: int) -> None:
+        """Publish an OWNED slot to the peer (``-> POSTED``)."""
+        with self._lock:
+            self._owners.pop(slot, None)
+            self._mm[slot] = SLOT_POSTED
+
+    def locate(self, view: memoryview) -> Optional[Tuple[int, int]]:
+        """``(slot, offset)`` when ``view`` lies inside one caller-owned
+        slot at a page-aligned offset; ``None`` -> copy path."""
+        if view.nbytes == 0:
+            return None
+        addr = _view_address(view)
+        data_start = self.base_address + self.data_offset
+        if addr < data_start \
+                or addr + view.nbytes > self.base_address + self.total_size:
+            return None
+        rel = addr - data_start
+        slot, offset = divmod(rel, self.slot_size)
+        if offset + view.nbytes > self.slot_size:
+            return None  # spans slots
+        if offset % PAGE_SIZE:
+            return None  # receiver must land page-aligned
+        with self._lock:
+            if slot not in self._owners:
+                return None  # not leased from this arena (or already sent)
+        return slot, offset
+
+    # -- receiver side (attacher) -------------------------------------------
+    def free(self, slot: int) -> None:
+        """Return a consumed POSTED slot to the sender (``-> FREE``)."""
+        try:
+            self._mm[slot] = SLOT_FREE
+        except (ValueError, IndexError):
+            pass  # mapping already closed
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def free_slots(self) -> int:
+        try:
+            return sum(1 for i in range(self.slot_count)
+                       if self._mm[i] == SLOT_FREE)
+        except ValueError:
+            return 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._owners.clear()
+        try:
+            self._mm.close()
+        except BufferError:
+            # landed MappedBuffers still export views of the mapping;
+            # it is released when the last of them goes away
+            pass
+        if self.created:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:
+        role = "creator" if self.created else "attached"
+        return (f"<ShmArena {role} {self.slot_count}x{self.slot_size} "
+                f"@{self.path}>")
+
+
+class ShmStream:
+    """A TCP control stream with a shared-memory deposit channel.
+
+    Exposes the plain :class:`Stream` surface by delegation, plus —
+    when the handshake succeeded on both ends — a ``deposit_channel``
+    the GIOP connection routes registered payloads through.
+    """
+
+    def __init__(self, inner: TCPStream, name: str,
+                 send_arena: Optional[ShmArena] = None,
+                 recv_arena: Optional[ShmArena] = None,
+                 slot_wait: float = 0.05):
+        self._inner = inner
+        self.name = name
+        self.send_arena = send_arena
+        self.recv_arena = recv_arena
+        self.slot_wait = slot_wait
+        self.shm_deposits_sent = 0
+        self.shm_references_sent = 0
+        self.shm_fallbacks_sent = 0
+        self.shm_deposits_received = 0
+        self.shm_fallbacks_received = 0
+        self.slot_wait_seconds = 0.0
+
+    # -- plain Stream surface -------------------------------------------------
+    def send(self, data) -> None:
+        self._inner.send(data)
+
+    def sendv(self, chunks) -> None:
+        self._inner.sendv(chunks)
+
+    def recv_exact(self, n: int) -> memoryview:
+        return self._inner.recv_exact(n)
+
+    def recv_into(self, view: memoryview) -> None:
+        self._inner.recv_into(view)
+
+    def set_timeout(self, seconds: Optional[float]) -> None:
+        self._inner.set_timeout(seconds)
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._inner.bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        return self._inner.bytes_received
+
+    @property
+    def peer(self) -> str:
+        return self._inner.peer
+
+    def close(self) -> None:
+        self._inner.close()
+        for arena in (self.send_arena, self.recv_arena):
+            if arena is not None:
+                arena.close()
+
+    # -- deposit channel ------------------------------------------------------
+    @property
+    def deposit_channel(self) -> Optional["ShmStream"]:
+        """Self when the arena handshake succeeded, else ``None`` (the
+        connection then streams deposits inline, exactly like tcp)."""
+        if self.send_arena is not None and self.recv_arena is not None:
+            return self
+        return None
+
+    def send_deposit(self, view: memoryview) -> Tuple[bool, float]:
+        """Route one registered payload; ``(used_arena, slot_wait_s)``.
+
+        Caller holds the connection's send lock, immediately after the
+        control chunks — the record (and any inline bytes) stay
+        adjacent to their message on the control stream.
+        """
+        if view.format != "B" or view.ndim != 1:
+            view = view.cast("B")
+        size = view.nbytes
+        arena = self.send_arena
+        waited = 0.0
+        if arena is not None and not arena.closed:
+            loc = arena.locate(view)
+            if loc is not None:
+                # the payload already lives in the arena: transfer the
+                # slot by reference — the true zero-copy send
+                slot, offset = loc
+                arena.post(slot)
+                self._inner.send(_RECORD.pack(SHM_MAGIC, slot, offset, size))
+                self.shm_deposits_sent += 1
+                self.shm_references_sent += 1
+                return True, waited
+            if 0 < size <= arena.slot_size:
+                slot, waited = arena.alloc(self.slot_wait)
+                self.slot_wait_seconds += waited
+                if slot is not None:
+                    arena.slot_view(slot, 0, size)[:] = view
+                    arena.post(slot)
+                    self._inner.send(
+                        _RECORD.pack(SHM_MAGIC, slot, 0, size))
+                    self.shm_deposits_sent += 1
+                    return True, waited
+        # inline fallback: the payload follows the record on the stream
+        self._inner.sendv([_RECORD.pack(SHM_MAGIC, -1, 0, size), view])
+        self.shm_fallbacks_sent += 1
+        return False, waited
+
+    def recv_deposit(self, desc: DepositDescriptor,
+                     pool: BufferPool) -> Tuple[ZCBuffer, bool]:
+        """Land one deposit; ``(buffer, via_arena)``.
+
+        An arena record maps the posted slot as the landing buffer —
+        releasing (or dropping) that buffer frees the slot back to the
+        sender.  An inline record reads the payload into a pool buffer
+        as on tcp.
+        """
+        magic, slot, offset, size = _RECORD.unpack(
+            self._inner.recv_exact(_RECORD.size))
+        if magic != SHM_MAGIC:
+            raise DepositError(f"bad shm deposit record magic 0x{magic:08x}")
+        if size != desc.size:
+            raise DepositError(
+                f"deposit {desc.deposit_id}: record size {size} != "
+                f"descriptor size {desc.size}")
+        if slot >= 0:
+            arena = self.recv_arena
+            if arena is None or arena.closed:
+                raise DepositError(
+                    f"deposit {desc.deposit_id} references slot {slot} "
+                    f"but no arena is attached")
+            if slot >= arena.slot_count or offset + size > arena.slot_size:
+                raise DepositError(
+                    f"deposit {desc.deposit_id}: slot {slot}+{offset} "
+                    f"outside arena geometry")
+            address = arena.slot_address(slot, offset)
+            if desc.alignment > 1 and address % desc.alignment:
+                raise DepositError(
+                    f"cannot satisfy alignment {desc.alignment} for "
+                    f"deposit {desc.deposit_id}")
+            buf = MappedBuffer(arena.slot_view(slot, offset, max(size, 1)),
+                               address,
+                               on_release=partial(arena.free, slot))
+            buf.set_length(size)
+            self.shm_deposits_received += 1
+            return buf, True
+        buf = pool.acquire(max(size, 1))
+        buf.set_length(size)
+        if desc.alignment > 1 and buf.address % desc.alignment:
+            buf.release()
+            raise DepositError(
+                f"cannot satisfy alignment {desc.alignment} for deposit "
+                f"{desc.deposit_id}")
+        if size:
+            self._inner.recv_into(buf.view())
+        self.shm_fallbacks_received += 1
+        return buf, False
+
+
+class ShmTransport:
+    """Factory for shm streams/listeners; scheme ``shm``.
+
+    ``slot_size`` is rounded up to a :class:`BufferPool` size class;
+    ``slot_count`` slots per direction per connection; ``slot_wait``
+    bounds how long a send waits for a free slot before falling back
+    inline.
+    """
+
+    scheme = "shm"
+
+    def __init__(self, slot_size: int = 1 << 20, slot_count: int = 16,
+                 slot_wait: float = 0.05,
+                 directory: Optional[str] = None):
+        self.slot_size = _slot_size_class(slot_size)
+        self.slot_count = int(slot_count)
+        self.slot_wait = slot_wait
+        self.directory = directory or (
+            "/dev/shm" if os.path.isdir("/dev/shm")
+            else tempfile.gettempdir())
+
+    def _make_arena(self) -> Optional[ShmArena]:
+        try:
+            return ShmArena.create(self.directory, self.slot_size,
+                                   self.slot_count)
+        except (OSError, ShmError):
+            return None
+
+    # -- handshake ------------------------------------------------------------
+    @staticmethod
+    def _send_hello(stream: TCPStream, arena: Optional[ShmArena]) -> None:
+        path = arena.path.encode("utf-8") if arena is not None else b""
+        slot_size = arena.slot_size if arena is not None else 0
+        slot_count = arena.slot_count if arena is not None else 0
+        stream.sendv([_HELLO.pack(SHM_MAGIC, SHM_VERSION, 0, slot_size,
+                                  slot_count, len(path)), path])
+
+    @staticmethod
+    def _read_hello(stream: TCPStream
+                    ) -> Optional[Tuple[str, int, int]]:
+        magic, version, _flags, slot_size, slot_count, path_len = \
+            _HELLO.unpack(stream.recv_exact(_HELLO.size))
+        if magic != SHM_MAGIC:
+            raise ShmError(f"bad shm handshake magic 0x{magic:08x}")
+        if path_len > 4096:
+            raise ShmError(f"implausible arena path length {path_len}")
+        path = bytes(stream.recv_exact(path_len)).decode("utf-8") \
+            if path_len else ""
+        if version != SHM_VERSION or not slot_count or not path:
+            return None  # peer opted out (or speaks a future version)
+        return path, slot_size, slot_count
+
+    @staticmethod
+    def _attach(spec: Optional[Tuple[str, int, int]]
+                ) -> Optional[ShmArena]:
+        if spec is None:
+            return None
+        path, slot_size, slot_count = spec
+        try:
+            return ShmArena(path, slot_size, slot_count, create=False)
+        except (OSError, ShmError):
+            return None
+
+    def _finish(self, own: Optional[ShmArena],
+                attached: Optional[ShmArena], peer_ok: bool
+                ) -> Tuple[Optional[ShmArena], Optional[ShmArena]]:
+        """Both acks in hand: keep the arenas or degrade symmetrically."""
+        if own is not None and attached is not None and peer_ok:
+            return own, attached
+        for arena in (own, attached):
+            if arena is not None:
+                arena.close()
+        return None, None
+
+    def _client_handshake(self, stream: TCPStream
+                          ) -> Tuple[Optional[ShmArena],
+                                     Optional[ShmArena]]:
+        own = attached = None
+        stream.set_timeout(_HANDSHAKE_TIMEOUT)
+        try:
+            own = self._make_arena()
+            self._send_hello(stream, own)
+            attached = self._attach(self._read_hello(stream))
+            ok = own is not None and attached is not None
+            stream.send(_ACK_OK if ok else _ACK_NO)
+            peer_ok = bytes(stream.recv_exact(1)) == _ACK_OK
+        except BaseException:
+            for arena in (own, attached):
+                if arena is not None:
+                    arena.close()
+            raise
+        finally:
+            stream.set_timeout(None)
+        return self._finish(own, attached, peer_ok)
+
+    def _server_handshake(self, stream: TCPStream
+                          ) -> Tuple[Optional[ShmArena],
+                                     Optional[ShmArena]]:
+        own = attached = None
+        stream.set_timeout(_HANDSHAKE_TIMEOUT)
+        try:
+            attached = self._attach(self._read_hello(stream))
+            own = self._make_arena()
+            self._send_hello(stream, own)
+            peer_ok = bytes(stream.recv_exact(1)) == _ACK_OK
+            ok = own is not None and attached is not None
+            stream.send(_ACK_OK if ok else _ACK_NO)
+        except BaseException:
+            for arena in (own, attached):
+                if arena is not None:
+                    arena.close()
+            raise
+        finally:
+            stream.set_timeout(None)
+        return self._finish(own, attached, peer_ok)
+
+    # -- Transport surface ----------------------------------------------------
+    def connect(self, endpoint: Endpoint) -> ShmStream:
+        _scheme, host, port = endpoint
+        try:
+            sock = socket.create_connection((host, port), timeout=30)
+        except OSError as e:
+            raise TransportError(
+                f"cannot connect to shm://{host}:{port}: {e}") from e
+        sock.settimeout(None)
+        inner = TCPStream(sock, f"shm-cli-{host}:{port}")
+        try:
+            send_arena, recv_arena = self._client_handshake(inner)
+        except (TransportError, ShmError):
+            inner.close()
+            raise
+        return ShmStream(inner, inner.name, send_arena, recv_arena,
+                         self.slot_wait)
+
+    def listen(self, host: str, port: int,
+               on_accept: AcceptHandler) -> TCPListener:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((host or "127.0.0.1", port))
+        except OSError as e:
+            sock.close()
+            raise TransportError(
+                f"cannot bind shm://{host}:{port}: {e}") from e
+        sock.listen(64)
+
+        def accept(inner: TCPStream) -> None:
+            send_arena, recv_arena = self._server_handshake(inner)
+            on_accept(ShmStream(inner, inner.name, send_arena, recv_arena,
+                                self.slot_wait))
+
+        return TCPListener(sock, accept, name=f"shm-{host}:{port}",
+                           scheme="shm")

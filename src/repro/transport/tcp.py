@@ -15,6 +15,7 @@ see ``repro.orb.server``).
 from __future__ import annotations
 
 import itertools
+import logging
 import socket
 import threading
 from typing import Optional
@@ -22,6 +23,8 @@ from typing import Optional
 from .base import AcceptHandler, Endpoint, TransportError, TransportTimeout
 
 __all__ = ["TCPTransport", "TCPStream", "TCPListener"]
+
+_log = logging.getLogger("repro.transport.tcp")
 
 _SENDMSG_LIMIT = 64  # IOV_MAX is >=1024 everywhere; stay far below
 
@@ -132,7 +135,10 @@ class TCPStream:
                     f"{self.name}: connection closed with {need - got} "
                     f"bytes outstanding")
             got += n
-        self.bytes_received += need
+            # count bytes as they arrive: a timeout or reset mid-read
+            # must not lose the partial bytes from the counter (the
+            # ConnStats/span cross-checks reconcile against it)
+            self.bytes_received += n
 
     def close(self) -> None:
         try:
@@ -152,12 +158,15 @@ class TCPStream:
 
 class TCPListener:
     def __init__(self, sock: socket.socket, on_accept: AcceptHandler,
-                 name: str):
+                 name: str, scheme: str = "tcp"):
         self._sock = sock
         self._on_accept = on_accept
         self._closed = False
+        self._scheme = scheme
+        #: connections dropped because the accept handler raised
+        self.accept_errors = 0
         host, port = sock.getsockname()[:2]
-        self._endpoint: Endpoint = ("tcp", host, port)
+        self._endpoint: Endpoint = (scheme, host, port)
         self._thread = threading.Thread(
             target=self._accept_loop, name=f"{name}-accept", daemon=True)
         self._thread.start()
@@ -173,13 +182,21 @@ class TCPListener:
                 conn, addr = self._sock.accept()
             except OSError:
                 return  # listener closed
-            stream = TCPStream(conn, f"tcp-srv-{addr[0]}:{addr[1]}-"
-                                     f"{next(counter)}")
+            stream = TCPStream(conn, f"{self._scheme}-srv-"
+                                     f"{addr[0]}:{addr[1]}-{next(counter)}")
             try:
                 self._on_accept(stream)
             except Exception:
-                stream.close()
-                raise
+                # one bad handshake must not kill the accept thread —
+                # the server would silently never accept again.  Drop
+                # the connection, account for it, keep listening.
+                self.accept_errors += 1
+                _log.exception("accept handler failed for %s; "
+                               "connection dropped", stream.name)
+                try:
+                    stream.close()
+                except OSError:
+                    pass
 
     def close(self) -> None:
         self._closed = True

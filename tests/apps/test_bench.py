@@ -14,6 +14,8 @@ def _tiny_doc(**kw):
     kw.setdefault("latency_calls", 3)
     kw.setdefault("pipeline_calls", 8)
     kw.setdefault("pipeline_inflight", 4)
+    kw.setdefault("shm_size", 64 * KB)
+    kw.setdefault("shm_repeats", 2)
     return run_bench(**kw)
 
 
@@ -44,6 +46,12 @@ class TestRunBench:
             assert rec["speedup"] > 1.0
             assert reg.get("bench_pipelining_speedup",
                            scheme=sch).value == rec["speedup"]
+        # shm deposit probe: arena carried the payload, no fallbacks
+        shm = doc["shm"]
+        assert set(shm["schemes"]) == {"shm", "tcp"}
+        assert shm["schemes"]["shm"]["shm_deposits_total"] > 0
+        assert shm["schemes"]["shm"]["shm_fallbacks_total"] == 0
+        assert reg.get("bench_shm_speedup").value == shm["speedup"]
 
     def test_zero_copy_beats_standard_in_sim_sweep(self):
         doc = _tiny_doc()
@@ -72,6 +80,15 @@ class TestValidator:
         bad = json.loads(json.dumps(doc))
         del bad["pipelining"]["loop"]["speedup"]
         assert any("pipelining.loop" in p for p in validate_bench(bad))
+
+    def test_flags_missing_shm(self):
+        doc = _tiny_doc()
+        bad = json.loads(json.dumps(doc))
+        del bad["shm"]
+        assert any("shm" in p for p in validate_bench(bad))
+        bad = json.loads(json.dumps(doc))
+        del bad["shm"]["schemes"]["shm"]["shm_deposits_total"]
+        assert any("shm_deposits_total" in p for p in validate_bench(bad))
 
     def test_cli_check_round_trip(self, tmp_path, capsys):
         doc = _tiny_doc()

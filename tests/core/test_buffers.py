@@ -202,10 +202,36 @@ class TestBufferPoolConcurrency:
         assert not errors, errors
         assert pool.hits + pool.misses == 8 * 400
         # every buffer was released exactly once; the free lists'
-        # accounting must agree with themselves
+        # accounting must agree with themselves — and the identity set
+        # that gives _reclaim its O(1) double-release check must mirror
+        # the free lists exactly (no stale ids, none missing)
         with pool._lock:
             assert pool.cached_bytes == sum(
                 b.capacity for free in pool._free.values() for b in free)
+            free_ids = {id(b) for free in pool._free.values()
+                        for b in free}
+            assert pool._free_ids == free_ids
+
+    def test_reacquired_buffer_can_be_released_again(self):
+        """acquire() must clear the identity-set entry, or the next
+        legitimate release of the same object trips the double-release
+        guard."""
+        pool = BufferPool()
+        buf = pool.acquire(4096)
+        buf.release()
+        again = pool.acquire(4096)
+        assert again is buf  # size-class cache returned the same object
+        again.release()  # must NOT raise BufferError
+        with pool._lock:
+            assert id(buf) in pool._free_ids
+
+    def test_clear_resets_identity_set(self):
+        pool = BufferPool()
+        buf = pool.acquire(1024)
+        buf.release()
+        pool.clear()
+        with pool._lock:
+            assert pool._free_ids == set()
 
     def test_concurrent_double_release_detected(self):
         import threading

@@ -90,3 +90,63 @@ class TestIOR:
                                          object_key=key))
         out = IOR.from_string(ior.to_string())
         assert out.iiop_profile() == ior.iiop_profile()
+
+
+class TestMultiProfileIOR:
+    """A multi-homed server advertises one profile per transport."""
+
+    def _profiles(self):
+        return (IIOPProfile(host="198.51.100.7", port=2809,
+                            object_key=b"POA1/42"),
+                IIOPProfile(host="shm!127.0.0.1", port=39001,
+                            object_key=b"POA1/42"))
+
+    def test_round_trip_preserves_all_profiles(self):
+        tcp, shm = self._profiles()
+        ior = IOR.for_object("IDL:Demo/Sink:1.0", tcp, shm)
+        out = IOR.from_string(ior.to_string())
+        assert out.iiop_profiles() == (tcp, shm)
+        # the primary (first) profile is unchanged by the extras
+        assert out.iiop_profile() == tcp
+        assert [p.scheme for p in out.iiop_profiles()] == ["tcp", "shm"]
+
+    def test_unknown_tag_profile_survives_byte_exact(self):
+        tcp, shm = self._profiles()
+        opaque = bytes(range(64))
+        ior = IOR(type_id="IDL:Demo/Sink:1.0",
+                  profiles=((TAG_INTERNET_IOP, tcp.encode()),
+                            (0x4242, opaque),
+                            (TAG_INTERNET_IOP, shm.encode())))
+        out = IOR.from_string(ior.to_string())
+        assert out.profiles[1] == (0x4242, opaque)
+        # iiop_profiles skips the foreign tag but keeps the order
+        assert out.iiop_profiles() == (tcp, shm)
+        assert out.iiop_profile() == tcp
+        # and a second round trip is still byte-identical
+        assert IOR.from_string(out.to_string()).profiles == out.profiles
+
+    def test_for_object_requires_a_profile(self):
+        with pytest.raises(IORError, match="at least one profile"):
+            IOR.for_object("IDL:Demo/Sink:1.0")
+
+    def test_binary_round_trip_both_orders(self):
+        tcp, shm = self._profiles()
+        ior = IOR.for_object("IDL:Demo/Sink:1.0", tcp, shm)
+        for little in (True, False):
+            # re-decode of our own encoding: the flag byte governs
+            out = IOR.decode(ior.encode(), little_endian=True)
+            assert out.iiop_profiles() == (tcp, shm)
+
+
+class TestRoundTripPropertyMulti:
+    @given(st.text(alphabet=st.characters(codec="ascii",
+                                          exclude_characters="\x00!:/"),
+                   min_size=1, max_size=20),
+           st.integers(1, 65535), st.binary(min_size=1, max_size=64))
+    def test_round_trip_property_multi(self, host, port, key):
+        profiles = (IIOPProfile(host=host, port=port, object_key=key),
+                    IIOPProfile(host=f"shm!{host}", port=port,
+                                object_key=key))
+        ior = IOR.for_object("IDL:T:1.0", *profiles)
+        out = IOR.from_string(ior.to_string())
+        assert out.iiop_profiles() == profiles

@@ -1,0 +1,328 @@
+"""Shared-memory transport tests: arena, deposit channel, ORB wiring."""
+
+import gc
+import threading
+
+import pytest
+
+from repro.core.buffers import PAGE_SIZE, BufferPool, MappedBuffer
+from repro.core.direct_deposit import DepositDescriptor, DepositError
+from repro.transport.shm import (SHM_MAGIC, ShmArena, ShmError, ShmStream,
+                                 ShmTransport)
+
+SIZE_64K = 64 * 1024
+
+
+@pytest.fixture
+def arena(tmp_path):
+    a = ShmArena.create(str(tmp_path), slot_size=SIZE_64K, slot_count=4)
+    yield a
+    a.close()
+
+
+def _stream_pair(transport):
+    """A connected (client, server) ShmStream pair + their listener."""
+    accepted = []
+    ready = threading.Event()
+
+    def on_accept(stream):
+        accepted.append(stream)
+        ready.set()
+
+    listener = transport.listen("127.0.0.1", 0, on_accept)
+    client = transport.connect(listener.endpoint)
+    assert ready.wait(5), "accept did not happen"
+    return client, accepted[0], listener
+
+
+@pytest.fixture
+def pair():
+    transport = ShmTransport(slot_size=SIZE_64K, slot_count=4,
+                             slot_wait=0.05)
+    client, server, listener = _stream_pair(transport)
+    yield client, server
+    client.close()
+    server.close()
+    listener.close()
+
+
+class TestShmArena:
+    def test_create_and_attach(self, arena):
+        peer = ShmArena(arena.path, arena.slot_size, arena.slot_count,
+                        create=False)
+        try:
+            assert peer.slot_size == arena.slot_size
+            assert peer.slot_count == arena.slot_count
+            assert arena.free_slots == 4
+        finally:
+            peer.close()
+
+    def test_bad_geometry_rejected(self, tmp_path):
+        with pytest.raises(ShmError, match="slot count"):
+            ShmArena(str(tmp_path / "x"), SIZE_64K, 0, create=True)
+        with pytest.raises(ShmError, match="page multiple"):
+            ShmArena(str(tmp_path / "x"), 1000, 4, create=True)
+
+    def test_attach_undersized_file_rejected(self, tmp_path, arena):
+        with pytest.raises(ShmError, match="smaller"):
+            ShmArena(arena.path, arena.slot_size, arena.slot_count + 10,
+                     create=False)
+
+    def test_alloc_post_free_lifecycle(self, arena):
+        slot, waited = arena.alloc()
+        assert slot == 0 and waited < 0.01
+        assert arena.free_slots == 3
+        arena.post(slot)
+        assert arena.free_slots == 3  # POSTED, not FREE
+        arena.free(slot)
+        assert arena.free_slots == 4
+
+    def test_alloc_exhaustion_times_out(self, arena):
+        slots = [arena.alloc()[0] for _ in range(4)]
+        assert None not in slots
+        slot, waited = arena.alloc(timeout=0.02)
+        assert slot is None
+        assert waited >= 0.02
+
+    def test_slots_are_page_aligned(self, arena):
+        for slot in range(arena.slot_count):
+            assert arena.slot_address(slot) % PAGE_SIZE == 0
+
+    def test_acquire_returns_mapped_buffer(self, arena):
+        buf = arena.acquire(5000)
+        assert isinstance(buf, MappedBuffer)
+        assert buf.length == 5000
+        assert buf.is_page_aligned
+        assert arena.free_slots == 3
+        buf.release()
+        assert arena.free_slots == 4
+
+    def test_dropped_buffer_frees_slot_via_finalizer(self, arena):
+        buf = arena.acquire(100)
+        assert arena.free_slots == 3
+        del buf  # application forgot release(): the finalizer frees
+        gc.collect()
+        assert arena.free_slots == 4
+
+    def test_locate_owned_slot(self, arena):
+        buf = arena.acquire(4096)
+        loc = arena.locate(buf.view())
+        assert loc is not None
+        slot, offset = loc
+        assert offset == 0
+        buf.release()
+
+    def test_locate_foreign_memory_is_none(self, arena):
+        foreign = bytearray(4096)
+        assert arena.locate(memoryview(foreign)) is None
+
+    def test_locate_after_post_is_none(self, arena):
+        """Posting transfers ownership: the view no longer locates."""
+        buf = arena.acquire(4096)
+        slot, _ = arena.locate(buf.view())
+        arena.post(slot)
+        assert arena.locate(buf.view()) is None
+        buf.release()  # safe no-op after the transfer
+
+    def test_creator_unlinks_on_close(self, tmp_path):
+        import os
+        a = ShmArena.create(str(tmp_path), SIZE_64K, 2)
+        path = a.path
+        assert os.path.exists(path)
+        a.close()
+        assert not os.path.exists(path)
+
+
+class TestHandshake:
+    def test_both_sides_get_channels(self, pair):
+        client, server = pair
+        assert client.deposit_channel is client
+        assert server.deposit_channel is server
+        assert client.send_arena is not None
+        assert client.recv_arena is not None
+
+    def test_control_plane_still_streams(self, pair):
+        client, server = pair
+        client.send(b"control bytes")
+        assert server.recv_exact(13).tobytes() == b"control bytes"
+
+    def test_degrades_without_arena(self, monkeypatch):
+        """No arena on one side -> both degrade to plain streaming."""
+        transport = ShmTransport(slot_size=SIZE_64K, slot_count=4)
+        monkeypatch.setattr(ShmTransport, "_make_arena", lambda self: None)
+        client, server, listener = _stream_pair(transport)
+        try:
+            assert client.deposit_channel is None
+            assert server.deposit_channel is None
+            client.send(b"plain")
+            assert server.recv_exact(5).tobytes() == b"plain"
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+
+class TestDepositChannel:
+    def _desc(self, size, deposit_id=1):
+        return DepositDescriptor(deposit_id=deposit_id, size=size)
+
+    def test_copy_path_round_trip(self, pair):
+        client, server = pair
+        payload = bytes(range(256)) * 64  # 16 KiB
+        used_arena, _ = client.send_deposit(memoryview(payload))
+        assert used_arena
+        pool = BufferPool()
+        buf, via_arena = server.recv_deposit(self._desc(len(payload)), pool)
+        assert via_arena
+        assert buf.tobytes() == payload
+        assert buf.is_page_aligned
+        assert client.shm_deposits_sent == 1
+        assert server.shm_deposits_received == 1
+        # releasing the landed buffer returns the slot to the sender
+        free_before = client.send_arena.free_slots
+        buf.release()
+        assert client.send_arena.free_slots == free_before + 1
+
+    def test_reference_path_zero_copy(self, pair):
+        """A payload already living in the arena is sent by reference."""
+        client, server = pair
+        staged = client.send_arena.acquire(8192)
+        staged.view()[:] = b"\xa5" * 8192
+        used_arena, _ = client.send_deposit(staged.view())
+        assert used_arena
+        assert client.shm_references_sent == 1
+        buf, via_arena = server.recv_deposit(self._desc(8192), BufferPool())
+        assert via_arena
+        assert buf.tobytes() == b"\xa5" * 8192
+        staged.release()  # ownership moved: a safe no-op
+        buf.release()
+
+    def test_oversize_payload_falls_back_inline(self, pair):
+        client, server = pair
+        payload = bytes(2 * SIZE_64K)  # larger than any slot
+        used_arena, _ = client.send_deposit(memoryview(payload))
+        assert not used_arena
+        assert client.shm_fallbacks_sent == 1
+        buf, via_arena = server.recv_deposit(self._desc(len(payload)),
+                                             BufferPool())
+        assert not via_arena
+        assert server.shm_fallbacks_received == 1
+        assert buf.tobytes() == payload
+        buf.release()
+
+    def test_slot_exhaustion_falls_back_then_recovers(self, pair):
+        """Receiver holding every slot forces the inline path for the
+        next deposit; freeing a slot restores the arena path."""
+        client, server = pair
+        client.slot_wait = 0.01
+        pool = BufferPool()
+        payload = b"\x42" * 1024
+        held = []
+        for i in range(4):  # consume all 4 slots
+            client.send_deposit(memoryview(payload))
+            buf, via = server.recv_deposit(self._desc(1024, i + 1), pool)
+            assert via
+            held.append(buf)
+        used_arena, waited = client.send_deposit(memoryview(payload))
+        assert not used_arena  # exhausted -> inline
+        assert waited > 0.0
+        assert client.shm_fallbacks_sent == 1
+        buf, via = server.recv_deposit(self._desc(1024, 5), pool)
+        assert not via
+        assert buf.tobytes() == payload
+        buf.release()
+        held.pop().release()  # free one slot
+        used_arena, _ = client.send_deposit(memoryview(payload))
+        assert used_arena  # arena path is back
+        buf, via = server.recv_deposit(self._desc(1024, 6), pool)
+        assert via
+        buf.release()
+        for b in held:
+            b.release()
+
+    def test_record_size_mismatch_rejected(self, pair):
+        client, server = pair
+        client.send_deposit(memoryview(b"x" * 100))
+        with pytest.raises(DepositError, match="size"):
+            server.recv_deposit(self._desc(999), BufferPool())
+
+    def test_bad_record_magic_rejected(self, pair):
+        import struct
+        client, server = pair
+        client.send(struct.pack("<IiQQ", SHM_MAGIC ^ 0xFF, 0, 0, 16))
+        with pytest.raises(DepositError, match="magic"):
+            server.recv_deposit(self._desc(16), BufferPool())
+
+    def test_out_of_range_slot_rejected(self, pair):
+        import struct
+        client, server = pair
+        client.send(struct.pack("<IiQQ", SHM_MAGIC, 99, 0, 16))
+        with pytest.raises(DepositError, match="geometry"):
+            server.recv_deposit(self._desc(16), BufferPool())
+
+
+class TestShmORB:
+    def _orbs(self, **server_kw):
+        from repro.orb import ORB, ORBConfig
+        server = ORB(ORBConfig(scheme="shm", **server_kw))
+        client = ORB(ORBConfig(scheme="shm", collocated_calls=False))
+        return server, client
+
+    def test_zero_copy_call_uses_arena(self):
+        from repro.apps.ttcp import _TTCPServant, _ttcp_api
+        from repro.core import ZCOctetSequence
+        _ttcp_api()
+        server, client = self._orbs()
+        try:
+            ref = server.activate(_TTCPServant())
+            stub = client.string_to_object(server.object_to_string(ref))
+            data = bytes(range(256)) * 1024  # 256 KiB
+            assert stub.send_zc(ZCOctetSequence.from_data(data)) == len(data)
+            proxy = next(iter(client._proxies.values()))
+            assert proxy.conn.stats.shm_deposits >= 1
+            assert proxy.conn.stats.shm_fallbacks == 0
+            assert isinstance(proxy.conn.stream, ShmStream)
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_shm_metrics_flow_through_obs(self):
+        from repro.apps.ttcp import _TTCPServant, _ttcp_api
+        from repro.core import ZCOctetSequence
+        from repro.obs import MetricsRegistry
+        _ttcp_api()
+        server, client = self._orbs()
+        reg = MetricsRegistry()
+        server.metrics = reg
+        client.metrics = reg
+        try:
+            ref = server.activate(_TTCPServant())
+            stub = client.string_to_object(server.object_to_string(ref))
+            stub.send_zc(ZCOctetSequence.from_data(bytes(4096)))
+            sent = reg.counter("shm_deposits_total", op="send").value
+            landed = reg.counter("shm_deposits_total", op="recv").value
+            assert sent >= 1
+            assert landed >= 1
+            assert reg.counter("shm_fallbacks_total", op="send").value == 0
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_multi_profile_ior_prefers_shm(self):
+        """A tcp server also advertising shm gets shm from a colocated
+        client; the IOR still resolves over plain tcp elsewhere."""
+        from repro.apps.ttcp import _TTCPServant, _ttcp_api
+        from repro.orb import ORB, ORBConfig
+        _ttcp_api()
+        server = ORB(ORBConfig(scheme="tcp", extra_schemes=("shm",)))
+        client = ORB(ORBConfig(scheme="tcp", collocated_calls=False))
+        try:
+            ref = server.activate(_TTCPServant())
+            ior = ref.ior
+            schemes = [p.scheme for p in ior.iiop_profiles()]
+            assert schemes == ["tcp", "shm"]
+            picked = client.select_profile(ior)
+            assert picked.scheme == "shm"
+        finally:
+            client.shutdown()
+            server.shutdown()

@@ -94,3 +94,56 @@ class TestTCP:
     def test_peer_name(self, pair):
         client, _ = pair
         assert client.peer.startswith("127.0.0.1:")
+
+
+class TestAcceptLoopResilience:
+    def test_raising_handler_does_not_kill_accept_loop(self):
+        """A handler exception is recorded; the next connect succeeds."""
+        transport = TCPTransport()
+        accepted = []
+        second = threading.Event()
+
+        def on_accept(stream):
+            if not accepted:
+                accepted.append("boom")
+                raise RuntimeError("handler exploded on first connection")
+            accepted.append(stream)
+            second.set()
+
+        listener = transport.listen("127.0.0.1", 0, on_accept)
+        try:
+            first = transport.connect(listener.endpoint)
+            first.close()
+            client = transport.connect(listener.endpoint)
+            assert second.wait(5), "accept loop died after handler raise"
+            client.send(b"still alive")
+            assert accepted[1].recv_exact(11).tobytes() == b"still alive"
+            assert listener.accept_errors == 1
+            client.close()
+            accepted[1].close()
+        finally:
+            listener.close()
+
+
+class TestPartialReceiveAccounting:
+    def test_timeout_mid_read_counts_partial_bytes(self, pair):
+        from repro.transport import TransportTimeout
+        client, server = pair
+        client.send(b"abc")  # 3 of the 10 bytes the server wants
+        server.set_timeout(0.2)
+        before = server.bytes_received
+        buf = bytearray(10)
+        with pytest.raises(TransportTimeout):
+            server.recv_into(memoryview(buf))
+        assert server.bytes_received - before == 3
+        assert bytes(buf[:3]) == b"abc"
+
+    def test_reset_mid_read_counts_partial_bytes(self, pair):
+        client, server = pair
+        client.send(b"hello")
+        client.close()
+        before = server.bytes_received
+        buf = bytearray(64)
+        with pytest.raises(TransportError):
+            server.recv_into(memoryview(buf))
+        assert server.bytes_received - before == 5
