@@ -7,10 +7,10 @@ convention ``BENCH_<tag>.json``).  CI runs this per PR and uploads the
 file as an artifact, so the repository accumulates a throughput/latency
 trajectory that future changes can be gated against.
 
-Document layout (``BENCH_SCHEMA_VERSION`` = 3)::
+Document layout (``BENCH_SCHEMA_VERSION`` = 4)::
 
     {
-      "schema": 3, "kind": "bench", "tag": "...",
+      "schema": 4, "kind": "bench", "tag": "...",
       "figures": {
         "fig5":       {"<label>": [{"size":..., "mbit_per_s":...}, ...]},
         "fig6_left":  {...},   # raw TCP: standard vs zero-copy stack
@@ -36,6 +36,14 @@ Document layout (``BENCH_SCHEMA_VERSION`` = 3)::
                        "shm_deposits_total": ...,
                        "shm_fallbacks_total": ...}
         }
+        # or, on hosts without a usable shared-memory filesystem:
+        # {"skipped": true, "reason": "...", "degrade_path_ok": true}
+      },
+      "sgcdr": {               # schema 4: scatter/gather CDR encode
+        "repeats": N,
+        "sizes": [{"size": ..., "blob_mb_per_s": ...,
+                   "sg_mb_per_s": ..., "improvement": ...}, ...],
+        "min_improvement": ...
       }
     }
 
@@ -44,7 +52,16 @@ per-call wall time (the same bucket-interpolation estimator that
 ``repro-metrics summary`` applies to exported dumps).  The pipelining
 section drives a GIL-releasing servant with 1 and N concurrent callers
 on a *single* connection; ``speedup`` is the N-in-flight throughput
-over serialized — the headline number of the multiplexing layer.
+over serialized — the headline number of the multiplexing layer.  The
+sgcdr section times the chunk-plan encoder against its own blob mode
+(``sg_min_chunk`` larger than any payload degrades it to the pre-
+scatter/gather single-buffer behaviour, join included).
+
+Regression gating: ``repro-bench --compare OLD NEW [--tolerance R]``
+reads two documents and fails (exit 1) when any key series in NEW
+dropped below ``R`` times its OLD value — see :func:`compare_bench`
+for the gated series.  CI keeps a blessed ``BENCH_baseline.json`` at
+the repo root and compares every PR's quick run against it.
 """
 
 from __future__ import annotations
@@ -58,9 +75,15 @@ from ..obs.metrics import Histogram, MetricsRegistry
 from .ttcp import KB, MB, TTCPSeries, default_sizes, run_sim_ttcp
 
 __all__ = ["BENCH_SCHEMA_VERSION", "run_bench", "measure_pipelining",
-           "measure_shm", "validate_bench", "main"]
+           "measure_shm", "measure_sgcdr", "validate_bench",
+           "compare_bench", "format_compare", "render_figure", "main"]
 
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
+
+#: the fig6_right zc-corba curves gated by --compare, at these sizes
+#: (falling back to the largest size both documents share)
+_GATE_SIZES = (256 * KB, 1 * MB)
+_GATE_CURVES = (("fig6_right", "zc-corba/std"), ("fig6_right", "zc-corba/zc"))
 
 #: the sim-mode curve matrix per figure: label -> (version, stack)
 _FIGURES = {
@@ -182,6 +205,93 @@ def measure_pipelining(scheme: str = "loop", inflight: int = 8,
             "levels": levels}
 
 
+def measure_sgcdr(sizes=(64 * KB, 256 * KB, 1 * MB),
+                  repeats: int = 5) -> dict:
+    """Marshal throughput (MB/s): chunk-plan encoder vs blob mode.
+
+    Marshals a ``sequence<ZC_Octet>`` payload inline (no deposit
+    registry, the worst case for the encoder) and consumes the result
+    the way the send path does: the blob baseline joins to one
+    contiguous buffer (``sg_min_chunk`` above every payload size
+    reproduces the pre-scatter/gather encoder, join included); the
+    scatter/gather mode hands over the chunk plan with no join.  The
+    ``improvement`` column is the PR's acceptance metric.
+    """
+    import time
+
+    from ..cdr.encoder import SG_MIN_CHUNK, CDREncoder
+    from ..cdr.marshal import get_marshaller
+    from ..cdr.typecode import zc_octet_sequence_tc
+    from ..core.sequences import ZCOctetSequence
+
+    m = get_marshaller(zc_octet_sequence_tc())
+    rows: List[dict] = []
+    for size in sizes:
+        payload = ZCOctetSequence.from_data(bytes(size))
+        iters = max(1, (8 * MB) // size)
+
+        def mb_per_s(sg_min: int, _p=payload, _n=iters, _size=size) -> float:
+            blob_mode = sg_min > _size
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                for _ in range(_n):
+                    enc = CDREncoder(sg_min_chunk=sg_min)
+                    m.marshal(enc, _p)
+                    if blob_mode:
+                        enc.getvalue()  # the pre-chunking send joined
+                    else:
+                        enc.chunks()    # the gather send takes the plan
+                best = min(best, time.perf_counter() - t0)
+            return _size * _n / best / 1e6
+
+        blob = mb_per_s(1 << 62)
+        sg = mb_per_s(SG_MIN_CHUNK)
+        rows.append({"size": size,
+                     "blob_mb_per_s": round(blob, 1),
+                     "sg_mb_per_s": round(sg, 1),
+                     "improvement": round(sg / blob, 3)})
+    return {"repeats": repeats, "sizes": rows,
+            "min_improvement": min(r["improvement"] for r in rows)}
+
+
+def _shm_degrade_check() -> bool:
+    """An arena-less shm connection must still pass control traffic."""
+    import threading
+
+    from ..transport.shm import ShmTransport
+
+    # a directory no arena can be created in forces the handshake's
+    # symmetric degrade on both ends
+    transport = ShmTransport(directory="/nonexistent/repro-shm-degrade")
+    accepted: List = []
+    ready = threading.Event()
+
+    def on_accept(stream):
+        accepted.append(stream)
+        ready.set()
+
+    listener = transport.listen("127.0.0.1", 0, on_accept)
+    client = None
+    try:
+        client = transport.connect(listener.endpoint)
+        if not ready.wait(5.0):
+            return False
+        server = accepted[0]
+        try:
+            if client.deposit_channel is not None \
+                    or server.deposit_channel is not None:
+                return False
+            client.send(b"degrade-probe")
+            return server.recv_exact(13).tobytes() == b"degrade-probe"
+        finally:
+            server.close()
+    finally:
+        if client is not None:
+            client.close()
+        listener.close()
+
+
 def measure_shm(size: int = 1 * MB, repeats: int = 5,
                 transfers: int = 16) -> dict:
     """Deposit-path throughput: shm arena vs tcp loopback (schema 3).
@@ -194,14 +304,33 @@ def measure_shm(size: int = 1 * MB, repeats: int = 5,
     plus per-chunk syscalls.  Best-of-``repeats``; the shm stream's own
     deposit/fallback counters are recorded so the document proves the
     arena (not the inline fallback) carried the bytes.
+
+    On hosts without a usable shared-memory filesystem the probe
+    *skips visibly* instead of erroring: it prints a notice, verifies
+    the arena-less degrade path still passes traffic, and records a
+    ``{"skipped": true, ...}`` stanza the schema validator accepts.
     """
+    import os
+    import tempfile
     import threading
     import time
 
     from ..core.buffers import BufferPool
     from ..core.direct_deposit import DepositDescriptor
-    from ..transport.shm import ShmTransport
+    from ..transport.shm import ShmTransport, shm_available
     from ..transport.tcp import TCPTransport
+
+    shm_dir = "/dev/shm" if os.path.isdir("/dev/shm") \
+        else tempfile.gettempdir()
+    if not shm_available(shm_dir):
+        print(f"repro-bench: NOTICE: no usable shared-memory filesystem "
+              f"(probed {shm_dir}); skipping the shm deposit probe",
+              file=sys.stderr)
+        return {"size": size, "repeats": 0, "transfers": 0,
+                "skipped": True,
+                "reason": f"no usable shared memory at {shm_dir}",
+                "degrade_path_ok": _shm_degrade_check(),
+                "schemes": {}}
 
     schemes: Dict[str, dict] = {}
     for scheme in ("shm", "tcp"):
@@ -276,6 +405,8 @@ def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
               latency_size: int = 64 * KB, latency_calls: int = 50,
               pipeline_inflight: int = 8, pipeline_calls: int = 32,
               shm_size: int = 1 * MB, shm_repeats: int = 5,
+              sgcdr_sizes=(64 * KB, 256 * KB, 1 * MB),
+              sgcdr_repeats: int = 5,
               tag: str = "", registry: Optional[MetricsRegistry] = None
               ) -> dict:
     """The full trajectory document (see module docstring)."""
@@ -304,11 +435,15 @@ def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
             registry.gauge("bench_pipelining_speedup",
                            scheme=sch).set(rec["speedup"])
     shm = measure_shm(size=shm_size, repeats=shm_repeats)
-    if registry is not None:
+    if registry is not None and not shm.get("skipped"):
         registry.gauge("bench_shm_speedup").set(shm["speedup"])
+    sgcdr = measure_sgcdr(sizes=sgcdr_sizes, repeats=sgcdr_repeats)
+    if registry is not None:
+        registry.gauge("bench_sgcdr_min_improvement").set(
+            sgcdr["min_improvement"])
     return {"schema": BENCH_SCHEMA_VERSION, "kind": "bench", "tag": tag,
             "figures": figures, "latency": latency,
-            "pipelining": pipelining, "shm": shm}
+            "pipelining": pipelining, "shm": shm, "sgcdr": sgcdr}
 
 
 def validate_bench(doc: dict) -> List[str]:
@@ -350,19 +485,146 @@ def validate_bench(doc: dict) -> List[str]:
                     for lv in levels):
             problems.append(f"pipelining.{sch}: malformed")
     shm = doc.get("shm")
-    if not isinstance(shm, dict) or "speedup" not in shm:
+    if not isinstance(shm, dict):
         return problems + ["'shm' missing or malformed"]
-    schemes = shm.get("schemes")
-    if not isinstance(schemes, dict):
-        return problems + ["shm.schemes: missing"]
-    for sch in ("shm", "tcp"):
-        rec = schemes.get(sch)
-        if not isinstance(rec, dict) or "bytes_per_s" not in rec:
-            problems.append(f"shm.schemes.{sch}: malformed")
-    shm_rec = schemes.get("shm")
-    if isinstance(shm_rec, dict) and "shm_deposits_total" not in shm_rec:
-        problems.append("shm.schemes.shm: missing shm_deposits_total")
+    if shm.get("skipped"):
+        # a host without shared memory: the skip must carry a reason
+        # and proof the degrade path still passed traffic
+        if not shm.get("reason"):
+            problems.append("shm: skipped without a reason")
+        if shm.get("degrade_path_ok") is not True:
+            problems.append("shm: skipped but degrade path not verified")
+    else:
+        if "speedup" not in shm:
+            return problems + ["'shm' missing or malformed"]
+        schemes = shm.get("schemes")
+        if not isinstance(schemes, dict):
+            return problems + ["shm.schemes: missing"]
+        for sch in ("shm", "tcp"):
+            rec = schemes.get(sch)
+            if not isinstance(rec, dict) or "bytes_per_s" not in rec:
+                problems.append(f"shm.schemes.{sch}: malformed")
+        shm_rec = schemes.get("shm")
+        if isinstance(shm_rec, dict) and "shm_deposits_total" not in shm_rec:
+            problems.append("shm.schemes.shm: missing shm_deposits_total")
+    sgcdr = doc.get("sgcdr")
+    if not isinstance(sgcdr, dict) or "min_improvement" not in sgcdr:
+        return problems + ["'sgcdr' missing or malformed"]
+    rows = sgcdr.get("sizes")
+    if not isinstance(rows, list) or not rows or any(
+            not isinstance(r, dict) or "size" not in r
+            or "sg_mb_per_s" not in r or "blob_mb_per_s" not in r
+            or "improvement" not in r for r in rows):
+        problems.append("sgcdr.sizes: malformed rows")
     return problems
+
+
+def _curve_rows(doc: dict, fig: str, label: str) -> Dict[int, float]:
+    """size -> mbit_per_s for one figure curve (empty when absent)."""
+    rows = (doc.get("figures") or {}).get(fig, {}).get(label) or []
+    out = {}
+    for r in rows:
+        if isinstance(r, dict) and "size" in r and "mbit_per_s" in r:
+            out[r["size"]] = r["mbit_per_s"]
+    return out
+
+
+def compare_bench(old: dict, new: dict,
+                  tolerance: float = 0.75) -> List[dict]:
+    """Per-metric regression rows for two bench documents.
+
+    Gated series: the pipelining speedup per scheme, the shm deposit
+    speedup, the fig6_right zc-corba throughput at 256 KiB and 1 MiB
+    (or the largest size both documents share — quick runs sweep
+    smaller), and the sgcdr scatter/gather encode MB/s per size.  Each
+    row is ``{"metric", "old", "new", "ratio", "ok"}``; a row fails
+    (``ok=False``) when ``new < old * tolerance``.  Metrics present in
+    only one document (probe skipped, different sweep) are reported
+    with ``ratio=None`` and never fail — a gate must not punish a
+    platform for honestly skipping a probe.
+    """
+    rows: List[dict] = []
+
+    def add(metric: str, old_v, new_v) -> None:
+        if not isinstance(old_v, (int, float)) \
+                or not isinstance(new_v, (int, float)):
+            rows.append({"metric": metric, "old": old_v, "new": new_v,
+                         "ratio": None, "ok": True})
+            return
+        ratio = new_v / old_v if old_v else float("inf")
+        rows.append({"metric": metric, "old": old_v, "new": new_v,
+                     "ratio": round(ratio, 3), "ok": ratio >= tolerance})
+
+    old_pipe = old.get("pipelining") or {}
+    new_pipe = new.get("pipelining") or {}
+    for sch in sorted(set(old_pipe) & set(new_pipe)):
+        add(f"pipelining.{sch}.speedup",
+            (old_pipe[sch] or {}).get("speedup"),
+            (new_pipe[sch] or {}).get("speedup"))
+
+    old_shm, new_shm = old.get("shm") or {}, new.get("shm") or {}
+    if not old_shm.get("skipped") and not new_shm.get("skipped"):
+        add("shm.speedup", old_shm.get("speedup"), new_shm.get("speedup"))
+
+    for fig, label in _GATE_CURVES:
+        o_rows, n_rows = _curve_rows(old, fig, label), \
+            _curve_rows(new, fig, label)
+        common = sorted(set(o_rows) & set(n_rows))
+        if not common:
+            continue
+        targets = [s for s in _GATE_SIZES if s in common] or [common[-1]]
+        for s in targets:
+            # the documents store Mbit/s; the gate reports bytes/s
+            add(f"{fig}.{label}@{s}.bytes_per_s",
+                round(o_rows[s] * 1e6 / 8, 1),
+                round(n_rows[s] * 1e6 / 8, 1))
+
+    old_sg = {r["size"]: r for r in (old.get("sgcdr") or {}).get("sizes", [])
+              if isinstance(r, dict) and "size" in r}
+    new_sg = {r["size"]: r for r in (new.get("sgcdr") or {}).get("sizes", [])
+              if isinstance(r, dict) and "size" in r}
+    for s in sorted(set(old_sg) & set(new_sg)):
+        add(f"sgcdr@{s}.sg_mb_per_s", old_sg[s].get("sg_mb_per_s"),
+            new_sg[s].get("sg_mb_per_s"))
+    return rows
+
+
+def format_compare(rows: List[dict], tolerance: float) -> str:
+    """The per-metric delta table the bench-regression CI job prints."""
+    head = (f"{'metric':<44} {'old':>14} {'new':>14} "
+            f"{'ratio':>7}  gate>={tolerance:g}")
+    lines = [head, "-" * len(head)]
+    for r in rows:
+        ratio = "n/a" if r["ratio"] is None else f"{r['ratio']:.3f}"
+        old_v = "-" if not isinstance(r["old"], (int, float)) \
+            else f"{r['old']:,.1f}"
+        new_v = "-" if not isinstance(r["new"], (int, float)) \
+            else f"{r['new']:,.1f}"
+        verdict = "OK" if r["ok"] else "FAIL"
+        lines.append(f"{r['metric']:<44} {old_v:>14} {new_v:>14} "
+                     f"{ratio:>7}  {verdict}")
+    return "\n".join(lines)
+
+
+def render_figure(doc: dict, figure: str = "fig5") -> str:
+    """A Fig. 5/6-style text table from a bench document's curves."""
+    curves = (doc.get("figures") or {}).get(figure)
+    if not curves:
+        return f"(no {figure} data in document)"
+    labels = list(curves)
+    sizes: List[int] = sorted({r["size"] for rows in curves.values()
+                               for r in rows})
+    by_label = {label: {r["size"]: r["mbit_per_s"] for r in rows}
+                for label, rows in curves.items()}
+    head = "size".rjust(10) + "".join(lb.rjust(22) for lb in labels)
+    lines = [head, "-" * len(head)]
+    for size in sizes:
+        row = f"{size:>10}"
+        for lb in labels:
+            v = by_label[lb].get(size)
+            row += f"{v:>18.1f} Mb/s" if v is not None else " " * 22
+        lines.append(row)
+    return "\n".join(lines)
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -393,7 +655,55 @@ def main(argv: Optional[list] = None) -> int:
     ap.add_argument("--check", metavar="PATH", default=None,
                     help="validate an existing document instead of "
                          "running the benchmarks")
+    ap.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                    default=None,
+                    help="regression-gate NEW against OLD: print the "
+                         "per-metric delta table, exit 1 when any gated "
+                         "series fell below OLD * tolerance")
+    ap.add_argument("--tolerance", type=float, default=0.75,
+                    help="minimum new/old ratio --compare accepts "
+                         "(default: %(default)s)")
+    ap.add_argument("--render", metavar="PATH", default=None,
+                    help="print the fig5 table of an existing document "
+                         "instead of running the benchmarks")
     args = ap.parse_args(argv)
+
+    if args.compare:
+        docs = []
+        for path in args.compare:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    docs.append(json.load(fh))
+            except (OSError, json.JSONDecodeError) as e:
+                print(f"repro-bench: cannot read {path}: {e}",
+                      file=sys.stderr)
+                return 1
+        rows = compare_bench(docs[0], docs[1], tolerance=args.tolerance)
+        if not rows:
+            print("repro-bench: no comparable series in the two documents",
+                  file=sys.stderr)
+            return 1
+        print(format_compare(rows, args.tolerance))
+        failed = [r for r in rows if not r["ok"]]
+        if failed:
+            print(f"repro-bench: REGRESSION: {len(failed)} of {len(rows)} "
+                  f"gated series below tolerance {args.tolerance:g}",
+                  file=sys.stderr)
+            return 1
+        print(f"repro-bench: all {len(rows)} gated series within "
+              f"tolerance {args.tolerance:g}")
+        return 0
+
+    if args.render:
+        try:
+            with open(args.render, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"repro-bench: cannot read {args.render}: {e}",
+                  file=sys.stderr)
+            return 1
+        print(render_figure(doc, "fig5"))
+        return 0
 
     if args.check:
         try:
@@ -410,6 +720,7 @@ def main(argv: Optional[list] = None) -> int:
             print(f"{args.check}: schema {doc['schema']}, OK")
         return 1 if problems else 0
 
+    sgcdr_repeats = 5
     if args.quick:
         args.max_size = min(args.max_size, 16 * KB)
         args.latency_size = min(args.latency_size, 16 * KB)
@@ -417,6 +728,10 @@ def main(argv: Optional[list] = None) -> int:
         args.pipeline_calls = min(args.pipeline_calls, 16)
         args.shm_size = min(args.shm_size, 256 * KB)
         args.shm_repeats = min(args.shm_repeats, 3)
+        # the sgcdr sweep keeps its 64 KiB..1 MiB ladder even in quick
+        # mode (it is encode-only and fast) so --compare always has the
+        # same sizes on both sides; only the repeats shrink
+        sgcdr_repeats = 3
 
     doc = run_bench(max_size=args.max_size, scheme=args.scheme,
                     latency_size=args.latency_size,
@@ -424,6 +739,7 @@ def main(argv: Optional[list] = None) -> int:
                     pipeline_inflight=args.pipeline_inflight,
                     pipeline_calls=args.pipeline_calls,
                     shm_size=args.shm_size, shm_repeats=args.shm_repeats,
+                    sgcdr_repeats=sgcdr_repeats,
                     tag=args.tag)
     problems = validate_bench(doc)
     if problems:  # a bug in this module, not in the caller's input
@@ -444,12 +760,21 @@ def main(argv: Optional[list] = None) -> int:
               f"{top['calls_per_s']:.0f} calls/s "
               f"({rec['speedup']:.1f}x over serialized)")
     shm = doc["shm"]
-    shm_rec = shm["schemes"]["shm"]
-    print(f"shm: {shm['size']} B deposit "
-          f"{shm_rec['mbit_per_s']:.0f} Mbit/s "
-          f"({shm['speedup']:.1f}x over tcp loopback, "
-          f"{shm_rec['shm_deposits_total']} arena deposits, "
-          f"{shm_rec['shm_fallbacks_total']} fallbacks)")
+    if shm.get("skipped"):
+        print(f"shm: SKIPPED ({shm['reason']}; degrade path "
+              f"{'ok' if shm.get('degrade_path_ok') else 'FAILED'})")
+    else:
+        shm_rec = shm["schemes"]["shm"]
+        print(f"shm: {shm['size']} B deposit "
+              f"{shm_rec['mbit_per_s']:.0f} Mbit/s "
+              f"({shm['speedup']:.1f}x over tcp loopback, "
+              f"{shm_rec['shm_deposits_total']} arena deposits, "
+              f"{shm_rec['shm_fallbacks_total']} fallbacks)")
+    for row in doc["sgcdr"]["sizes"]:
+        print(f"sgcdr: {row['size']} B encode "
+              f"{row['sg_mb_per_s']:.0f} MB/s chunked vs "
+              f"{row['blob_mb_per_s']:.0f} MB/s blob "
+              f"({row['improvement']:.1f}x)")
     print(f"bench document written to {args.out}")
     return 0
 

@@ -5,11 +5,22 @@ The decoder works over a :class:`memoryview`, so demarshaling an octet
 stream can return a *slice* of the receive buffer instead of a copy —
 see :meth:`CDRDecoder.get_view` — which the zero-copy demarshaler uses
 when the payload was already landed in its final buffer (§4.5).
+
+Fixed-stride runs (homogeneous numeric sequences) batch-decode via
+:meth:`CDRDecoder.get_array`: when the wire byte order matches the
+native one, a single ``memoryview.cast`` converts the whole run at C
+speed; on mismatch one ``array.byteswap`` pass fixes the order — either
+way the per-element ``unpack_from`` loop (and its per-element align)
+disappears from the hot path.
 """
 
 from __future__ import annotations
 
-from .encoder import _STRUCTS, NATIVE_LITTLE, compiled_struct
+from array import array
+from typing import List
+
+from .encoder import _STD_SIZES, _STRUCTS, BATCH_FORMATS, NATIVE_LITTLE, \
+    compiled_struct
 
 __all__ = ["CDRDecoder", "CDRError"]
 
@@ -131,6 +142,32 @@ class CDRDecoder:
         """A zero-copy window of ``n`` raw bytes at the current position."""
         pos = self._advance(n)
         return self._view[pos:pos + n]
+
+    def get_array(self, fmt: str, count: int) -> List:
+        """Batch-read ``count`` fixed-stride primitives as a list.
+
+        ``fmt`` is a CDR numeric struct format (hHiIqQfd).  Alignment,
+        wire bytes, and returned values are identical to ``count``
+        single-element reads; only the per-element Python loop is gone.
+        Raises ``LookupError`` when this platform cannot batch the
+        format — callers fall back to the element loop.
+        """
+        if fmt not in BATCH_FORMATS:
+            raise LookupError(f"no batch path for format {fmt!r}")
+        if count == 0:
+            # an empty run reads nothing — aligning here would skip
+            # bytes the element loop never wrote
+            return []
+        size = _STD_SIZES[fmt]
+        self.align(size)
+        view = self.get_view(size * count)
+        if self.little_endian == NATIVE_LITTLE:
+            # matching order: one cast converts the run at C speed
+            return view.cast(fmt).tolist()
+        a = array(fmt)
+        a.frombytes(view)
+        a.byteswap()
+        return a.tolist()
 
     def get_encapsulation(self) -> "CDRDecoder":
         """Enter a CDR encapsulation; returns a fresh decoder for it."""

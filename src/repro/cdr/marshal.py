@@ -22,6 +22,7 @@ modelled per-byte costs, and by the §5.2-style overhead breakdown).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
@@ -31,13 +32,14 @@ from ..core.buffers import ZCBuffer
 from ..core.direct_deposit import DEPOSIT_MAGIC, DepositRegistry
 from ..core.sequences import OctetSequence, ZCOctetSequence
 from .decoder import CDRDecoder
-from .encoder import NATIVE_LITTLE, CDREncoder
+from .encoder import _STD_SIZES, BATCH_FORMATS, NATIVE_LITTLE, CDREncoder
 from .typecode import TCKind, TypeCode
 
 __all__ = [
     "MarshalContext", "MarshalError", "Marshaller",
     "TCPrimitive", "TCString", "TCSeqOctet", "TCSeqZCOctet",
-    "TCGenericSequence", "TCArray", "TCStruct", "TCEnum", "TCExcept",
+    "TCGenericSequence", "TCNumericSequence", "TCArray", "TCStruct",
+    "TCEnum", "TCExcept",
     "get_marshaller", "register_value_class", "lookup_value_class",
     "StructValue",
 ]
@@ -73,10 +75,54 @@ class MarshalContext:
     #: deposit-id -> descriptor flags (payload byte order, §4.1 numeric
     #: zero-copy sequences); populated by the connection layer
     deposit_flags: Dict[int, int] = field(default_factory=dict)
+    #: the connection's shared-memory send arena (a
+    #: :class:`repro.transport.shm.ShmArena`), when the transport has
+    #: one: zero-copy payloads are staged *into a slot at encode time*
+    #: so the send is a pure slot reference — the paper's marshaling
+    #: bypass carried one layer further
+    arena: Any = None
+    #: arena buffers leased during marshal; the connection releases
+    #: them after the send (posted slots make release a no-op, an
+    #: aborted send returns the slot to the arena)
+    staged: list = field(default_factory=list)
 
     def note(self, kind: str, nbytes: int) -> None:
         if self.on_bytes is not None:
             self.on_bytes(kind, nbytes)
+
+    def stage_in_arena(self, view: memoryview) -> Optional[memoryview]:
+        """Copy ``view`` into a freshly leased arena slot, or ``None``.
+
+        Returns the slot view to register in place of the caller's
+        buffer.  ``None`` (no arena, payload oversize/empty, already
+        arena-resident, slots exhausted) keeps the original view — the
+        send-time path then copies or falls back inline as before.
+        The copy performed here is the same single producer-side copy
+        the send path would otherwise perform inside ``send_deposit``;
+        staging merely moves it into the marshal stage so the send
+        becomes a reference post.
+        """
+        arena = self.arena
+        if arena is None or getattr(arena, "closed", True) \
+                or not 0 < view.nbytes <= arena.slot_size:
+            return None
+        if arena.locate(view) is not None:
+            return None  # already staged by the application
+        buf = arena.try_acquire(view.nbytes)
+        if buf is None:
+            return None
+        buf.view()[:] = view
+        self.staged.append(buf)
+        return buf.view()
+
+    def release_staged(self) -> None:
+        """Release every leased slot (no-op for slots the send posted)."""
+        staged, self.staged = self.staged, []
+        for buf in staged:
+            try:
+                buf.release()
+            except Exception:
+                pass  # already released (e.g. a retry reusing the ctx)
 
 
 _EMPTY_CTX = MarshalContext()
@@ -293,6 +339,12 @@ class TCSeqZCOctet(Marshaller):
         view, little = self._as_view(value)
         self._check_bound(view.nbytes)
         if ctx.registry is not None:
+            staged = ctx.stage_in_arena(view)
+            if staged is not None:
+                # encode-into-arena: the deposit now references a
+                # posted-to-be slot; send_deposit's locate() hits the
+                # reference path and no further copy happens
+                view = staged
             flags = FLAG_PAYLOAD_LITTLE if little else 0
             desc = ctx.registry.register(view, flags=flags)
             ctx.descriptors.append(desc)
@@ -305,7 +357,11 @@ class TCSeqZCOctet(Marshaller):
                 # inline fallback converts to the stream's byte order
                 arr = np.frombuffer(view, dtype=self._dtype).byteswap()
                 view = memoryview(arr).cast("B")
-            enc.put_octets(view)
+            # by reference into the chunk plan (the gather-send writes
+            # straight from the payload); the byte-kind stays
+            # "marshal-bulk" — it feeds the modelled 2003 cost, where
+            # inline carriage means a copy on the modelled machine
+            enc.put_octets_view(view)
             ctx.note("marshal-bulk", view.nbytes)
 
     # -- demarshal -----------------------------------------------------------
@@ -436,6 +492,77 @@ class TCGenericSequence(Marshaller):
         if self.tc.length and n > self.tc.length:
             raise MarshalError(f"sequence of {n} exceeds bound {self.tc.length}")
         return [self._elem.demarshal(dec, ctx) for _ in range(n)]
+
+
+#: struct format per batchable numeric element kind (fixed CDR stride)
+_NUMERIC_FMTS = {
+    TCKind.tk_short: "h", TCKind.tk_ushort: "H",
+    TCKind.tk_long: "i", TCKind.tk_ulong: "I",
+    TCKind.tk_longlong: "q", TCKind.tk_ulonglong: "Q",
+    TCKind.tk_float: "f", TCKind.tk_double: "d",
+}
+
+
+class TCNumericSequence(TCGenericSequence):
+    """Fixed-stride numeric sequences batched in one C-level pass.
+
+    Same wire bytes as the generic element loop (the per-element align
+    is a no-op after the first element of a fixed-stride run), but the
+    whole run converts via one ``array`` build on encode and one
+    ``memoryview.cast``/``byteswap`` on decode.  Any value the batch
+    path cannot express (a bool where an int belongs, an overflowing
+    element, a platform without the batch format) falls back to the
+    inherited loop so error semantics stay identical.
+    """
+
+    def __init__(self, tc: TypeCode):
+        super().__init__(tc)
+        self._fmt = _NUMERIC_FMTS[tc.content.kind]
+
+    def marshal(self, enc, value, ctx=_EMPTY_CTX):
+        if ctx.generic_loop:
+            super().marshal(enc, value, ctx)
+            return
+        items = value
+        if isinstance(value, np.ndarray):
+            if value.ndim != 1:
+                raise MarshalError(
+                    f"sequence value must be 1-D, got shape {value.shape}")
+            items = value.tolist()  # exact per-element semantics (bounds!)
+        else:
+            items = list(value)
+        if self.tc.length and len(items) > self.tc.length:
+            raise MarshalError(
+                f"sequence of {len(items)} exceeds bound {self.tc.length}")
+        # build the run *before* the count hits the stream, so a bad
+        # element can still fall back without corrupting the output
+        try:
+            arr = array(self._fmt, items)
+        except (LookupError, TypeError, ValueError, OverflowError):
+            super().marshal(enc, items, ctx)
+            return
+        if self._fmt not in BATCH_FORMATS:
+            super().marshal(enc, items, ctx)
+            return
+        if enc.little_endian != NATIVE_LITTLE:
+            arr.byteswap()
+        enc.put_ulong(len(items))
+        if items:
+            # the element loop only aligns when there is an element;
+            # an empty run must not emit padding after the count
+            enc.align(_STD_SIZES[self._fmt])
+            enc.put_view(memoryview(arr).cast("B"))
+
+    def demarshal(self, dec, ctx=_EMPTY_CTX):
+        if ctx.generic_loop:
+            return super().demarshal(dec, ctx)
+        n = dec.get_ulong()
+        if self.tc.length and n > self.tc.length:
+            raise MarshalError(f"sequence of {n} exceeds bound {self.tc.length}")
+        try:
+            return dec.get_array(self._fmt, n)
+        except LookupError:
+            return [self._elem.demarshal(dec, ctx) for _ in range(n)]
 
 
 class TCArray(Marshaller):
@@ -632,6 +759,8 @@ def get_marshaller(tc: TypeCode) -> Marshaller:
     elif tc.kind is TCKind.tk_sequence:
         if tc.content is not None and tc.content.kind is TCKind.tk_octet:
             m = TCSeqOctet(tc)
+        elif tc.content is not None and tc.content.kind in _NUMERIC_FMTS:
+            m = TCNumericSequence(tc)
         else:
             m = TCGenericSequence(tc)
     elif tc.kind is TCKind.tk_array:

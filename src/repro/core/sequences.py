@@ -152,6 +152,31 @@ class ZCOctetSequence(_OctetBase):
         seq._buf.set_length(src.nbytes)
         return seq
 
+    @classmethod
+    def in_arena(cls, arena, data: Optional[BytesLike] = None,
+                 n: int = 0) -> Optional["ZCOctetSequence"]:
+        """Build the sequence directly inside a leased shm-arena slot.
+
+        The producer-side staging copy happens *here* (or not at all,
+        when the application fills the returned sequence in place), so
+        marshaling and sending move only the slot reference — the
+        paper's zero-copy send with the single permitted touch pushed
+        to the point of data production.  Returns ``None`` when the
+        arena cannot lease a slot (busy, closed, payload oversize);
+        callers then fall back to :meth:`from_data`.
+        """
+        src = memoryview(data).cast("B") if data is not None else None
+        need = src.nbytes if src is not None else n
+        try_acquire = getattr(arena, "try_acquire", None)
+        if try_acquire is None or need <= 0:
+            return None
+        buf = try_acquire(need)
+        if buf is None:
+            return None
+        if src is not None:
+            buf.view()[:] = src
+        return cls.adopt(buf)
+
     # -- isomorphic API ---------------------------------------------------------
     def length(self, n: Optional[int] = None):
         if n is None:

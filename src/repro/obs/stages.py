@@ -7,11 +7,20 @@ wire order, for every traced request:
 =================  ======================================================
 stage              what it covers (client view)
 =================  ======================================================
-``marshal``        encoding the non-bulk parameters; registering
-                   zero-copy payloads with the deposit registry
-``control-send``   writing the GIOP control message (header + request
-                   header + marshaled body, all fragments)
+``marshal``        building the parameter chunk plan (non-bulk
+                   encoding; registering zero-copy payloads with the
+                   deposit registry; any encode-into-arena staging
+                   copy).  Its byte count is the *logical* body size —
+                   the sum of the plan's chunks, the same number the
+                   pre-scatter/gather blob had — not the (smaller)
+                   bytes the encoder actually copied.
+``control-send``   gather-writing the GIOP control message (header +
+                   request header + body chunk plan, all fragments);
+                   bytes = the true control-path wire bytes
 ``deposit-send``   writing the raw zero-copy payloads on the data path
+                   (for arena-staged payloads this is a pure slot
+                   reference: bytes are the payload size, the copy
+                   already happened under ``marshal``)
 ``server-wait``    blocked until the reply's control message arrived —
                    covers wire latency plus the server's demarshal /
                    dispatch / servant / reply-marshal work

@@ -158,17 +158,46 @@ class GIOPConn:
         """
         registry = DepositRegistry() \
             if (self.zero_copy and not force_copy) else None
+        arena = None
+        if registry is not None:
+            # encode-into-arena (DESIGN.md §12): when the transport has a
+            # shared-memory deposit channel, marshaling stages zero-copy
+            # payloads straight into leased slots so the send is a pure
+            # slot reference
+            channel = getattr(self.stream, "deposit_channel", None)
+            if channel is not None:
+                arena = getattr(channel, "send_arena", None)
         return MarshalContext(registry=registry, on_bytes=self.bytes_hook(),
-                              generic_loop=self.generic_loop, orb=self.orb)
+                              generic_loop=self.generic_loop, orb=self.orb,
+                              arena=arena)
 
     def body_encoder(self) -> CDREncoder:
         """Parameter encoder; offset 0 is 8-aligned by framing."""
         return CDREncoder(little_endian=self.little_endian, offset=0)
 
     # -- sending ---------------------------------------------------------------
-    def send_message(self, body_header, params: bytes = b"",
+    def send_message(self, body_header, params=b"",
                      ctx: Optional[MarshalContext] = None) -> None:
-        """Encode and write one message plus its deposit payloads."""
+        """Encode and write one message plus its deposit payloads.
+
+        ``params`` is the marshaled parameter body: a bytes-like blob,
+        or a :class:`CDREncoder` whose chunk plan is gather-written
+        as-is — header chunks and parameter chunks go to one
+        ``sendv`` with no join, so a large inline payload travels
+        from the application buffer to the socket with zero
+        middleware copies.
+        """
+        try:
+            self._send_message(body_header, params, ctx)
+        finally:
+            if ctx is not None:
+                # arena slots leased by encode-into-arena staging: a
+                # posted slot's release is a no-op, an unsent one goes
+                # back to the arena even when the send failed
+                ctx.release_staged()
+
+    def _send_message(self, body_header, params,
+                      ctx: Optional[MarshalContext]) -> None:
         deposits = []
         if ctx is not None and ctx.descriptors:
             if ctx.registry is None:
@@ -181,13 +210,22 @@ class GIOPConn:
                 contexts.append(ServiceContext.for_deposit(desc))
             deposits = ctx.registry.drain()
 
+        if isinstance(params, CDREncoder):
+            param_chunks = params.chunks()
+            params_nbytes = params.nbytes
+        else:
+            param_chunks = [params] if len(params) else []
+            params_nbytes = len(params)
+
         head_enc = CDREncoder(little_endian=self.little_endian, offset=0)
         body_header.encode(head_enc)
         head = bytearray(head_enc.getvalue())
-        if params:
+        if params_nbytes:
             head += b"\x00" * ((-len(head)) % _BODY_ALIGN)
-        body = bytes(head) + params
-        chunks = self._frame(body_header.MSG_TYPE, body)
+        body_chunks = [head] + param_chunks
+        body_nbytes = len(head) + params_nbytes
+        chunks, n_fragments = self._frame(body_header.MSG_TYPE, body_chunks,
+                                          body_nbytes)
         # every chunk is a GIOP header or a body piece: their lengths sum
         # to the true control-path wire bytes, however many fragment
         # headers _frame emitted
@@ -272,17 +310,27 @@ class GIOPConn:
             descs = ctx.descriptors if ctx is not None else ()
             self.sink.emit(WireEvent(
                 direction="send", msg_type=body_header.MSG_TYPE.name,
-                size=len(body),
+                size=body_nbytes,
                 request_id=getattr(body_header, "request_id", None),
-                fragments=len(chunks) // 2,
+                fragments=n_fragments,
                 deposits=tuple((d.deposit_id, d.size) for d in descs)))
 
-    def _frame(self, msg_type: MsgType, body: bytes) -> list:
-        """GIOP-frame ``body``, fragmenting per GIOP 1.1 if configured."""
-        if not self.fragment_size or len(body) <= self.fragment_size:
-            header = GIOPHeader(msg_type=msg_type, size=len(body),
+    def _frame(self, msg_type: MsgType, body_chunks: list,
+               body_nbytes: int) -> tuple:
+        """GIOP-frame a body chunk plan -> ``(chunks, n_fragments)``,
+        fragmenting per GIOP 1.1 if configured.
+
+        Unfragmented (the fast path) the plan passes through untouched:
+        one header chunk prepended, no join.  Fragmentation has to cut
+        the body at arbitrary boundaries, so it joins first — framing
+        for slow WAN-style links was never the zero-copy regime.
+        """
+        if not self.fragment_size or body_nbytes <= self.fragment_size:
+            header = GIOPHeader(msg_type=msg_type, size=body_nbytes,
                                 little_endian=self.little_endian)
-            return [header.encode(), body]
+            return [header.encode()] + body_chunks, 1
+        body = b"".join(bytes(c) if isinstance(c, memoryview) else c
+                        for c in body_chunks)
         chunks: list = []
         pieces = [body[i:i + self.fragment_size]
                   for i in range(0, len(body), self.fragment_size)]
@@ -294,7 +342,7 @@ class GIOPConn:
                                 more_fragments=more)
             chunks.append(header.encode())
             chunks.append(piece)
-        return chunks
+        return chunks, len(pieces)
 
     def _record_shm_metrics(self, op: str, arena_count: int,
                             fallback_count: int, waits=()) -> None:

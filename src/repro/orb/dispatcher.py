@@ -156,12 +156,11 @@ class MethodDispatcher:
                 reply_ctx = conn.make_marshal_context()
                 enc = conn.body_encoder()
                 sig.marshal_reply(enc, result, outs, reply_ctx)
-                params = enc.getvalue()
-                span.add_bytes(len(params))
+                span.add_bytes(enc.nbytes)
             reply = ReplyHeader(request_id=req.request_id,
                                 reply_status=ReplyStatus.NO_EXCEPTION,
                                 service_contexts=list(echo))
-            conn.send_message(reply, params, reply_ctx)
+            conn.send_message(reply, enc, reply_ctx)
         except SystemException as exc:
             self.errors += 1
             self._reply_system_exception(conn, req, exc, echo=echo)
@@ -200,7 +199,7 @@ class MethodDispatcher:
         reply = ReplyHeader(request_id=req.request_id,
                             reply_status=ReplyStatus.USER_EXCEPTION,
                             service_contexts=list(echo))
-        conn.send_message(reply, enc.getvalue())
+        conn.send_message(reply, enc)
 
     def _reply_system_exception(self, conn: GIOPConn, req: RequestHeader,
                                 exc: SystemException, echo=()) -> None:
@@ -211,4 +210,4 @@ class MethodDispatcher:
         reply = ReplyHeader(request_id=req.request_id,
                             reply_status=ReplyStatus.SYSTEM_EXCEPTION,
                             service_contexts=list(echo))
-        conn.send_message(reply, enc.getvalue())
+        conn.send_message(reply, enc)

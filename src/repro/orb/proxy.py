@@ -252,8 +252,9 @@ class IIOPProxy:
             ctx = conn.make_marshal_context(force_copy=force_copy)
             enc = conn.body_encoder()
             sig.marshal_request(enc, args, ctx)
-            params = enc.getvalue()
-            span.add_bytes(len(params))
+            # the encoder goes to send_message as a chunk plan — no
+            # join; its nbytes is the same body length the old blob had
+            span.add_bytes(enc.nbytes)
         state.had_deposits = bool(ctx.descriptors)
         request = RequestHeader(
             request_id=conn.next_request_id(),
@@ -272,7 +273,7 @@ class IIOPProxy:
         future = demux.register(request.request_id) \
             if not sig.oneway else None
         try:
-            conn.send_message(request, params, ctx)
+            conn.send_message(request, enc, ctx)
         except BaseException:
             if future is not None:
                 demux.discard(request.request_id)

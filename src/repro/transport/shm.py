@@ -56,7 +56,8 @@ from ..core.direct_deposit import DepositDescriptor, DepositError
 from .base import AcceptHandler, Endpoint, TransportError
 from .tcp import TCPListener, TCPStream
 
-__all__ = ["ShmTransport", "ShmStream", "ShmArena", "ShmError"]
+__all__ = ["ShmTransport", "ShmStream", "ShmArena", "ShmError",
+           "shm_available"]
 
 #: 'SHM1' — marks the handshake hello and every deposit record
 SHM_MAGIC = 0x53484D31
@@ -88,6 +89,31 @@ class ShmError(TransportError):
 
 def _page_round(n: int) -> int:
     return -(-n // PAGE_SIZE) * PAGE_SIZE
+
+
+def shm_available(directory: str = "/dev/shm") -> bool:
+    """Whether a usable shared-memory filesystem is mounted.
+
+    Benchmarks and CI smoke steps call this to *skip visibly* instead
+    of erroring on platforms without ``/dev/shm`` (macOS, some
+    containers).  The probe actually creates and unlinks a file — a
+    read-only mount or a full tmpfs also reports unavailable.
+    """
+    if not os.path.isdir(directory):
+        return False
+    try:
+        fd, path = tempfile.mkstemp(prefix="repro-shm-probe-",
+                                    dir=directory)
+    except OSError:
+        return False
+    try:
+        os.close(fd)
+    finally:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    return True
 
 
 def _view_address(view: memoryview) -> int:
@@ -215,6 +241,17 @@ class ShmArena:
                                               token))
         buf.set_length(nbytes)
         return buf
+
+    def try_acquire(self, nbytes: int) -> Optional[MappedBuffer]:
+        """Non-blocking :meth:`acquire`: ``None`` instead of raising
+        when every slot is busy — the encode-into-arena staging path
+        must never stall marshaling waiting for the receiver."""
+        if self._closed or not 0 < nbytes <= self.slot_size:
+            return None
+        try:
+            return self.acquire(nbytes)
+        except ShmError:
+            return None
 
     def _release_owned(self, slot: int, token: int) -> None:
         with self._lock:

@@ -1,0 +1,224 @@
+"""The bench-regression gate: compare_bench and its CLI wiring.
+
+These tests run on synthetic documents (no benchmarks execute), so
+they pin the gate's *logic*: a real regression must fail the build, a
+skipped probe must not, and the delta table must say which is which.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.bench import (BENCH_SCHEMA_VERSION, compare_bench,
+                              format_compare, main, render_figure,
+                              validate_bench)
+
+KB = 1024
+MB = 1024 * KB
+
+
+def _curve(*sizes, mbit=800.0):
+    return [{"size": s, "mbit_per_s": mbit} for s in sizes]
+
+
+def _doc(**over):
+    """A minimal schema-valid bench document."""
+    doc = {
+        "schema": BENCH_SCHEMA_VERSION, "kind": "bench", "tag": "t",
+        "figures": {
+            "fig5": {"corba/std": _curve(4 * KB, 64 * KB)},
+            "fig6_left": {"zc-sockets": _curve(4 * KB, 64 * KB)},
+            "fig6_right": {
+                "corba/std": _curve(64 * KB, 256 * KB, 1 * MB, mbit=300.0),
+                "zc-corba/std": _curve(64 * KB, 256 * KB, 1 * MB,
+                                       mbit=900.0),
+                "zc-corba/zc": _curve(64 * KB, 256 * KB, 1 * MB,
+                                      mbit=2400.0),
+            },
+        },
+        "latency": {"corba": {"size": 64 * KB, "count": 10, "p50": 1.0,
+                              "p95": 2.0, "p99": 3.0}},
+        "pipelining": {
+            "loop": {"speedup": 6.0,
+                     "levels": [{"inflight": 1, "calls_per_s": 10.0},
+                                {"inflight": 8, "calls_per_s": 60.0}]},
+            "tcp": {"speedup": 5.0,
+                    "levels": [{"inflight": 1, "calls_per_s": 10.0},
+                               {"inflight": 8, "calls_per_s": 50.0}]},
+        },
+        "shm": {"speedup": 4.0,
+                "schemes": {
+                    "shm": {"bytes_per_s": 4.0e9, "shm_deposits_total": 5,
+                            "shm_fallbacks_total": 0},
+                    "tcp": {"bytes_per_s": 1.0e9},
+                }},
+        "sgcdr": {"repeats": 3,
+                  "sizes": [{"size": 64 * KB, "blob_mb_per_s": 900.0,
+                             "sg_mb_per_s": 2100.0, "improvement": 2.333},
+                            {"size": 1 * MB, "blob_mb_per_s": 1000.0,
+                             "sg_mb_per_s": 9000.0, "improvement": 9.0}],
+                  "min_improvement": 2.333},
+    }
+    doc.update(over)
+    return doc
+
+
+def _clone(doc):
+    return json.loads(json.dumps(doc))
+
+
+class TestCompareLogic:
+    def test_identical_documents_pass(self):
+        doc = _doc()
+        rows = compare_bench(doc, _clone(doc))
+        assert rows and all(r["ok"] for r in rows)
+        assert all(r["ratio"] == 1.0 for r in rows
+                   if r["ratio"] is not None)
+        metrics = {r["metric"] for r in rows}
+        assert "pipelining.loop.speedup" in metrics
+        assert "shm.speedup" in metrics
+        assert f"sgcdr@{64 * KB}.sg_mb_per_s" in metrics
+        # fig6_right gated at BOTH canonical sizes when present
+        assert any(f"@{256 * KB}" in m and "zc-corba/zc" in m
+                   for m in metrics)
+        assert any(f"@{1 * MB}" in m and "zc-corba/zc" in m
+                   for m in metrics)
+
+    def test_injected_regression_fails_the_gate(self):
+        old = _doc()
+        new = _clone(old)
+        new["pipelining"]["loop"]["speedup"] = 2.0  # 0.33x: regression
+        rows = compare_bench(old, new, tolerance=0.75)
+        bad = [r for r in rows if not r["ok"]]
+        assert [r["metric"] for r in bad] == ["pipelining.loop.speedup"]
+        assert bad[0]["ratio"] == pytest.approx(2.0 / 6.0, abs=1e-3)
+
+    def test_sgcdr_regression_fails_per_size(self):
+        old = _doc()
+        new = _clone(old)
+        new["sgcdr"]["sizes"][1]["sg_mb_per_s"] = 1000.0  # 1 MiB drops 9x
+        rows = compare_bench(old, new, tolerance=0.75)
+        bad = {r["metric"] for r in rows if not r["ok"]}
+        assert bad == {f"sgcdr@{1 * MB}.sg_mb_per_s"}
+
+    def test_improvement_always_passes(self):
+        old = _doc()
+        new = _clone(old)
+        new["shm"]["speedup"] = 40.0
+        assert all(r["ok"] for r in compare_bench(old, new))
+
+    def test_tolerance_is_respected(self):
+        old = _doc()
+        new = _clone(old)
+        new["shm"]["speedup"] = 3.2  # 0.8x
+        assert all(r["ok"] for r in compare_bench(old, new,
+                                                  tolerance=0.75))
+        bad = [r for r in compare_bench(old, new, tolerance=0.9)
+               if not r["ok"]]
+        assert [r["metric"] for r in bad] == ["shm.speedup"]
+
+    def test_skipped_shm_is_not_punished(self):
+        old = _doc()
+        new = _clone(old)
+        new["shm"] = {"skipped": True, "reason": "no /dev/shm",
+                      "degrade_path_ok": True}
+        rows = compare_bench(old, new)
+        assert all(r["ok"] for r in rows)
+        assert not any(r["metric"] == "shm.speedup" for r in rows)
+
+    def test_largest_common_size_fallback(self):
+        """A quick run sweeping smaller sizes still gets gated — at the
+        largest size both documents share."""
+        old = _doc()
+        new = _clone(old)
+        for label in new["figures"]["fig6_right"]:
+            new["figures"]["fig6_right"][label] = _curve(
+                16 * KB, 64 * KB, mbit=500.0)
+        rows = compare_bench(old, new)
+        curve_rows = [r for r in rows if "fig6_right" in r["metric"]]
+        assert curve_rows
+        assert all(f"@{64 * KB}" in r["metric"] for r in curve_rows)
+
+    def test_value_missing_in_one_document_never_fails(self):
+        old = _doc()
+        new = _clone(old)
+        del new["pipelining"]["tcp"]
+        new["sgcdr"]["sizes"] = new["sgcdr"]["sizes"][:1]
+        rows = compare_bench(old, new)
+        assert all(r["ok"] for r in rows)
+        metrics = {r["metric"] for r in rows}
+        assert "pipelining.tcp.speedup" not in metrics
+        assert f"sgcdr@{1 * MB}.sg_mb_per_s" not in metrics
+
+    def test_format_compare_marks_failures(self):
+        old = _doc()
+        new = _clone(old)
+        new["pipelining"]["loop"]["speedup"] = 1.0
+        table = format_compare(compare_bench(old, new), 0.75)
+        assert "FAIL" in table and "OK" in table
+        assert "pipelining.loop.speedup" in table
+
+
+class TestCompareCLI:
+    def _write(self, tmp_path, name, doc):
+        p = tmp_path / name
+        p.write_text(json.dumps(doc))
+        return str(p)
+
+    def test_cli_pass(self, tmp_path, capsys):
+        a = self._write(tmp_path, "old.json", _doc())
+        b = self._write(tmp_path, "new.json", _doc())
+        assert main(["--compare", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "within tolerance" in out
+        assert "metric" in out  # the delta table printed
+
+    def test_cli_fails_on_regression(self, tmp_path, capsys):
+        old = _doc()
+        new = _clone(old)
+        new["sgcdr"]["sizes"][0]["sg_mb_per_s"] = 100.0
+        a = self._write(tmp_path, "old.json", old)
+        b = self._write(tmp_path, "new.json", new)
+        assert main(["--compare", a, b, "--tolerance", "0.75"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        assert "FAIL" in captured.out
+
+    def test_cli_unreadable_document(self, tmp_path, capsys):
+        a = self._write(tmp_path, "old.json", _doc())
+        assert main(["--compare", a, str(tmp_path / "missing.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_cli_render(self, tmp_path, capsys):
+        a = self._write(tmp_path, "doc.json", _doc())
+        assert main(["--render", a]) == 0
+        out = capsys.readouterr().out
+        assert "corba/std" in out and "Mb/s" in out
+
+
+class TestSchema4Validation:
+    def test_synthetic_document_is_valid(self):
+        assert validate_bench(_doc()) == []
+
+    def test_skipped_shm_stanza_valid(self):
+        doc = _doc(shm={"skipped": True, "reason": "no shm",
+                        "degrade_path_ok": True})
+        assert validate_bench(doc) == []
+
+    def test_skipped_shm_requires_reason_and_degrade_proof(self):
+        doc = _doc(shm={"skipped": True, "degrade_path_ok": True})
+        assert any("reason" in p for p in validate_bench(doc))
+        doc = _doc(shm={"skipped": True, "reason": "no shm",
+                        "degrade_path_ok": False})
+        assert any("degrade" in p for p in validate_bench(doc))
+
+    def test_missing_sgcdr_flagged(self):
+        doc = _doc()
+        del doc["sgcdr"]
+        assert any("sgcdr" in p for p in validate_bench(doc))
+        doc = _doc()
+        del doc["sgcdr"]["sizes"][0]["sg_mb_per_s"]
+        assert any("sgcdr.sizes" in p for p in validate_bench(doc))
+
+    def test_render_figure_handles_missing_figure(self):
+        assert "no fig5" in render_figure({"figures": {}})

@@ -1,0 +1,210 @@
+"""Scatter/gather CDR: chunk plans, batch numeric runs, byte identity.
+
+The PR 6 contract in three properties:
+
+* the chunk-plan encoder concatenates to *exactly* the bytes the old
+  blob encoder produced, for arbitrary TypeCode forests and both
+  stream endiannesses;
+* the decoder's batched ``get_array`` path returns the same values as
+  the per-element loop, again on both endiannesses;
+* large bytes-like runs are *referenced* by the plan (shared memory,
+  no copy), small ones are copied into sealed chunks.
+"""
+
+import struct
+from array import array
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdr import CDRDecoder, CDREncoder, MarshalContext, get_marshaller
+from repro.cdr.encoder import BATCH_FORMATS, SG_MIN_CHUNK, _STD_SIZES
+from repro.cdr.marshal import StructValue
+from repro.cdr.typecode import (TC_BOOLEAN, TC_DOUBLE, TC_FLOAT, TC_LONG,
+                                TC_LONGLONG, TC_OCTET, TC_SHORT, TC_STRING,
+                                TC_ULONG, TC_ULONGLONG, TC_USHORT,
+                                sequence_tc, struct_tc, zc_octet_sequence_tc)
+from repro.core import OctetSequence, ZCOctetSequence
+
+_FMT_TC = {"h": TC_SHORT, "H": TC_USHORT, "i": TC_LONG, "I": TC_ULONG,
+           "q": TC_LONGLONG, "Q": TC_ULONGLONG, "f": TC_FLOAT,
+           "d": TC_DOUBLE}
+_FMT_VALUES = {
+    "h": st.integers(-2 ** 15, 2 ** 15 - 1),
+    "H": st.integers(0, 2 ** 16 - 1),
+    "i": st.integers(-2 ** 31, 2 ** 31 - 1),
+    "I": st.integers(0, 2 ** 32 - 1),
+    "q": st.integers(-2 ** 63, 2 ** 63 - 1),
+    "Q": st.integers(0, 2 ** 64 - 1),
+    "f": st.floats(allow_nan=False, width=32),
+    "d": st.floats(allow_nan=False, width=64),
+}
+_PRIMS = [
+    (TC_OCTET, st.integers(0, 255)),
+    (TC_BOOLEAN, st.booleans()),
+    (TC_STRING, st.text(max_size=16)),
+] + [(_FMT_TC[f], _FMT_VALUES[f]) for f in sorted(_FMT_TC)]
+
+
+@st.composite
+def _node(draw, depth=2):
+    """One (TypeCode, value) pair; recurses into structs/sequences."""
+    kind = draw(st.integers(0, 3 if depth > 0 else 0))
+    if kind == 0:
+        tc, values = draw(st.sampled_from(_PRIMS))
+        return tc, draw(values)
+    if kind == 1:  # numeric sequence: the batch encode/decode path
+        fmt = draw(st.sampled_from(sorted(_FMT_VALUES)))
+        vals = draw(st.lists(_FMT_VALUES[fmt], max_size=48))
+        return sequence_tc(_FMT_TC[fmt]), vals
+    if kind == 2:  # struct mixing nested nodes
+        subs = [draw(_node(depth=depth - 1))
+                for _ in range(draw(st.integers(1, 3)))]
+        members = [(f"m{i}", tc) for i, (tc, _) in enumerate(subs)]
+        value = StructValue(**{f"m{i}": v for i, (_, v) in enumerate(subs)})
+        return struct_tc("S", members), value
+    return sequence_tc(TC_STRING), draw(st.lists(st.text(max_size=8),
+                                                 max_size=5))
+
+
+def _encode_forest(forest, little_endian, sg_min_chunk):
+    enc = CDREncoder(little_endian=little_endian,
+                     sg_min_chunk=sg_min_chunk)
+    for tc, value in forest:
+        get_marshaller(tc).marshal(enc, value)
+    return enc
+
+
+class TestChunkedEqualsBlob:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_node(), min_size=1, max_size=6), st.booleans())
+    def test_forest_byte_identity(self, forest, little_endian):
+        """Aggressively chunked output (references from 16 bytes up)
+        concatenates to the blob encoder's exact bytes."""
+        blob = _encode_forest(forest, little_endian, 1 << 62)
+        sg = _encode_forest(forest, little_endian, 16)
+        blob_bytes = blob.getvalue()
+        assert sg.getvalue() == blob_bytes
+        assert b"".join(bytes(c) for c in sg.chunks()) == blob_bytes
+        assert sg.nbytes == len(blob_bytes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_node(), min_size=1, max_size=6), st.booleans())
+    def test_forest_round_trips(self, forest, little_endian):
+        enc = _encode_forest(forest, little_endian, 16)
+        dec = CDRDecoder(enc.getvalue(), little_endian=little_endian)
+        for tc, value in forest:
+            assert get_marshaller(tc).demarshal(dec) == value
+
+    def test_large_numeric_run_is_referenced(self):
+        values = list(range(4096))  # 16 KiB as "i": far above SG_MIN_CHUNK
+        enc = CDREncoder()
+        get_marshaller(sequence_tc(TC_LONG)).marshal(enc, values)
+        assert enc.referenced_nbytes >= 4096 * 4
+        assert enc.getvalue() == _encode_forest(
+            [(sequence_tc(TC_LONG), values)], enc.little_endian,
+            1 << 62).getvalue()
+
+    def test_small_runs_are_copied_not_referenced(self):
+        enc = CDREncoder()
+        get_marshaller(sequence_tc(TC_LONG)).marshal(enc, [1, 2, 3])
+        assert enc.referenced_nbytes == 0
+        assert len(enc.chunks()) == 1  # one growing tail, nothing sealed
+
+
+class TestBatchDecode:
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(sorted(_FMT_VALUES)), st.data(), st.booleans())
+    def test_cast_path_equals_element_loop(self, fmt, data, little_endian):
+        """``get_array`` and the per-element loop agree for every batch
+        format on both stream endiannesses."""
+        values = data.draw(st.lists(_FMT_VALUES[fmt], min_size=1,
+                                    max_size=64))
+        m = get_marshaller(sequence_tc(_FMT_TC[fmt]))
+        enc = CDREncoder(little_endian=little_endian)
+        m.marshal(enc, values)
+        batch = m.demarshal(
+            CDRDecoder(enc.getvalue(), little_endian=little_endian))
+        loop = m.demarshal(
+            CDRDecoder(enc.getvalue(), little_endian=little_endian),
+            MarshalContext(generic_loop=True))
+        assert batch == loop == values
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from(sorted(_FMT_VALUES)), st.data(), st.booleans())
+    def test_generic_loop_encode_matches_batch_encode(self, fmt, data,
+                                                      little_endian):
+        values = data.draw(st.lists(_FMT_VALUES[fmt], max_size=64))
+        m = get_marshaller(sequence_tc(_FMT_TC[fmt]))
+        batch = CDREncoder(little_endian=little_endian)
+        m.marshal(batch, values)
+        loop = CDREncoder(little_endian=little_endian)
+        m.marshal(loop, values, MarshalContext(generic_loop=True))
+        assert batch.getvalue() == loop.getvalue()
+
+    def test_get_array_rejects_non_batch_format(self):
+        dec = CDRDecoder(b"\0" * 16)
+        with pytest.raises(LookupError):
+            dec.get_array("b", 4)
+
+    def test_get_array_byteswaps_foreign_order(self):
+        values = [0, 1, -1, 2 ** 30]
+        for little in (True, False):
+            payload = struct.pack(("<" if little else ">") + "4i", *values)
+            dec = CDRDecoder(payload, little_endian=little)
+            assert dec.get_array("i", 4) == values
+
+    def test_batch_formats_have_standard_strides(self):
+        for fmt in BATCH_FORMATS:
+            assert struct.calcsize(fmt) == _STD_SIZES[fmt]
+            assert array(fmt).itemsize == _STD_SIZES[fmt]
+
+
+class TestNumericFallbacks:
+    def test_bool_element_falls_back_to_element_semantics(self):
+        """A bool is a valid int element; batch and loop must agree."""
+        m = get_marshaller(sequence_tc(TC_LONG))
+        a, b = CDREncoder(), CDREncoder()
+        m.marshal(a, [True, False, 3])
+        m.marshal(b, [1, 0, 3])
+        assert a.getvalue() == b.getvalue()
+
+    def test_overflow_error_still_raised(self):
+        from repro.cdr.marshal import MarshalError
+        m = get_marshaller(sequence_tc(TC_LONG))
+        with pytest.raises((MarshalError, struct.error, OverflowError)):
+            m.marshal(CDREncoder(), [2 ** 40])
+
+
+class TestOctetPayloadChunks:
+    def test_zc_inline_payload_is_referenced_and_shared(self):
+        """The inline zero-copy octet path hands the application buffer
+        to the plan: mutating the source is visible in the chunk."""
+        seq = ZCOctetSequence.from_data(bytes(8 * 1024))
+        enc = CDREncoder()
+        get_marshaller(zc_octet_sequence_tc()).marshal(enc, seq)
+        assert enc.referenced_nbytes >= 8 * 1024
+        big = [c for c in enc.chunks()
+               if isinstance(c, memoryview) and c.nbytes == 8 * 1024]
+        assert len(big) == 1
+        seq.view()[0] = 0xAB
+        assert big[0][0] == 0xAB  # same memory, not a copy
+
+    def test_std_octet_payload_still_copies(self):
+        """The standard sequence<octet> is the paper's copying
+        baseline: its payload never lands in the plan by reference."""
+        from repro.cdr.typecode import TC_SEQ_OCTET
+        enc = CDREncoder()
+        get_marshaller(TC_SEQ_OCTET).marshal(
+            enc, OctetSequence(bytes(8 * 1024)))
+        assert enc.referenced_nbytes == 0
+
+    def test_sg_min_chunk_respected(self):
+        data = bytes(SG_MIN_CHUNK - 1)
+        enc = CDREncoder()
+        enc.put_octets(data)  # below threshold: copied
+        assert enc.referenced_nbytes == 0
+        enc2 = CDREncoder()
+        enc2.put_octets_view(memoryview(bytes(SG_MIN_CHUNK)))
+        assert enc2.referenced_nbytes == SG_MIN_CHUNK

@@ -1,0 +1,180 @@
+"""Copy-free send identity: the payload the application owns is the
+payload the transport sees.
+
+Three layers of the same claim:
+
+* the connection's gather-write hands ``sendv`` a memoryview into the
+  application's buffer (mutation visibility proves sharing);
+* over the shm transport, a ``ZCOctetSequence`` payload is staged into
+  the arena at *marshal* time, so the deposit send is a pure slot
+  reference (``shm_references_sent``);
+* ``ZCOctetSequence.in_arena`` builds the sequence inside a leased
+  slot up front, eliminating even the staging copy.
+"""
+
+import pytest
+
+from repro.cdr import get_marshaller
+from repro.cdr.typecode import TC_SEQ_ZC_OCTET
+from repro.core import ZCOctetSequence
+from repro.giop import MsgType, RequestHeader
+from repro.orb.connection import GIOPConn
+from repro.transport.shm import ShmArena, shm_available
+
+PAYLOAD = 64 * 1024
+
+
+class _CaptureStream:
+    """Stream double that records every sendv chunk list verbatim."""
+
+    def __init__(self):
+        self.batches = []
+
+    def sendv(self, chunks):
+        self.batches.append(list(chunks))
+
+    def close(self):
+        pass
+
+
+class TestGatherWriteIdentity:
+    def _send(self, conn, seq):
+        ctx = conn.make_marshal_context()
+        enc = conn.body_encoder()
+        get_marshaller(TC_SEQ_ZC_OCTET).marshal(enc, seq, ctx)
+        conn.send_message(
+            RequestHeader(request_id=1, object_key=b"k", operation="op"),
+            enc, ctx)
+
+    def test_inline_zc_payload_shares_app_buffer(self):
+        """With the registry off the payload travels inline — but as a
+        *reference* into the application's sequence, never a copy."""
+        stream = _CaptureStream()
+        conn = GIOPConn(stream, zero_copy=False)
+        seq = ZCOctetSequence.from_data(bytes(PAYLOAD))
+        self._send(conn, seq)
+        assert len(stream.batches) == 1
+        shared = [c for c in stream.batches[0]
+                  if isinstance(c, memoryview) and c.nbytes == PAYLOAD]
+        assert len(shared) == 1
+        seq.view()[0] = 0x5A  # mutate after "send": the chunk sees it
+        assert shared[0][0] == 0x5A
+        seq.view()[-1] = 0xA5
+        assert shared[0][-1] == 0xA5
+
+    def test_chunks_concatenate_to_a_parseable_message(self):
+        """The gather batch joins to exactly one well-formed GIOP
+        request (header sizes consistent, single fragment)."""
+        from repro.giop import GIOP_HEADER_SIZE, GIOPHeader
+        stream = _CaptureStream()
+        conn = GIOPConn(stream, zero_copy=False)
+        self._send(conn, ZCOctetSequence.from_data(bytes(PAYLOAD)))
+        wire = b"".join(bytes(c) for c in stream.batches[0])
+        header = GIOPHeader.decode(wire[:GIOP_HEADER_SIZE])
+        assert header.msg_type is MsgType.Request
+        assert header.size == len(wire) - GIOP_HEADER_SIZE
+
+    def test_registry_path_keeps_payload_out_of_control_message(self):
+        """With the registry on (no deposit channel on this stream) the
+        control message excludes the payload; the trailing deposit view
+        is the application buffer itself."""
+        stream = _CaptureStream()
+        conn = GIOPConn(stream)  # zero_copy on; plain stream, no arena
+        seq = ZCOctetSequence.from_data(bytes(PAYLOAD))
+        self._send(conn, seq)
+        batch = stream.batches[0]
+        control = sum(len(c) for c in batch) - PAYLOAD
+        assert control < 4096  # header + descriptor only
+        payload_views = [c for c in batch
+                         if isinstance(c, memoryview)
+                         and c.nbytes == PAYLOAD]
+        assert len(payload_views) == 1
+        seq.view()[0] = 0x77
+        assert payload_views[0][0] == 0x77
+
+
+@pytest.mark.skipif(not shm_available(), reason="no usable /dev/shm")
+class TestShmReferenceSend:
+    def test_marshal_stages_into_arena_send_is_reference(self):
+        """End to end over shm: a plain ``from_data`` payload is staged
+        into the arena while marshaling, so the wire-facing deposit is
+        a slot reference, not a copy."""
+        from repro.apps.ttcp import _TTCPServant, _ttcp_api
+        from repro.orb import ORB, ORBConfig
+        _ttcp_api()
+        server = ORB(ORBConfig(scheme="shm"))
+        client = ORB(ORBConfig(scheme="shm", collocated_calls=False))
+        try:
+            ref = server.activate(_TTCPServant())
+            stub = client.string_to_object(server.object_to_string(ref))
+            data = bytes(range(256)) * 1024  # 256 KiB
+            assert stub.send_zc(ZCOctetSequence.from_data(data)) == len(data)
+            proxy = next(iter(client._proxies.values()))
+            channel = proxy.conn.stream.deposit_channel
+            assert channel is not None
+            assert channel.shm_references_sent == 1
+            assert channel.shm_fallbacks_sent == 0
+            # staging must not leak arena slots: repeated calls keep
+            # taking the reference path (the receiver may still hold
+            # the most recent slot, but never accumulates them)
+            for _ in range(3):
+                stub.send_zc(ZCOctetSequence.from_data(data))
+            assert channel.shm_references_sent == 4
+            assert channel.shm_fallbacks_sent == 0
+            arena = channel.send_arena
+            assert arena.free_slots >= arena.slot_count - 1
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+
+class TestInArena:
+    def test_in_arena_copy_once_then_reference(self, tmp_path):
+        arena = ShmArena.create(str(tmp_path), slot_size=64 * 1024,
+                                slot_count=4)
+        try:
+            data = bytes(range(256)) * 64  # 16 KiB
+            seq = ZCOctetSequence.in_arena(arena, data)
+            assert seq is not None
+            assert seq.tobytes() == data
+            assert arena.free_slots == 3  # the slot is leased
+            # the sequence's storage IS the arena slot
+            lo = arena.slot_address(0)
+            hi = lo + arena.slot_size * arena.slot_count
+            import ctypes
+            addr = ctypes.addressof(
+                (ctypes.c_char * 0).from_buffer(seq.view()))
+            assert lo <= addr < hi
+            seq.release()
+            assert arena.free_slots == 4
+        finally:
+            arena.close()
+
+    def test_in_arena_fill_in_place(self, tmp_path):
+        arena = ShmArena.create(str(tmp_path), slot_size=64 * 1024,
+                                slot_count=4)
+        try:
+            seq = ZCOctetSequence.in_arena(arena, n=4096)
+            assert seq is not None and len(seq) == 4096
+            seq.view()[:] = b"\x3c" * 4096  # producer writes in place
+            assert seq.tobytes() == b"\x3c" * 4096
+            seq.release()
+        finally:
+            arena.close()
+
+    def test_in_arena_refuses_oversize_and_exhaustion(self, tmp_path):
+        arena = ShmArena.create(str(tmp_path), slot_size=4096,
+                                slot_count=1)
+        try:
+            assert ZCOctetSequence.in_arena(arena, bytes(8192)) is None
+            held = ZCOctetSequence.in_arena(arena, bytes(16))
+            assert held is not None
+            assert ZCOctetSequence.in_arena(arena, bytes(16)) is None
+            held.release()
+            assert ZCOctetSequence.in_arena(arena, bytes(16)) is not None
+        finally:
+            arena.close()
+
+    def test_in_arena_requires_an_arena(self):
+        assert ZCOctetSequence.in_arena(object(), bytes(16)) is None
+        assert ZCOctetSequence.in_arena(None, bytes(16)) is None
