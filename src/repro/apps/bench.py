@@ -7,10 +7,10 @@ convention ``BENCH_<tag>.json``).  CI runs this per PR and uploads the
 file as an artifact, so the repository accumulates a throughput/latency
 trajectory that future changes can be gated against.
 
-Document layout (``BENCH_SCHEMA_VERSION`` = 4)::
+Document layout (``BENCH_SCHEMA_VERSION`` = 5)::
 
     {
-      "schema": 4, "kind": "bench", "tag": "...",
+      "schema": 5, "kind": "bench", "tag": "...",
       "figures": {
         "fig5":       {"<label>": [{"size":..., "mbit_per_s":...}, ...]},
         "fig6_left":  {...},   # raw TCP: standard vs zero-copy stack
@@ -44,6 +44,14 @@ Document layout (``BENCH_SCHEMA_VERSION`` = 4)::
         "sizes": [{"size": ..., "blob_mb_per_s": ...,
                    "sg_mb_per_s": ..., "improvement": ...}, ...],
         "min_improvement": ...
+      },
+      "sendfile": {            # schema 5: kernel zero-copy file sends
+        "repeats": N,
+        "sizes": [{"size": ..., "sendfile_mb_per_s": ...,
+                   "copy_mb_per_s": ..., "speedup": ...}, ...],
+        "speedup_at_max": ...
+        # or, where os.sendfile is missing or the kernel refuses it:
+        # {"skipped": true, "reason": "...", "degrade_path_ok": true}
       }
     }
 
@@ -75,10 +83,11 @@ from ..obs.metrics import Histogram, MetricsRegistry
 from .ttcp import KB, MB, TTCPSeries, default_sizes, run_sim_ttcp
 
 __all__ = ["BENCH_SCHEMA_VERSION", "run_bench", "measure_pipelining",
-           "measure_shm", "measure_sgcdr", "validate_bench",
+           "measure_shm", "measure_sgcdr", "measure_sendfile",
+           "validate_bench",
            "compare_bench", "format_compare", "render_figure", "main"]
 
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
 #: the fig6_right zc-corba curves gated by --compare, at these sizes
 #: (falling back to the largest size both documents share)
@@ -255,6 +264,196 @@ def measure_sgcdr(sizes=(64 * KB, 256 * KB, 1 * MB),
             "min_improvement": min(r["improvement"] for r in rows)}
 
 
+def _sendfile_pair():
+    """(client TCPStream, server TCPStream, listener) on loopback."""
+    import threading
+
+    from ..transport.tcp import TCPTransport
+
+    transport = TCPTransport()
+    accepted: List = []
+    ready = threading.Event()
+
+    def on_accept(stream):
+        accepted.append(stream)
+        ready.set()
+
+    listener = transport.listen("127.0.0.1", 0, on_accept)
+    client = transport.connect(listener.endpoint)
+    if not ready.wait(5.0):
+        raise RuntimeError("sendfile bench server did not accept")
+    return client, accepted[0], listener
+
+
+def _discard(sock, n: int, _buf=bytearray(1 * MB)) -> int:
+    """Consume up to ``n`` queued bytes as cheaply as the platform
+    allows: Linux TCP ``MSG_TRUNC`` drops them in the kernel (no
+    copy-out), so the receiver never bottlenecks the send path being
+    measured; elsewhere fall back to an ordinary ``recv_into``."""
+    import socket
+
+    trunc = getattr(socket, "MSG_TRUNC", None)
+    if trunc is not None and sys.platform == "linux":
+        try:
+            return len(sock.recv(n, trunc))
+        except OSError:
+            pass
+    return sock.recv_into(memoryview(_buf)[:min(n, len(_buf))])
+
+
+def _sendfile_run(client, server, fd, size: int, transfers: int,
+                  repeats: int) -> float:
+    """Best bytes/s over ``repeats`` timings of ``transfers``
+    back-to-back ``send_file`` calls of ``size`` bytes each.
+
+    One persistent drain thread serves every repeat (thread startup
+    would otherwise dominate single-digit-millisecond transfers) and
+    signals each repeat's boundary once its bytes are fully consumed.
+    """
+    import queue
+    import threading
+    import time
+
+    per_repeat = size * transfers
+    boundaries: "queue.Queue" = queue.Queue()
+
+    def drain():
+        sock = server._sock
+        for _ in range(repeats):
+            remaining = per_repeat
+            while remaining:
+                remaining -= _discard(sock, min(remaining, 4 * MB))
+            boundaries.put(None)
+
+    rx = threading.Thread(target=drain, daemon=True)
+    rx.start()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(transfers):
+            client.send_file(fd, 0, size)
+        boundaries.get(timeout=120.0)
+        best = min(best, time.perf_counter() - t0)
+    rx.join()
+    return per_repeat / best
+
+
+def _sendfile_degrade_check() -> bool:
+    """The copying fallback must still move bytes, byte-identically."""
+    import os
+    import tempfile
+
+    with tempfile.NamedTemporaryFile() as tf:
+        data = os.urandom(256 * KB)
+        tf.write(data)
+        tf.flush()
+        client, server, listener = _sendfile_pair()
+        try:
+            import threading
+
+            client.sendfile_enabled = False
+            got = bytearray(len(data))
+
+            def drain():
+                server.recv_into(memoryview(got))
+
+            rx = threading.Thread(target=drain, daemon=True)
+            rx.start()
+            used_kernel = client.send_file(tf.fileno(), 0, len(data))
+            rx.join(timeout=30.0)
+            return used_kernel is False and bytes(got) == data
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+
+def measure_sendfile(sizes=(1 * MB, 4 * MB, 16 * MB),
+                     repeats: int = 5, transfers: int = 4) -> dict:
+    """Disk-to-socket throughput: kernel sendfile vs copying fallback.
+
+    Streams a file over a real TCP loopback pair twice per size: once
+    through ``TCPStream.send_file``'s ``os.sendfile`` tier (the file
+    bytes never enter user space on the send side) and once with the
+    tier disabled, forcing the chunked ``os.pread`` + ``sendall``
+    fallback — the pre-PR behaviour.  Each timing covers ``transfers``
+    back-to-back sends and the receiver discards in the kernel
+    (``MSG_TRUNC``), so the number isolates the send path.
+    Best-of-``repeats`` each; ``speedup`` per row is the acceptance
+    metric, ``speedup_at_max`` the headline at the largest size.
+
+    Where the platform has no ``os.sendfile`` (or the kernel refuses
+    it on the very first call) the probe *skips visibly*: it verifies
+    the copying fallback still moves bytes byte-identically and
+    records a ``{"skipped": true, ...}`` stanza the validator accepts.
+    """
+    import os
+    import tempfile
+
+    if not hasattr(os, "sendfile"):
+        print("repro-bench: NOTICE: this platform has no os.sendfile; "
+              "skipping the sendfile probe", file=sys.stderr)
+        return {"repeats": 0, "skipped": True,
+                "reason": "os.sendfile not available",
+                "degrade_path_ok": _sendfile_degrade_check(),
+                "sizes": []}
+
+    # one pseudo-random block, tiled: content-independent timing with
+    # cheap file creation even at the 64 MiB nightly sweep sizes
+    block = os.urandom(1 * MB)
+    rows: List[dict] = []
+    with tempfile.NamedTemporaryFile() as tf:
+        for _ in range(max(sizes) // len(block)):
+            tf.write(block)
+        tf.flush()
+        fd = tf.fileno()
+
+        # probe: does this kernel actually sendfile to a socket?
+        import threading
+
+        client, server, listener = _sendfile_pair()
+        try:
+            rx = threading.Thread(
+                target=lambda: server.recv_exact(4096), daemon=True)
+            rx.start()
+            probe = client.send_file(fd, 0, 4096)
+            rx.join(timeout=10.0)
+            if probe is not True:
+                print("repro-bench: NOTICE: kernel refused sendfile on "
+                      "a TCP socket; skipping the sendfile probe",
+                      file=sys.stderr)
+                return {"repeats": 0, "skipped": True,
+                        "reason": "kernel refused sendfile on TCP",
+                        "degrade_path_ok": _sendfile_degrade_check(),
+                        "sizes": []}
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+        for size in sizes:
+            per_mode = {}
+            for mode, enabled in (("sendfile", True), ("copy", False)):
+                client, server, listener = _sendfile_pair()
+                try:
+                    client.sendfile_enabled = enabled
+                    per_mode[mode] = _sendfile_run(
+                        client, server, fd, size, transfers,
+                        repeats) / 1e6
+                finally:
+                    client.close()
+                    server.close()
+                    listener.close()
+            rows.append({
+                "size": size,
+                "sendfile_mb_per_s": round(per_mode["sendfile"], 1),
+                "copy_mb_per_s": round(per_mode["copy"], 1),
+                "speedup": round(per_mode["sendfile"] / per_mode["copy"],
+                                 3)})
+    return {"repeats": repeats, "sizes": rows,
+            "speedup_at_max": rows[-1]["speedup"]}
+
+
 def _shm_degrade_check() -> bool:
     """An arena-less shm connection must still pass control traffic."""
     import threading
@@ -407,6 +606,8 @@ def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
               shm_size: int = 1 * MB, shm_repeats: int = 5,
               sgcdr_sizes=(64 * KB, 256 * KB, 1 * MB),
               sgcdr_repeats: int = 5,
+              sendfile_sizes=(1 * MB, 4 * MB, 16 * MB),
+              sendfile_repeats: int = 5,
               tag: str = "", registry: Optional[MetricsRegistry] = None
               ) -> dict:
     """The full trajectory document (see module docstring)."""
@@ -441,9 +642,15 @@ def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
     if registry is not None:
         registry.gauge("bench_sgcdr_min_improvement").set(
             sgcdr["min_improvement"])
+    sendfile = measure_sendfile(sizes=sendfile_sizes,
+                                repeats=sendfile_repeats)
+    if registry is not None and not sendfile.get("skipped"):
+        registry.gauge("bench_sendfile_speedup").set(
+            sendfile["speedup_at_max"])
     return {"schema": BENCH_SCHEMA_VERSION, "kind": "bench", "tag": tag,
             "figures": figures, "latency": latency,
-            "pipelining": pipelining, "shm": shm, "sgcdr": sgcdr}
+            "pipelining": pipelining, "shm": shm, "sgcdr": sgcdr,
+            "sendfile": sendfile}
 
 
 def validate_bench(doc: dict) -> List[str]:
@@ -516,6 +723,26 @@ def validate_bench(doc: dict) -> List[str]:
             or "sg_mb_per_s" not in r or "blob_mb_per_s" not in r
             or "improvement" not in r for r in rows):
         problems.append("sgcdr.sizes: malformed rows")
+    sendfile = doc.get("sendfile")
+    if not isinstance(sendfile, dict):
+        return problems + ["'sendfile' missing or malformed"]
+    if sendfile.get("skipped"):
+        # no os.sendfile (or the kernel refused it): the skip must
+        # carry a reason and proof the copying fallback still works
+        if not sendfile.get("reason"):
+            problems.append("sendfile: skipped without a reason")
+        if sendfile.get("degrade_path_ok") is not True:
+            problems.append(
+                "sendfile: skipped but degrade path not verified")
+    else:
+        sf_rows = sendfile.get("sizes")
+        if "speedup_at_max" not in sendfile or \
+                not isinstance(sf_rows, list) or not sf_rows or any(
+                    not isinstance(r, dict) or "size" not in r
+                    or "sendfile_mb_per_s" not in r
+                    or "copy_mb_per_s" not in r
+                    or "speedup" not in r for r in sf_rows):
+            problems.append("sendfile.sizes: malformed rows")
     return problems
 
 
@@ -536,7 +763,8 @@ def compare_bench(old: dict, new: dict,
     Gated series: the pipelining speedup per scheme, the shm deposit
     speedup, the fig6_right zc-corba throughput at 256 KiB and 1 MiB
     (or the largest size both documents share — quick runs sweep
-    smaller), and the sgcdr scatter/gather encode MB/s per size.  Each
+    smaller), the sgcdr scatter/gather encode MB/s per size, and the
+    sendfile disk-to-socket MB/s per size both documents swept.  Each
     row is ``{"metric", "old", "new", "ratio", "ok"}``; a row fails
     (``ok=False``) when ``new < old * tolerance``.  Metrics present in
     only one document (probe skipped, different sweep) are reported
@@ -586,6 +814,17 @@ def compare_bench(old: dict, new: dict,
     for s in sorted(set(old_sg) & set(new_sg)):
         add(f"sgcdr@{s}.sg_mb_per_s", old_sg[s].get("sg_mb_per_s"),
             new_sg[s].get("sg_mb_per_s"))
+
+    old_sf, new_sf = old.get("sendfile") or {}, new.get("sendfile") or {}
+    if not old_sf.get("skipped") and not new_sf.get("skipped"):
+        o_rows = {r["size"]: r for r in old_sf.get("sizes", [])
+                  if isinstance(r, dict) and "size" in r}
+        n_rows = {r["size"]: r for r in new_sf.get("sizes", [])
+                  if isinstance(r, dict) and "size" in r}
+        for s in sorted(set(o_rows) & set(n_rows)):
+            add(f"sendfile@{s}.sendfile_mb_per_s",
+                o_rows[s].get("sendfile_mb_per_s"),
+                n_rows[s].get("sendfile_mb_per_s"))
     return rows
 
 
@@ -650,6 +889,9 @@ def main(argv: Optional[list] = None) -> int:
     ap.add_argument("--shm-size", type=int, default=1 * MB,
                     help="payload bytes in the shm-vs-tcp deposit probe")
     ap.add_argument("--shm-repeats", type=int, default=5)
+    ap.add_argument("--sendfile-max-size", type=int, default=16 * MB,
+                    help="largest file in the sendfile-vs-copy sweep "
+                         "(the 1-4-16-64 MiB ladder is clipped to it)")
     ap.add_argument("--quick", action="store_true",
                     help="tiny sweep for CI smoke (16 KiB max, 10 calls)")
     ap.add_argument("--check", metavar="PATH", default=None,
@@ -721,6 +963,7 @@ def main(argv: Optional[list] = None) -> int:
         return 1 if problems else 0
 
     sgcdr_repeats = 5
+    sendfile_repeats = 5
     if args.quick:
         args.max_size = min(args.max_size, 16 * KB)
         args.latency_size = min(args.latency_size, 16 * KB)
@@ -732,6 +975,12 @@ def main(argv: Optional[list] = None) -> int:
         # mode (it is encode-only and fast) so --compare always has the
         # same sizes on both sides; only the repeats shrink
         sgcdr_repeats = 3
+        # the sendfile sweep keeps both its 1-4-16 MiB ladder (so the
+        # acceptance size is always present) and its full repeat count:
+        # each repeat is sub-second, and best-of-5 is what keeps the
+        # speedup stable on noisy single-core runners
+    sendfile_sizes = tuple(s for s in (1 * MB, 4 * MB, 16 * MB, 64 * MB)
+                           if s <= max(args.sendfile_max_size, 1 * MB))
 
     doc = run_bench(max_size=args.max_size, scheme=args.scheme,
                     latency_size=args.latency_size,
@@ -740,6 +989,8 @@ def main(argv: Optional[list] = None) -> int:
                     pipeline_calls=args.pipeline_calls,
                     shm_size=args.shm_size, shm_repeats=args.shm_repeats,
                     sgcdr_repeats=sgcdr_repeats,
+                    sendfile_sizes=sendfile_sizes,
+                    sendfile_repeats=sendfile_repeats,
                     tag=args.tag)
     problems = validate_bench(doc)
     if problems:  # a bug in this module, not in the caller's input
@@ -775,6 +1026,16 @@ def main(argv: Optional[list] = None) -> int:
               f"{row['sg_mb_per_s']:.0f} MB/s chunked vs "
               f"{row['blob_mb_per_s']:.0f} MB/s blob "
               f"({row['improvement']:.1f}x)")
+    sendfile = doc["sendfile"]
+    if sendfile.get("skipped"):
+        print(f"sendfile: SKIPPED ({sendfile['reason']}; degrade path "
+              f"{'ok' if sendfile.get('degrade_path_ok') else 'FAILED'})")
+    else:
+        for row in sendfile["sizes"]:
+            print(f"sendfile: {row['size']} B disk-to-socket "
+                  f"{row['sendfile_mb_per_s']:.0f} MB/s kernel vs "
+                  f"{row['copy_mb_per_s']:.0f} MB/s copy "
+                  f"({row['speedup']:.1f}x)")
     print(f"bench document written to {args.out}")
     return 0
 

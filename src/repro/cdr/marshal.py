@@ -28,7 +28,7 @@ from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
-from ..core.buffers import ZCBuffer
+from ..core.buffers import FileBackedBuffer, ZCBuffer
 from ..core.direct_deposit import DEPOSIT_MAGIC, DepositRegistry
 from ..core.sequences import OctetSequence, ZCOctetSequence
 from .decoder import CDRDecoder
@@ -336,6 +336,8 @@ class TCSeqZCOctet(Marshaller):
 
     # -- marshal -----------------------------------------------------------
     def marshal(self, enc, value, ctx=_EMPTY_CTX):
+        if isinstance(value, FileBackedBuffer):
+            return self._marshal_file(enc, value, ctx)
         view, little = self._as_view(value)
         self._check_bound(view.nbytes)
         if ctx.registry is not None:
@@ -363,6 +365,33 @@ class TCSeqZCOctet(Marshaller):
             # inline carriage means a copy on the modelled machine
             enc.put_octets_view(view)
             ctx.note("marshal-bulk", view.nbytes)
+
+    def _marshal_file(self, enc, value: FileBackedBuffer, ctx) -> None:
+        """A file-backed payload: register the buffer *object* so the
+        connection can route it by tier — kernel sendfile on TCP,
+        arena staging on shm, mapped-view copy everywhere else.  Octet
+        element kind only: a file range has no element byte order."""
+        if not self._is_octet:
+            raise MarshalError(
+                "file-backed payloads are sequence<zc_octet> only, not "
+                f"sequence<zc_{self._elem_kind.name[3:]}>")
+        self._check_bound(value.nbytes)
+        flags = FLAG_PAYLOAD_LITTLE if NATIVE_LITTLE else 0
+        if ctx.registry is not None:
+            staged = ctx.stage_in_arena(value.view()) \
+                if value.nbytes else None
+            payload = staged if staged is not None else value
+            desc = ctx.registry.register(payload, flags=flags)
+            ctx.descriptors.append(desc)
+            enc.put_ulong(DEPOSIT_MAGIC)
+            enc.put_ulong(desc.deposit_id)
+            ctx.note("reference", value.nbytes)
+        else:
+            # no deposit path (local call, force_copy retry): the file
+            # range travels inline as a mapped view
+            enc.put_ulong(_INLINE_MARKER)
+            enc.put_octets_view(value.view())
+            ctx.note("marshal-bulk", value.nbytes)
 
     # -- demarshal -----------------------------------------------------------
     def _wrap(self, buf: ZCBuffer, payload_little: bool):

@@ -16,14 +16,16 @@ application or by the stub and skeleton code", §6).
 
 from __future__ import annotations
 
+import mmap
+import os
 import threading
 import weakref
 from typing import Callable, Optional
 
 import numpy as np
 
-__all__ = ["PAGE_SIZE", "ZCBuffer", "MappedBuffer", "BufferPool",
-           "BufferError", "default_pool"]
+__all__ = ["PAGE_SIZE", "ZCBuffer", "MappedBuffer", "FileBackedBuffer",
+           "BufferPool", "BufferError", "default_pool"]
 
 PAGE_SIZE = 4096
 
@@ -193,6 +195,114 @@ class MappedBuffer(ZCBuffer):
             self._view = None
         if self._finalizer is not None:
             self._finalizer()  # runs on_release once; detaches from GC
+
+
+class FileBackedBuffer(ZCBuffer):
+    """A read-only :class:`ZCBuffer` whose payload lives in an open file.
+
+    Wraps ``(fd, offset, count)`` — the three values ``os.sendfile``
+    needs — so a disk-resident payload can be *registered* for direct
+    deposit without ever being read into user space.  The TCP transport
+    sends it with the kernel zero-copy path; transports without
+    ``send_file`` (and the inline/copy fallbacks) call :meth:`view`,
+    which lazily maps the file range and hands out a zero-copy
+    ``memoryview`` of the page cache.
+
+    With ``close_fd=True`` (or via :meth:`open`) the buffer owns the
+    descriptor: a ``weakref.finalize`` closes it on the first of an
+    explicit :meth:`release` or garbage collection, so descriptors are
+    never leaked even when the application drops the buffer unreleased
+    — the same guarantee :class:`MappedBuffer` gives arena slots.
+    """
+
+    __slots__ = ("fd", "offset", "_mmap", "_finalizer", "__weakref__")
+
+    def __init__(self, fd: int, offset: int = 0,
+                 count: Optional[int] = None, *, close_fd: bool = False):
+        if count is None:
+            count = max(os.fstat(fd).st_size - offset, 0)
+        if offset < 0 or count < 0:
+            raise ValueError(
+                f"file range must be non-negative, got ({offset}, {count})")
+        self.fd = fd
+        self.offset = offset
+        self.capacity = count
+        self._length = count
+        self._pool = None
+        self._released = False
+        self._release_lock = threading.Lock()
+        self._base = None
+        self._view = None
+        self._mmap = None
+        self._finalizer = (weakref.finalize(self, os.close, fd)
+                           if close_fd else None)
+
+    @classmethod
+    def open(cls, path, offset: int = 0,
+             count: Optional[int] = None) -> "FileBackedBuffer":
+        """Open ``path`` read-only and wrap the given range, owning the
+        descriptor (closed on release or garbage collection)."""
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+        try:
+            return cls(fd, offset, count, close_fd=True)
+        except BaseException:
+            os.close(fd)
+            raise
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size (memoryview-compatible spelling of ``length``)."""
+        return self._length
+
+    @property
+    def address(self) -> int:
+        # a file payload has no user-space address until mapped; this
+        # buffer only ever appears on the *send* side, where alignment
+        # is never checked
+        self._check_live()
+        return 0
+
+    def view(self) -> memoryview:
+        """Read-only view of the file range, mapped on first use.
+
+        The mapping starts at the allocation-granularity boundary at or
+        below ``offset`` (``mmap`` requires it) and the returned view is
+        sliced to the exact payload range.
+        """
+        self._check_live()
+        if self._length == 0:
+            return memoryview(b"")
+        if self._view is None:
+            start = self.offset - (self.offset % mmap.ALLOCATIONGRANULARITY)
+            delta = self.offset - start
+            self._mmap = mmap.mmap(self.fd, self._length + delta,
+                                   offset=start, access=mmap.ACCESS_READ)
+            self._view = memoryview(self._mmap)[delta:delta + self._length]
+        return self._view
+
+    def full_view(self) -> memoryview:
+        return self.view()
+
+    def fill_from(self, data) -> None:
+        raise BufferError("FileBackedBuffer is read-only")
+
+    def release(self) -> None:
+        with self._release_lock:
+            self._check_live()
+            self._released = True
+            view, self._view = self._view, None
+            mapping, self._mmap = self._mmap, None
+        if view is not None:
+            view.release()
+        if mapping is not None:
+            mapping.close()
+        if self._finalizer is not None:
+            self._finalizer()  # closes the owned fd once; detaches from GC
+
+    def __repr__(self) -> str:
+        state = "released" if self._released else f"len={self._length}"
+        return (f"<FileBackedBuffer fd={self.fd} off={self.offset} "
+                f"{state}>")
 
 
 def _size_class(nbytes: int) -> int:

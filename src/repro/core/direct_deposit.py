@@ -26,7 +26,8 @@ import threading
 from dataclasses import dataclass
 from typing import Optional
 
-from .buffers import PAGE_SIZE, BufferPool, ZCBuffer, default_pool
+from .buffers import (PAGE_SIZE, BufferPool, FileBackedBuffer, ZCBuffer,
+                      default_pool)
 
 __all__ = [
     "DepositDescriptor",
@@ -93,8 +94,19 @@ class DepositRegistry:
         self._order: list[int] = []
         self._lock = threading.Lock()
 
-    def register(self, payload: memoryview, alignment: int = PAGE_SIZE,
+    def register(self, payload, alignment: int = PAGE_SIZE,
                  flags: int = 0) -> DepositDescriptor:
+        """Register a pending payload: a memoryview (or bytes-like), or
+        a :class:`FileBackedBuffer` — the latter is kept as-is so the
+        connection can route it through the kernel ``sendfile`` tier
+        instead of a mapped view."""
+        if isinstance(payload, FileBackedBuffer):
+            with self._lock:
+                dep_id = next(self._ids)
+                self._pending[dep_id] = payload
+                self._order.append(dep_id)
+            return DepositDescriptor(deposit_id=dep_id, size=payload.nbytes,
+                                     alignment=alignment, flags=flags)
         view = memoryview(payload)
         if view.format != "B" or view.ndim != 1:
             view = view.cast("B")

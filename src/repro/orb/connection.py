@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..cdr import NATIVE_LITTLE, CDREncoder, MarshalContext
-from ..core.buffers import BufferPool, ZCBuffer, default_pool
+from ..core.buffers import (BufferPool, FileBackedBuffer, ZCBuffer,
+                            default_pool)
 from ..core.direct_deposit import (DepositError, DepositReceiver,
                                    DepositRegistry)
 from ..giop import (GIOP_HEADER_SIZE, GIOPError, GIOPHeader, GIOPMessage,
@@ -63,6 +64,11 @@ class ConnStats:
     #: fallback, counted on both the send and receive side
     shm_deposits: int = 0
     shm_fallbacks: int = 0
+    #: file-backed deposits (FileBackedBuffer) at or above the
+    #: sendfile threshold: kernel-path sends vs copying fallbacks
+    #: (syscall missing, not a real socket, or the platform refused)
+    sendfile_sends: int = 0
+    sendfile_fallbacks: int = 0
 
 
 @dataclass
@@ -105,7 +111,8 @@ class GIOPConn:
                  on_bytes: Optional[Callable[[str, int], None]] = None,
                  orb=None, fragment_size: int = 0,
                  stats: Optional[ConnStats] = None,
-                 sink: Optional[EventSink] = None):
+                 sink: Optional[EventSink] = None,
+                 sendfile_min_size: int = 256 * 1024):
         self.stream = stream
         self.pool = pool or default_pool()
         self.zero_copy = zero_copy
@@ -120,6 +127,10 @@ class GIOPConn:
         #: exceeds this many bytes (0 = never fragment).  Deposit
         #: payloads are never fragmented — they are the data path.
         self.fragment_size = fragment_size
+        #: file-backed payloads at or above this size take the sendfile
+        #: tier (when the stream has one); below it they travel as
+        #: mapped views through the ordinary gather write
+        self.sendfile_min_size = sendfile_min_size
         #: a caller-supplied ConnStats survives reconnects (the proxy
         #: hands the same object to each replacement connection)
         self.stats = stats if stats is not None else ConnStats()
@@ -231,35 +242,76 @@ class GIOPConn:
         # headers _frame emitted
         control_nbytes = sum(len(c) for c in chunks)
         payloads = [view for _, view in deposits]
+        has_file = any(isinstance(p, FileBackedBuffer) for p in payloads)
         # shared-memory transports expose a deposit channel: payloads
         # travel through the arena (or its per-deposit inline fallback)
         # instead of trailing the control message on the stream
         channel = getattr(self.stream, "deposit_channel", None) \
             if payloads else None
         shm_sent = shm_fallback = 0
+        sf_sent = sf_fallback = 0
         slot_waits: list = []
+
+        def send_file_payload(fbb: FileBackedBuffer) -> None:
+            # the sendfile tier: at or above the threshold a stream
+            # with send_file pushes the range fd-to-socket (True) or
+            # runs its byte-identical copying fallback (False); a
+            # stream without one — loopback, sim, faulty — counts as a
+            # fallback too.  Below the threshold the payload is an
+            # ordinary mapped-view gather write, no sendfile accounting.
+            nonlocal sf_sent, sf_fallback
+            if fbb.nbytes >= self.sendfile_min_size:
+                send_file = getattr(self.stream, "send_file", None)
+                if send_file is not None:
+                    if send_file(fbb.fd, fbb.offset, fbb.nbytes):
+                        sf_sent += 1
+                    else:
+                        sf_fallback += 1
+                    return
+                sf_fallback += 1
+            self.stream.sendv([fbb.view()])
 
         def send_payloads() -> None:
             nonlocal shm_sent, shm_fallback
-            if channel is None:
-                self.stream.sendv(payloads)
+            if channel is not None:
+                for p in payloads:
+                    view = p.view() if isinstance(p, FileBackedBuffer) \
+                        else p
+                    used_arena, waited = channel.send_deposit(view)
+                    if used_arena:
+                        shm_sent += 1
+                    else:
+                        shm_fallback += 1
+                    slot_waits.append(waited)
                 return
-            for view in payloads:
-                used_arena, waited = channel.send_deposit(view)
-                if used_arena:
-                    shm_sent += 1
+            # memory payloads batch into gather writes; file-backed
+            # ones break the run to take their own tier
+            run: list = []
+            for p in payloads:
+                if isinstance(p, FileBackedBuffer):
+                    if run:
+                        self.stream.sendv(run)
+                        run = []
+                    send_file_payload(p)
                 else:
-                    shm_fallback += 1
-                slot_waits.append(waited)
+                    run.append(p)
+            if run:
+                self.stream.sendv(run)
 
         try:
             with self._send_lock:
                 if self.sink is None:
-                    if channel is None:
+                    if channel is None and not has_file:
                         self.stream.sendv(chunks + payloads)
                     else:
-                        self.stream.sendv(chunks)
-                        send_payloads()
+                        # two-step send: batch so a synchronous peer
+                        # (loopback) only pumps once the payloads are
+                        # queued behind the control message
+                        batch = getattr(self.stream, "send_batch", None)
+                        with batch() if batch is not None \
+                                else nullcontext():
+                            self.stream.sendv(chunks)
+                            send_payloads()
                 else:
                     # traced: the gather-write splits at the control/
                     # data boundary so each path times separately (the
@@ -291,6 +343,8 @@ class GIOPConn:
                     self.stats.deposit_bytes_sent += view.nbytes
                 self.stats.shm_deposits += shm_sent
                 self.stats.shm_fallbacks += shm_fallback
+                self.stats.sendfile_sends += sf_sent
+                self.stats.sendfile_fallbacks += sf_fallback
         except TransportTimeout as e:
             # an incompletely sent GIOP message can never execute
             self._closed = True
@@ -303,6 +357,8 @@ class GIOPConn:
         if channel is not None:
             self._record_shm_metrics("send", shm_sent, shm_fallback,
                                      slot_waits)
+        if sf_sent or sf_fallback:
+            self._record_sendfile_metrics(sf_sent, sf_fallback)
         if self.on_bytes is not None:
             for _, view in deposits:
                 self.on_bytes("deposit-send", view.nbytes)
@@ -321,28 +377,43 @@ class GIOPConn:
         fragmenting per GIOP 1.1 if configured.
 
         Unfragmented (the fast path) the plan passes through untouched:
-        one header chunk prepended, no join.  Fragmentation has to cut
-        the body at arbitrary boundaries, so it joins first — framing
-        for slow WAN-style links was never the zero-copy regime.
+        one header chunk prepended, no join.  Fragmentation *walks* the
+        chunk plan, slicing ``memoryview`` windows at the fragment
+        boundaries — the emitted pieces alias the caller's chunks, so
+        even the WAN regime never joins the body into a staging blob.
         """
         if not self.fragment_size or body_nbytes <= self.fragment_size:
             header = GIOPHeader(msg_type=msg_type, size=body_nbytes,
                                 little_endian=self.little_endian)
             return [header.encode()] + body_chunks, 1
-        body = b"".join(bytes(c) if isinstance(c, memoryview) else c
-                        for c in body_chunks)
+        views = [c if isinstance(c, memoryview) else memoryview(c)
+                 for c in body_chunks]
+        views = [v.cast("B") if (v.format != "B" or v.ndim != 1) else v
+                 for v in views]
+        # per-fragment chunk lists: each fragment takes up to
+        # fragment_size bytes, cutting chunks with zero-copy slices
+        fragments: list[list] = [[]]
+        room = self.fragment_size
+        for v in views:
+            while v.nbytes:
+                if room == 0:
+                    fragments.append([])
+                    room = self.fragment_size
+                take = min(room, v.nbytes)
+                fragments[-1].append(v[:take])
+                v = v[take:]
+                room -= take
         chunks: list = []
-        pieces = [body[i:i + self.fragment_size]
-                  for i in range(0, len(body), self.fragment_size)]
-        for i, piece in enumerate(pieces):
-            more = i < len(pieces) - 1
+        for i, pieces in enumerate(fragments):
+            more = i < len(fragments) - 1
             mtype = msg_type if i == 0 else MsgType.Fragment
-            header = GIOPHeader(msg_type=mtype, size=len(piece),
+            header = GIOPHeader(msg_type=mtype,
+                                size=sum(p.nbytes for p in pieces),
                                 little_endian=self.little_endian,
                                 more_fragments=more)
             chunks.append(header.encode())
-            chunks.append(piece)
-        return chunks, len(pieces)
+            chunks.extend(pieces)
+        return chunks, len(fragments)
 
     def _record_shm_metrics(self, op: str, arena_count: int,
                             fallback_count: int, waits=()) -> None:
@@ -361,6 +432,19 @@ class GIOPConn:
             hist = registry.histogram("shm_slot_wait_seconds")
             for waited in waits:
                 hist.observe(waited)
+
+    def _record_sendfile_metrics(self, kernel_count: int,
+                                 fallback_count: int) -> None:
+        """Mirror the per-conn sendfile counters into the ORB metrics
+        registry (present once ``enable_tracing`` ran)."""
+        registry = getattr(self.orb, "metrics", None) \
+            if self.orb is not None else None
+        if registry is None:
+            return
+        if kernel_count:
+            registry.counter("sendfile_sends_total").inc(kernel_count)
+        if fallback_count:
+            registry.counter("sendfile_fallbacks_total").inc(fallback_count)
 
     def send_close(self) -> None:
         header = GIOPHeader(msg_type=MsgType.CloseConnection, size=0,

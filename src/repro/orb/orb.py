@@ -58,6 +58,13 @@ class ORBConfig:
     collocated_calls: bool = True
     #: GIOP 1.1 fragmentation threshold for control messages (0 = off)
     fragment_size: int = 0
+    #: dial deadline (seconds) for outgoing connections; expiry maps to
+    #: TRANSIENT with COMPLETED_NO — the request was never sent
+    connect_timeout: float = 30.0
+    #: file-backed payloads at or above this size take the kernel
+    #: sendfile tier on TCP (below it, or on transports without a real
+    #: socket, they travel as mapped views / arena deposits)
+    sendfile_min_size: int = 256 * 1024
     #: dispatch threads of the server's bounded worker pool; 0 restores
     #: inline (in-reader) dispatch, serializing upcalls per connection
     server_workers: int = 4
@@ -179,7 +186,8 @@ class ORB:
                                 wire_little_endian=cfg.wire_little_endian,
                                 sink=self.sink,
                                 workers=cfg.server_workers,
-                                queue_depth=cfg.server_queue_depth)
+                                queue_depth=cfg.server_queue_depth,
+                                sendfile_min_size=cfg.sendfile_min_size)
             schemes = [cfg.scheme] + [s for s in cfg.extra_schemes
                                       if s != cfg.scheme]
             endpoints = []
@@ -356,7 +364,8 @@ class ORB:
             transport = self.transports.get(endpoint[0])
 
             def connector() -> GIOPConn:
-                stream = transport.connect(endpoint)
+                stream = transport.connect(
+                    endpoint, timeout=self.config.connect_timeout)
                 kw = {}
                 if self.config.wire_little_endian is not None:
                     kw["little_endian"] = self.config.wire_little_endian
@@ -365,6 +374,8 @@ class ORB:
                                 generic_loop=self.config.generic_loop,
                                 on_bytes=self.on_bytes, orb=self,
                                 fragment_size=self.config.fragment_size,
+                                sendfile_min_size=self.config
+                                .sendfile_min_size,
                                 sink=self.sink, **kw)
 
             proxy = IIOPProxy(connector, orb=self)

@@ -38,7 +38,7 @@ from typing import Any, Callable, Optional, Sequence, Tuple, Union
 from ..giop import ReplyHeader, ReplyStatus, RequestHeader
 from ..obs.events import stage_span
 from ..obs.stages import STAGE_DEMARSHAL, STAGE_MARSHAL
-from ..transport.base import TransportError
+from ..transport.base import TransportError, TransportTimeout
 from .connection import ConnStats, GIOPConn, ReceivedMessage
 from .demux import ReplyDemux, ReplyFuture
 from .exceptions import (COMM_FAILURE, INTERNAL, MARSHAL, TIMEOUT, TRANSIENT,
@@ -131,6 +131,14 @@ class IIOPProxy:
                 message="connection closed and proxy has no connector")
         try:
             conn = self._connector()
+        except TransportTimeout as e:
+            # the dial deadline (ORBConfig.connect_timeout) expired: no
+            # request was ever sent, so COMPLETED_NO is honest and the
+            # call is safely retryable — TRANSIENT, like any other
+            # failure to establish the connection
+            self._stats.timeouts += 1
+            raise TRANSIENT(completed=CompletionStatus.COMPLETED_NO,
+                            message=f"connect timed out: {e}") from e
         except TransportError as e:
             raise TRANSIENT(completed=CompletionStatus.COMPLETED_NO,
                             message=f"connect failed: {e}") from e

@@ -133,7 +133,8 @@ class IIOPServer:
                  on_bytes: Optional[Callable[[str, int], None]] = None,
                  orb=None, fragment_size: int = 0,
                  wire_little_endian=None, sink=None,
-                 workers: int = 4, queue_depth: int = 32):
+                 workers: int = 4, queue_depth: int = 32,
+                 sendfile_min_size: int = 256 * 1024):
         self.poa = poa
         self.orb = orb
         self.pool = pool
@@ -143,6 +144,7 @@ class IIOPServer:
         #: structured event sink handed to every accepted connection
         self.sink = sink
         self.fragment_size = fragment_size
+        self.sendfile_min_size = sendfile_min_size
         self.wire_little_endian = wire_little_endian
         self.dispatcher = MethodDispatcher(poa, on_bytes=on_bytes)
         self.listeners: List = []
@@ -171,7 +173,9 @@ class IIOPServer:
         conn = GIOPConn(stream, pool=self.pool, zero_copy=self.zero_copy,
                         generic_loop=self.generic_loop,
                         on_bytes=self.on_bytes, orb=self.orb,
-                        fragment_size=self.fragment_size, sink=sink, **kw)
+                        fragment_size=self.fragment_size,
+                        sendfile_min_size=self.sendfile_min_size,
+                        sink=sink, **kw)
         with self._lock:
             if self._shutdown:
                 conn.close()

@@ -2,6 +2,7 @@
 Service and a CosEvents-style push Event Channel — both ordinary CORBA
 objects defined in this package's own IDL."""
 
+from .blobstore import BLOB_IDL, BlobStoreImpl, blob_api, read_all
 from .events import EVENTS_IDL, EventChannelImpl, QueueingConsumer, events_api
 from .naming import (NAMING_IDL, NameClient, NamingContextImpl, naming_api,
                      start_name_service)
@@ -10,4 +11,5 @@ __all__ = [
     "NAMING_IDL", "naming_api", "NamingContextImpl", "NameClient",
     "start_name_service",
     "EVENTS_IDL", "events_api", "EventChannelImpl", "QueueingConsumer",
+    "BLOB_IDL", "blob_api", "BlobStoreImpl", "read_all",
 ]

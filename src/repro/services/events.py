@@ -20,6 +20,7 @@ from typing import Deque, List, Optional
 
 from ..idl import compile_idl
 from ..orb import ORB
+from ..orb.exceptions import SystemException
 
 __all__ = ["EVENTS_IDL", "events_api", "EventChannelImpl",
            "QueueingConsumer"]
@@ -40,6 +41,8 @@ module Events {
         void push(in sequence<zc_octet> event) raises (Disconnected);
         unsigned long n_consumers();
         unsigned long long events_delivered();
+        // dead consumers auto-disconnected by a failing push
+        unsigned long consumers_evicted();
     };
 };
 """
@@ -72,6 +75,8 @@ class EventChannelImpl:
                 self._lock = threading.Lock()
                 self._delivered = 0
                 self._closed = False
+                #: consumers auto-disconnected after a failed push
+                self.events_consumers_evicted = 0
 
             def connect_consumer(self, consumer):
                 with self._lock:
@@ -89,9 +94,30 @@ class EventChannelImpl:
                     raise api.Events_Disconnected(why="channel closed")
                 with self._lock:
                     consumers = list(self._consumers)
+                dead = []
                 for consumer in consumers:
-                    consumer.push(event)
+                    try:
+                        consumer.push(event)
+                    except SystemException:
+                        # one dead consumer (COMM_FAILURE/TIMEOUT on
+                        # its callback) must not poison the supplier's
+                        # push or starve the consumers behind it:
+                        # auto-disconnect it and keep delivering
+                        dead.append(consumer)
+                        continue
                     self._delivered += 1
+                if dead:
+                    self._evict(dead)
+
+            def _evict(self, dead) -> None:
+                gone = {c.ior.iiop_profile().object_key for c in dead}
+                with self._lock:
+                    before = len(self._consumers)
+                    self._consumers = [
+                        c for c in self._consumers
+                        if c.ior.iiop_profile().object_key not in gone]
+                    self.events_consumers_evicted += \
+                        before - len(self._consumers)
 
             def n_consumers(self):
                 with self._lock:
@@ -99,6 +125,9 @@ class EventChannelImpl:
 
             def events_delivered(self):
                 return self._delivered
+
+            def consumers_evicted(self):
+                return self.events_consumers_evicted
 
         return Impl()
 

@@ -19,7 +19,7 @@ carry the scheme so one ORB can talk over all of them.
 
 from __future__ import annotations
 
-from typing import Callable, Protocol, Sequence, Tuple
+from typing import Callable, Optional, Protocol, Sequence, Tuple
 
 __all__ = ["Stream", "Listener", "Transport", "Endpoint", "TransportError",
            "TransportTimeout", "TransportRegistry", "registry"]
@@ -64,11 +64,18 @@ class Stream(Protocol):
     @property
     def peer(self) -> str: ...
 
-    # Optional capability (not part of the structural protocol): streams
-    # that can block indefinitely (TCP) additionally expose
-    # ``set_timeout(seconds | None)``; a blocking operation that exceeds
-    # the timeout raises TransportTimeout.  Callers must feature-test
-    # with ``getattr(stream, "set_timeout", None)``.
+    # Optional capabilities (not part of the structural protocol),
+    # feature-tested with ``getattr(stream, name, None)``:
+    #
+    # * streams that can block indefinitely (TCP) expose
+    #   ``set_timeout(seconds | None)``; a blocking operation that
+    #   exceeds the timeout raises TransportTimeout;
+    # * streams over a real socket expose
+    #   ``send_file(fd, offset, count) -> bool``: send a file range
+    #   without reading it into user space (``os.sendfile``), returning
+    #   True on the kernel path or False after the byte-identical
+    #   copying fallback ran.  Streams without it get file payloads as
+    #   mapped views through ``sendv`` — the copy tier.
 
 
 class Listener(Protocol):
@@ -85,11 +92,17 @@ AcceptHandler = Callable[[Stream], None]
 
 
 class Transport(Protocol):
-    """Factory for streams and listeners under one scheme."""
+    """Factory for streams and listeners under one scheme.
+
+    ``connect`` takes an optional ``timeout`` (seconds) bounding the
+    dial; in-process transports ignore it, socket transports map expiry
+    to :class:`TransportTimeout`.
+    """
 
     scheme: str
 
-    def connect(self, endpoint: Endpoint) -> Stream: ...
+    def connect(self, endpoint: Endpoint,
+                timeout: Optional[float] = None) -> Stream: ...
 
     def listen(self, host: str, port: int,
                on_accept: AcceptHandler) -> Listener: ...

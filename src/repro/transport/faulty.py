@@ -21,13 +21,15 @@ the ORB stays correct when the network does not.
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 import time
 from dataclasses import dataclass
 from typing import List, Optional
 
-from .base import AcceptHandler, Endpoint, TransportError
+from .base import (AcceptHandler, Endpoint, TransportError,
+                   TransportTimeout)
 
 __all__ = ["FaultPlan", "FaultRule", "FaultEvent", "FaultyTransport",
            "FaultyStream", "faulty_registry"]
@@ -288,6 +290,25 @@ class FaultyStream:
                 f"(connection {self.conn_index})")
         raise TransportError(f"unhandled fault action {action!r}")
 
+    def send_file(self, fd: int, offset: int, count: int) -> bool:
+        """A fault-injected stream is not a plain socket: read the file
+        range and push it through this stream's own ``sendv`` so the
+        plan's send rules still apply.  Always the copying tier
+        (returns False) — ``__getattr__`` must not silently delegate
+        ``send_file`` to the inner socket, which would bypass every
+        injected fault on the payload bytes."""
+        sent = 0
+        while sent < count:
+            chunk = os.pread(fd, min(256 * 1024, count - sent),
+                             offset + sent)
+            if not chunk:
+                raise TransportError(
+                    f"file truncated with {count - sent} bytes "
+                    f"outstanding (connection {self.conn_index})")
+            self.sendv([chunk])
+            sent += len(chunk)
+        return False
+
     # -- passthrough ---------------------------------------------------------------
     def close(self) -> None:
         self._inner.close()
@@ -319,11 +340,21 @@ class FaultyTransport:
     def scheme(self) -> str:
         return self.inner.scheme
 
-    def connect(self, endpoint: Endpoint):
+    def connect(self, endpoint: Endpoint, timeout: Optional[float] = None):
         idx = self.plan.next_connect_index()
         rule = self.plan.match("connect", idx, idx)
         if rule is not None:
             if rule.delay > 0:
+                if timeout is not None and rule.delay > timeout:
+                    # the injected stall outlasts the caller's dial
+                    # deadline: sleep only the deadline, then surface
+                    # the expiry exactly as a real slow peer would
+                    time.sleep(timeout)
+                    self.plan.record(idx, "connect", idx, rule.action,
+                                     f"timed out after {timeout}s")
+                    raise TransportTimeout(
+                        f"injected dial stall exceeded the {timeout}s "
+                        f"connect timeout (connection {idx})")
                 time.sleep(rule.delay)
             if rule.action == "refuse":
                 self.plan.record(idx, "connect", idx, "refuse")
@@ -331,7 +362,7 @@ class FaultyTransport:
                     f"injected connect refusal (connection {idx})")
             self.plan.record(idx, "connect", idx, rule.action,
                              f"{rule.delay}s")
-        stream = self.inner.connect(endpoint)
+        stream = self.inner.connect(endpoint, timeout=timeout)
         return FaultyStream(stream, self.plan, idx)
 
     def listen(self, host: str, port: int, on_accept: AcceptHandler):

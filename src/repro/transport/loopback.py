@@ -213,7 +213,10 @@ class LoopbackTransport:
         self._listeners[key] = listener
         return listener
 
-    def connect(self, endpoint: Endpoint) -> LoopbackStream:
+    def connect(self, endpoint: Endpoint,
+                timeout: Optional[float] = None) -> LoopbackStream:
+        # in-process rendezvous: the dial is instantaneous, so the
+        # connect timeout is accepted for interface parity and ignored
         scheme, host, port = endpoint
         if scheme != self.scheme:
             raise TransportError(f"loopback cannot dial scheme {scheme!r}")

@@ -53,8 +53,9 @@ import numpy as np
 from ..core.buffers import PAGE_SIZE, BufferPool, MappedBuffer, ZCBuffer
 from ..core.buffers import _size_class as _slot_size_class
 from ..core.direct_deposit import DepositDescriptor, DepositError
-from .base import AcceptHandler, Endpoint, TransportError
-from .tcp import TCPListener, TCPStream
+from .base import (AcceptHandler, Endpoint, TransportError,
+                   TransportTimeout)
+from .tcp import DEFAULT_CONNECT_TIMEOUT, TCPListener, TCPStream
 
 __all__ = ["ShmTransport", "ShmStream", "ShmArena", "ShmError",
            "shm_available"]
@@ -608,10 +609,18 @@ class ShmTransport:
         return self._finish(own, attached, peer_ok)
 
     # -- Transport surface ----------------------------------------------------
-    def connect(self, endpoint: Endpoint) -> ShmStream:
+    def connect(self, endpoint: Endpoint,
+                timeout: Optional[float] = None) -> ShmStream:
         _scheme, host, port = endpoint
+        dial_timeout = timeout if timeout is not None \
+            else DEFAULT_CONNECT_TIMEOUT
         try:
-            sock = socket.create_connection((host, port), timeout=30)
+            sock = socket.create_connection((host, port),
+                                            timeout=dial_timeout)
+        except socket.timeout as e:
+            raise TransportTimeout(
+                f"connect to shm://{host}:{port} timed out after "
+                f"{dial_timeout}s") from e
         except OSError as e:
             raise TransportError(
                 f"cannot connect to shm://{host}:{port}: {e}") from e

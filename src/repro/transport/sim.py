@@ -168,7 +168,9 @@ class SimTransport:
         inner = self._inner.listen(host, port, wrap_accept)
         return _SimListener(inner)
 
-    def connect(self, endpoint: Endpoint) -> SimStream:
+    def connect(self, endpoint: Endpoint,
+                timeout: Optional[float] = None) -> SimStream:
+        # modelled testbed: the dial is instantaneous, timeout ignored
         scheme, host, port = endpoint
         if scheme != self.scheme:
             raise TransportError(f"sim transport cannot dial {scheme!r}")

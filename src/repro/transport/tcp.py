@@ -14,23 +14,42 @@ see ``repro.orb.server``).
 
 from __future__ import annotations
 
+import errno
 import itertools
 import logging
+import os
+import select
 import socket
 import threading
 from typing import Optional
 
 from .base import AcceptHandler, Endpoint, TransportError, TransportTimeout
 
-__all__ = ["TCPTransport", "TCPStream", "TCPListener"]
+__all__ = ["TCPTransport", "TCPStream", "TCPListener",
+           "DEFAULT_CONNECT_TIMEOUT"]
 
 _log = logging.getLogger("repro.transport.tcp")
 
 _SENDMSG_LIMIT = 64  # IOV_MAX is >=1024 everywhere; stay far below
 
+#: dial deadline when the caller supplies none (ORBConfig overrides it)
+DEFAULT_CONNECT_TIMEOUT = 30.0
+
 #: scatter-gather writes need socket.sendmsg, which some platforms
 #: (older Windows CPython) lack — sendv falls back to a sendall loop
 _HAVE_SENDMSG = hasattr(socket.socket, "sendmsg")
+
+#: kernel zero-copy file send; absent on some platforms (Windows),
+#: send_file then takes the chunked copying fallback
+_HAVE_SENDFILE = hasattr(os, "sendfile")
+
+#: errnos meaning "sendfile cannot work on this fd pair" — fall back to
+#: the copying path rather than failing the send
+_SENDFILE_UNSUPPORTED = {errno.EINVAL, errno.ENOSYS, errno.EOPNOTSUPP,
+                         errno.ENOTSOCK, errno.ENOTSUP}
+
+#: chunk size of the copying fallback (os.pread + sendall)
+_SENDFILE_CHUNK = 256 * 1024
 
 
 class TCPStream:
@@ -43,6 +62,9 @@ class TCPStream:
         self._wlock = threading.Lock()
         self.bytes_sent = 0
         self.bytes_received = 0
+        #: flip off to force send_file onto the copying fallback (tests,
+        #: platforms where the probe said sendfile misbehaves)
+        self.sendfile_enabled = True
 
     def set_timeout(self, seconds: Optional[float]) -> None:
         """Deadline for blocking socket operations; ``None`` = block
@@ -109,6 +131,82 @@ class TCPStream:
                 else:
                     rest.append(v)
             views[i:i + len(batch)] = rest
+
+    def send_file(self, fd: int, offset: int, count: int) -> bool:
+        """Send ``count`` bytes of open file ``fd`` starting at
+        ``offset`` — via ``os.sendfile`` (kernel zero-copy, the bytes
+        never enter user space) when the platform and socket allow it,
+        else via a chunked ``os.pread`` + ``sendall`` copying loop that
+        puts byte-identical data on the wire.
+
+        Returns ``True`` when the kernel path was used, ``False`` when
+        the copying fallback ran; either way all ``count`` bytes were
+        sent (or :class:`TransportError` raised).  Partial kernel sends
+        and ``EAGAIN`` (a socket with a timeout set is internally
+        non-blocking) are resumed from the last byte out.
+        """
+        if count <= 0:
+            return True
+        with self._wlock:
+            try:
+                if not (_HAVE_SENDFILE and self.sendfile_enabled):
+                    self._send_file_copying(fd, offset, count)
+                    return False
+                return self._send_file_kernel(fd, offset, count)
+            except socket.timeout as e:
+                raise TransportTimeout(
+                    f"{self.name}: send_file timed out") from e
+            except TransportError:
+                raise
+            except OSError as e:
+                raise TransportError(
+                    f"{self.name}: send_file failed: {e}") from e
+
+    def _send_file_kernel(self, fd: int, offset: int, count: int) -> bool:
+        """``os.sendfile`` loop; falls back to copying (return False) if
+        the very first call says the fd pair is unsupported."""
+        sent = 0
+        while sent < count:
+            try:
+                n = os.sendfile(self._sock.fileno(), fd,
+                                offset + sent, count - sent)
+            except BlockingIOError:
+                # timeout-mode socket: wait for writability, then retry
+                self._wait_writable()
+                continue
+            except OSError as e:
+                if sent == 0 and e.errno in _SENDFILE_UNSUPPORTED:
+                    self._send_file_copying(fd, offset, count)
+                    return False
+                raise
+            if n == 0:
+                raise TransportError(
+                    f"{self.name}: file truncated with {count - sent} "
+                    f"bytes outstanding")
+            sent += n
+            self.bytes_sent += n
+        return True
+
+    def _send_file_copying(self, fd: int, offset: int, count: int) -> None:
+        """The byte-identical copying fallback: positional chunked reads
+        (no shared file-position state) pushed with sendall."""
+        sent = 0
+        while sent < count:
+            chunk = os.pread(fd, min(_SENDFILE_CHUNK, count - sent),
+                             offset + sent)
+            if not chunk:
+                raise TransportError(
+                    f"{self.name}: file truncated with {count - sent} "
+                    f"bytes outstanding")
+            self._sock.sendall(chunk)
+            sent += len(chunk)
+            self.bytes_sent += len(chunk)
+
+    def _wait_writable(self) -> None:
+        timeout = self._sock.gettimeout()
+        _, writable, _ = select.select([], [self._sock], [], timeout)
+        if not writable:
+            raise socket.timeout("send_file: socket never became writable")
 
     def recv_exact(self, n: int) -> memoryview:
         buf = bytearray(n)
@@ -206,10 +304,22 @@ class TCPListener:
 class TCPTransport:
     scheme = "tcp"
 
-    def connect(self, endpoint: Endpoint) -> TCPStream:
+    def connect(self, endpoint: Endpoint,
+                timeout: Optional[float] = None) -> TCPStream:
+        """Dial ``endpoint`` with a bounded handshake: ``timeout`` (the
+        caller's ``ORBConfig.connect_timeout``) caps the dial, and
+        expiry surfaces as :class:`TransportTimeout` so the ORB can map
+        it honestly (nothing was sent)."""
         scheme, host, port = endpoint
+        dial_timeout = timeout if timeout is not None \
+            else DEFAULT_CONNECT_TIMEOUT
         try:
-            sock = socket.create_connection((host, port), timeout=30)
+            sock = socket.create_connection((host, port),
+                                            timeout=dial_timeout)
+        except socket.timeout as e:
+            raise TransportTimeout(
+                f"connect to {host}:{port} timed out after "
+                f"{dial_timeout}s") from e
         except OSError as e:
             raise TransportError(
                 f"cannot connect to {host}:{port}: {e}") from e

@@ -16,6 +16,8 @@ def _tiny_doc(**kw):
     kw.setdefault("pipeline_inflight", 4)
     kw.setdefault("shm_size", 64 * KB)
     kw.setdefault("shm_repeats", 2)
+    kw.setdefault("sendfile_sizes", (1024 * KB,))
+    kw.setdefault("sendfile_repeats", 2)
     return run_bench(**kw)
 
 
@@ -52,6 +54,18 @@ class TestRunBench:
         assert shm["schemes"]["shm"]["shm_deposits_total"] > 0
         assert shm["schemes"]["shm"]["shm_fallbacks_total"] == 0
         assert reg.get("bench_shm_speedup").value == shm["speedup"]
+        # sendfile probe: rows or a visible, degrade-verified skip
+        sf = doc["sendfile"]
+        if sf.get("skipped"):
+            assert sf["reason"] and sf["degrade_path_ok"] is True
+        else:
+            row = sf["sizes"][0]
+            assert row["size"] == 1024 * KB
+            assert row["sendfile_mb_per_s"] > 0
+            assert row["copy_mb_per_s"] > 0
+            assert sf["speedup_at_max"] == row["speedup"]
+            assert reg.get("bench_sendfile_speedup").value == \
+                sf["speedup_at_max"]
 
     def test_zero_copy_beats_standard_in_sim_sweep(self):
         doc = _tiny_doc()
@@ -103,7 +117,8 @@ class TestValidator:
         out = tmp_path / "BENCH_q.json"
         assert main(["--quick", "--tag", "t", "--out", str(out),
                      "--max-size", "4096", "--latency-size", "1024",
-                     "--latency-calls", "3"]) == 0
+                     "--latency-calls", "3",
+                     "--sendfile-max-size", "1048576"]) == 0
         doc = json.loads(out.read_text())
         assert validate_bench(doc) == []
         assert "bench document written" in capsys.readouterr().out

@@ -58,6 +58,15 @@ def _doc(**over):
                             {"size": 1 * MB, "blob_mb_per_s": 1000.0,
                              "sg_mb_per_s": 9000.0, "improvement": 9.0}],
                   "min_improvement": 2.333},
+        "sendfile": {"repeats": 3,
+                     "sizes": [{"size": 1 * MB,
+                                "sendfile_mb_per_s": 4000.0,
+                                "copy_mb_per_s": 2000.0, "speedup": 2.0},
+                               {"size": 16 * MB,
+                                "sendfile_mb_per_s": 5000.0,
+                                "copy_mb_per_s": 2000.0,
+                                "speedup": 2.5}],
+                     "speedup_at_max": 2.5},
     }
     doc.update(over)
     return doc
@@ -116,6 +125,24 @@ class TestCompareLogic:
         bad = [r for r in compare_bench(old, new, tolerance=0.9)
                if not r["ok"]]
         assert [r["metric"] for r in bad] == ["shm.speedup"]
+
+    def test_sendfile_regression_fails_per_size(self):
+        old = _doc()
+        new = _clone(old)
+        new["sendfile"]["sizes"][1]["sendfile_mb_per_s"] = 500.0  # 10x drop
+        rows = compare_bench(old, new, tolerance=0.75)
+        bad = {r["metric"] for r in rows if not r["ok"]}
+        assert bad == {f"sendfile@{16 * MB}.sendfile_mb_per_s"}
+
+    def test_skipped_sendfile_is_not_punished(self):
+        old = _doc()
+        new = _clone(old)
+        new["sendfile"] = {"skipped": True,
+                           "reason": "kernel refused sendfile on TCP",
+                           "degrade_path_ok": True}
+        rows = compare_bench(old, new)
+        assert all(r["ok"] for r in rows)
+        assert not any(r["metric"].startswith("sendfile@") for r in rows)
 
     def test_skipped_shm_is_not_punished(self):
         old = _doc()
@@ -211,6 +238,26 @@ class TestSchema4Validation:
         doc = _doc(shm={"skipped": True, "reason": "no shm",
                         "degrade_path_ok": False})
         assert any("degrade" in p for p in validate_bench(doc))
+
+    def test_skipped_sendfile_stanza_valid(self):
+        doc = _doc(sendfile={"skipped": True, "reason": "no os.sendfile",
+                             "degrade_path_ok": True})
+        assert validate_bench(doc) == []
+
+    def test_skipped_sendfile_requires_reason_and_degrade_proof(self):
+        doc = _doc(sendfile={"skipped": True, "degrade_path_ok": True})
+        assert any("reason" in p for p in validate_bench(doc))
+        doc = _doc(sendfile={"skipped": True, "reason": "no os.sendfile",
+                             "degrade_path_ok": False})
+        assert any("degrade" in p for p in validate_bench(doc))
+
+    def test_missing_sendfile_flagged(self):
+        doc = _doc()
+        del doc["sendfile"]
+        assert any("sendfile" in p for p in validate_bench(doc))
+        doc = _doc()
+        del doc["sendfile"]["sizes"][0]["sendfile_mb_per_s"]
+        assert any("sendfile.sizes" in p for p in validate_bench(doc))
 
     def test_missing_sgcdr_flagged(self):
         doc = _doc()

@@ -202,3 +202,97 @@ class TestHeterogeneity:
         finally:
             client.shutdown()
             server.shutdown()
+
+
+class TestFrameZeroCopy:
+    """The framing hot path must slice the chunk plan, never join it.
+
+    The old ``_frame`` flattened the scatter/gather plan into one
+    ``bytes`` before cutting fragments — a full copy of every body on
+    every fragmented send.  The rewrite walks the plan and emits
+    per-fragment chunk lists whose pieces are memoryview slices of the
+    original chunks.
+    """
+
+    FRAG = 1000
+    _ids = itertools.count(1)
+
+    def _conn(self, fragment_size):
+        from repro.orb.connection import GIOPConn
+        from repro.transport import LoopbackTransport
+
+        transport = LoopbackTransport()
+        accepted = []
+        listener = transport.listen(
+            f"frame-{next(self._ids)}", 0, accepted.append)
+        stream = transport.connect(listener.endpoint)
+        listener.close()
+        return GIOPConn(stream, fragment_size=fragment_size)
+
+    @staticmethod
+    def _reassemble(chunks):
+        """Strip the 12-byte GIOP headers; return the body bytes."""
+        from repro.giop import GIOP_HEADER_SIZE, GIOPHeader
+
+        wire = b"".join(bytes(c) for c in chunks)
+        body = bytearray()
+        pos = 0
+        n_frags = 0
+        while pos < len(wire):
+            header = GIOPHeader.decode(
+                memoryview(wire)[pos:pos + GIOP_HEADER_SIZE])
+            pos += GIOP_HEADER_SIZE
+            body += wire[pos:pos + header.size]
+            pos += header.size
+            n_frags += 1
+        return bytes(body), n_frags
+
+    def test_fragmented_wire_bytes_equal_unfragmented(self):
+        from repro.giop import MsgType
+
+        plan = [bytes([i % 256]) * n
+                for i, n in enumerate((100, 3000, 17, 4500, 1))]
+        nbytes = sum(len(c) for c in plan)
+
+        flat_chunks, n1 = self._conn(0)._frame(
+            MsgType.Request, list(plan), nbytes)
+        frag_chunks, n2 = self._conn(self.FRAG)._frame(
+            MsgType.Request, list(plan), nbytes)
+        assert n1 == 1 and n2 == 8  # ceil(7618 / 1000)
+
+        flat_body, _ = self._reassemble(flat_chunks)
+        frag_body, n_headers = self._reassemble(frag_chunks)
+        assert frag_body == flat_body == b"".join(plan)
+        assert n_headers == 8
+
+    def test_fragment_pieces_alias_the_original_chunks(self):
+        """No copy: every body piece is a view into the caller's plan."""
+        from repro.giop import MsgType
+
+        big = bytearray(b"A" * 5000)
+        plan = [b"hdr-bytes", memoryview(big)]
+        chunks, n = self._conn(self.FRAG)._frame(
+            MsgType.Request, plan, 9 + 5000)
+        assert n > 1
+        pieces = [c for c in chunks if isinstance(c, memoryview)]
+        assert sum(p.nbytes for p in pieces) == 9 + 5000
+        aliased = [p for p in pieces if p.obj is big]
+        assert sum(p.nbytes for p in aliased) == 5000
+
+        # aliasing is observable: mutate the source, the plan follows
+        big[0:3] = b"XYZ"
+        first = next(p for p in aliased)
+        assert bytes(first[:3]) == b"XYZ"
+
+    def test_odd_fragment_boundaries_respect_chunk_seams(self):
+        """Chunk seams and fragment boundaries interleave arbitrarily."""
+        from repro.giop import MsgType
+
+        plan = [bytes([i % 256]) * n for i, n in enumerate(
+            (1, 999, 1000, 1001, 5, 5, 5, 2500))]
+        nbytes = sum(len(c) for c in plan)
+        chunks, n = self._conn(self.FRAG)._frame(
+            MsgType.Request, list(plan), nbytes)
+        body, n_headers = self._reassemble(chunks)
+        assert body == b"".join(plan)
+        assert n == n_headers == -(-nbytes // self.FRAG)

@@ -86,3 +86,47 @@ class TestEventChannel:
             assert list(impl.events) == [bytes([3]), bytes([4])]
         finally:
             orb.shutdown()
+
+
+class TestConsumerEviction:
+    def test_dead_consumer_evicted_and_delivery_continues(self):
+        """A consumer whose process died mid-stream must not poison the
+        supplier's push: the channel auto-disconnects it, keeps
+        delivering to the healthy consumers, and counts the eviction."""
+        chan_orb = ORB(ORBConfig(scheme="loop"))
+        doomed_orb = ORB(ORBConfig(scheme="loop"))
+        healthy_orb = ORB(ORBConfig(scheme="loop"))
+        supp_orb = ORB(ORBConfig(scheme="loop", collocated_calls=False))
+        try:
+            channel_ref = chan_orb.activate(EventChannelImpl())
+            channel = supp_orb.string_to_object(
+                chan_orb.object_to_string(channel_ref))
+
+            doomed = QueueingConsumer()
+            healthy = QueueingConsumer()
+            for orb, impl in ((doomed_orb, doomed), (healthy_orb, healthy)):
+                ref = orb.activate(impl)
+                channel.connect_consumer(
+                    chan_orb.string_to_object(orb.object_to_string(ref)))
+
+            channel.push(ZCOctetSequence.from_data(b"a" * 100))
+            assert doomed.received == 1 and healthy.received == 1
+            assert channel.n_consumers() == 2
+
+            doomed_orb.shutdown()  # the consumer "process" dies
+
+            # this push hits the dead callback, evicts it, and still
+            # reaches the healthy consumer
+            channel.push(ZCOctetSequence.from_data(b"b" * 100))
+            assert healthy.received == 2
+            assert channel.n_consumers() == 1
+            assert channel.consumers_evicted() == 1
+
+            # subsequent pushes no longer try the dead consumer
+            channel.push(ZCOctetSequence.from_data(b"c" * 100))
+            assert healthy.received == 3
+            assert channel.consumers_evicted() == 1
+        finally:
+            supp_orb.shutdown()
+            healthy_orb.shutdown()
+            chan_orb.shutdown()

@@ -53,3 +53,9 @@ def test_streaming_pipeline():
     assert "name service up" in out
     assert "transcoded to MPEG-4" in out
     assert "done." in out
+
+
+def test_blob_server():
+    out = run_example("blob_server.py", "--size-mb", "4")
+    assert "kernel sendfile" in out
+    assert "done." in out

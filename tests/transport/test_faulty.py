@@ -223,3 +223,66 @@ class TestRegistryHelper:
         loop = reg.get("loop")
         assert isinstance(loop, FaultyTransport)
         assert loop.plan is plan
+
+
+class TestConnectTimeout:
+    """Injected dial stalls against the caller's connect deadline."""
+
+    def test_stall_exceeding_timeout_raises(self):
+        from repro.transport import TransportTimeout
+        plan = FaultPlan().stall_connect(nth=1, delay=30.0)
+        transport = FaultyTransport(LoopbackTransport(), plan)
+        listener = transport.listen("stall-host", 0, lambda s: None)
+        try:
+            t0 = time.monotonic()
+            with pytest.raises(TransportTimeout, match="connect timeout"):
+                transport.connect(listener.endpoint, timeout=0.05)
+            # slept only the deadline, not the full injected stall
+            assert time.monotonic() - t0 < 5.0
+            assert plan.events[-1].action == "stall"
+            assert "timed out" in plan.events[-1].detail
+        finally:
+            listener.close()
+
+    def test_stall_within_timeout_connects(self):
+        plan = FaultPlan().stall_connect(nth=1, delay=0.01)
+        transport = FaultyTransport(LoopbackTransport(), plan)
+        accepted = []
+        listener = transport.listen("slow-host", 0, accepted.append)
+        try:
+            stream = transport.connect(listener.endpoint, timeout=5.0)
+            stream.send(b"ok")
+            assert accepted[0].recv_exact(2).tobytes() == b"ok"
+        finally:
+            listener.close()
+
+    def test_orb_maps_dial_timeout_to_transient(self):
+        """The proxy turns a dial-deadline expiry into TRANSIENT with
+        COMPLETED_NO: the request was never sent, safe to retry."""
+        from repro.idl import compile_idl
+        from repro.orb import ORB, ORBConfig
+        from repro.orb.exceptions import TRANSIENT, CompletionStatus
+        from repro.transport import faulty_registry
+
+        api = compile_idl(
+            "interface Pingable { unsigned long ping(in unsigned long x); };",
+            module_name="_test_dialto_idl")
+
+        class Impl(api.Pingable_skel):
+            def ping(self, x):
+                return x
+
+        plan = FaultPlan().stall_connect(nth=1, delay=30.0)
+        server = ORB(ORBConfig(scheme="loop"))
+        client = ORB(ORBConfig(scheme="loop", collocated_calls=False,
+                               connect_timeout=0.05),
+                     transports=faulty_registry(plan))
+        try:
+            stub = client.string_to_object(
+                server.object_to_string(server.activate(Impl())))
+            with pytest.raises(TRANSIENT, match="connect timed out") as ei:
+                stub.ping(1)
+            assert ei.value.completed is CompletionStatus.COMPLETED_NO
+        finally:
+            client.shutdown()
+            server.shutdown()
