@@ -830,19 +830,18 @@ def compare_bench(old: dict, new: dict,
 
 def format_compare(rows: List[dict], tolerance: float) -> str:
     """The per-metric delta table the bench-regression CI job prints."""
-    head = (f"{'metric':<44} {'old':>14} {'new':>14} "
-            f"{'ratio':>7}  gate>={tolerance:g}")
-    lines = [head, "-" * len(head)]
-    for r in rows:
-        ratio = "n/a" if r["ratio"] is None else f"{r['ratio']:.3f}"
-        old_v = "-" if not isinstance(r["old"], (int, float)) \
-            else f"{r['old']:,.1f}"
-        new_v = "-" if not isinstance(r["new"], (int, float)) \
-            else f"{r['new']:,.1f}"
-        verdict = "OK" if r["ok"] else "FAIL"
-        lines.append(f"{r['metric']:<44} {old_v:>14} {new_v:>14} "
-                     f"{ratio:>7}  {verdict}")
-    return "\n".join(lines)
+    from ..obs.tables import format_table
+
+    def num(v) -> str:
+        return f"{v:,.1f}" if isinstance(v, (int, float)) else "-"
+
+    table_rows = [[r["metric"], num(r["old"]), num(r["new"]),
+                   "n/a" if r["ratio"] is None else f"{r['ratio']:.3f}",
+                   "OK" if r["ok"] else "FAIL"]
+                  for r in rows]
+    return format_table(
+        ["metric", "old", "new", "ratio", f"gate>={tolerance:g}"],
+        table_rows, align="lrrrl")
 
 
 def render_figure(doc: dict, figure: str = "fig5") -> str:

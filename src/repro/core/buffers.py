@@ -384,6 +384,20 @@ class BufferPool:
         with self._lock:
             return sum(len(v) for v in self._free.values())
 
+    def stats(self) -> dict:
+        """One consistent snapshot of the pool's counters (all fields
+        copied under the lock, so a scrape never sees a torn
+        cached_bytes/cached_count pair mid-release)."""
+        with self._lock:
+            return {
+                "cached_bytes": self.cached_bytes,
+                "cached_count": sum(len(v) for v in self._free.values()),
+                "max_cached_bytes": self.max_cached_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "reclaims": self.reclaims,
+            }
+
     def clear(self) -> None:
         with self._lock:
             self._free.clear()

@@ -38,6 +38,7 @@ from .events import (ByteEvent, CallbackSink, CompositeSink, EventSink,
                      WireEvent, stage_span)
 from .export import (dump_metrics, dump_spans, render_text, spans_to_dict,
                      to_dict, to_json)
+from .flightrec import DEFAULT_SLOW_THRESHOLD, FlightRecorder
 from .metrics import (DEFAULT_LATENCY_BUCKETS, DEFAULT_SIZE_BUCKETS, Counter,
                       Gauge, Histogram, MetricsRegistry,
                       quantile_from_buckets)
@@ -62,4 +63,5 @@ __all__ = [
     "DistributedTracer", "Span", "SpanCollector", "TraceContext",
     "extract_trace_context", "build_span_tree", "render_span_tree",
     "spans_to_dict", "dump_spans", "quantile_from_buckets",
+    "FlightRecorder", "DEFAULT_SLOW_THRESHOLD",
 ]

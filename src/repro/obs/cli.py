@@ -175,6 +175,75 @@ def _summary(doc: dict) -> None:
             print(f"{head}  {m['value']}")
 
 
+def _series_key(m: dict):
+    """Identity of one exported series: name + sorted labels."""
+    return (m["name"], tuple(sorted((m.get("labels") or {}).items())))
+
+
+def _series_head(key) -> str:
+    name, labels = key
+    lab = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{lab}}}" if lab else name
+
+
+def _scalar_rows(key, m: dict):
+    """(head, type, value) rows for one series — histograms flatten to
+    their ``_count``/``_sum`` running totals, so every row diffs as a
+    plain number."""
+    head = _series_head(key)
+    if m["type"] == "histogram":
+        return [(f"{head} count", "histogram", m["count"]),
+                (f"{head} sum", "histogram", m["sum"])]
+    return [(head, m["type"], m["value"])]
+
+
+def _fmt_num(v) -> str:
+    return f"{v:g}" if isinstance(v, (int, float)) else str(v)
+
+
+def _diff(old_doc: dict, new_doc: dict) -> int:
+    """Print per-series deltas between two v1 metrics dumps.
+
+    Counters and histogram count/sum totals print as ``+N``; gauges as
+    ``old -> new``.  Series present in only one dump are listed as
+    added/removed; unchanged series are summarized, not listed.
+    """
+    from .tables import format_table
+
+    old = {_series_key(m): m for m in old_doc["metrics"]}
+    new = {_series_key(m): m for m in new_doc["metrics"]}
+    rows, unchanged = [], 0
+    for key in sorted(set(old) | set(new), key=_series_head):
+        if key not in old:
+            for head, mtype, v in _scalar_rows(key, new[key]):
+                rows.append([head, mtype, "-", _fmt_num(v), "added"])
+            continue
+        if key not in new:
+            for head, mtype, v in _scalar_rows(key, old[key]):
+                rows.append([head, mtype, _fmt_num(v), "-", "removed"])
+            continue
+        if old[key]["type"] != new[key]["type"]:
+            rows.append([_series_head(key), "?",
+                         old[key]["type"], new[key]["type"],
+                         "type changed"])
+            continue
+        for (head, mtype, ov), (_, _, nv) in zip(
+                _scalar_rows(key, old[key]), _scalar_rows(key, new[key])):
+            if ov == nv:
+                unchanged += 1
+                continue
+            if mtype == "gauge":
+                delta = f"{_fmt_num(ov)} -> {_fmt_num(nv)}"
+            else:
+                delta = f"{nv - ov:+g}"
+            rows.append([head, mtype, _fmt_num(ov), _fmt_num(nv), delta])
+    if rows:
+        print(format_table(["series", "type", "old", "new", "delta"],
+                           rows, align="llrrl"))
+    print(f"{len(rows)} series changed, {unchanged} unchanged")
+    return 0
+
+
 def _span_dump_spans(doc: dict):
     from .dtrace import Span
     return [Span.from_dict(d) for d in doc["spans"]]
@@ -196,30 +265,56 @@ def main(argv: Optional[list] = None) -> int:
         prog="repro-metrics",
         description="validate and render repro.obs metrics and span dumps")
     ap.add_argument("command",
-                    choices=("check", "render", "summary", "spans", "tree"),
+                    choices=("check", "render", "summary", "spans", "tree",
+                             "diff"),
                     help="check: validate schema (v1 or v2, auto-detected); "
                          "render: Prometheus text; summary: one line per "
                          "series with percentiles; spans: one line per "
-                         "span; tree: ASCII span tree per trace")
-    ap.add_argument("path", help="JSON dump written by --metrics-dump "
-                                 "or --span-dump")
+                         "span; tree: ASCII span tree per trace; diff: "
+                         "per-series deltas between two metrics dumps")
+    ap.add_argument("paths", nargs="+", metavar="path",
+                    help="JSON dump written by --metrics-dump or "
+                         "--span-dump (diff takes exactly two)")
     args = ap.parse_args(argv)
 
-    try:
-        with open(args.path, encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"repro-metrics: cannot read {args.path}: {e}",
+    want = 2 if args.command == "diff" else 1
+    if len(args.paths) != want:
+        print(f"repro-metrics: {args.command} takes exactly {want} "
+              f"path{'s' if want > 1 else ''}, got {len(args.paths)}",
               file=sys.stderr)
         return 1
 
+    docs = []
+    for path in args.paths:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                docs.append(json.load(fh))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"repro-metrics: cannot read {path}: {e}",
+                  file=sys.stderr)
+            return 1
+
+    if args.command == "diff":
+        for path, doc in zip(args.paths, docs):
+            if doc.get("schema") == SPAN_SCHEMA_VERSION or "spans" in doc:
+                print(f"repro-metrics: {path} is a span dump; diff "
+                      f"works on metrics dumps", file=sys.stderr)
+                return 1
+            problems = validate_dump(doc)
+            if problems:
+                for p in problems:
+                    print(f"repro-metrics: {path}: {p}", file=sys.stderr)
+                return 1
+        return _diff(docs[0], docs[1])
+
+    doc = docs[0]
     is_spans = doc.get("schema") == SPAN_SCHEMA_VERSION or "spans" in doc
     if args.command in ("spans", "tree") and not is_spans:
-        print(f"repro-metrics: {args.path} is not a span dump "
+        print(f"repro-metrics: {args.paths[0]} is not a span dump "
               f"(schema {doc.get('schema')!r})", file=sys.stderr)
         return 1
     if args.command in ("render", "summary") and is_spans:
-        print(f"repro-metrics: {args.path} is a span dump; use "
+        print(f"repro-metrics: {args.paths[0]} is a span dump; use "
               f"'spans' or 'tree'", file=sys.stderr)
         return 1
 
@@ -232,7 +327,7 @@ def main(argv: Optional[list] = None) -> int:
     if args.command == "check":
         body = (f"{len(doc['spans'])} spans" if is_spans
                 else f"{len(doc['metrics'])} series")
-        print(f"{args.path}: schema {doc['schema']}, {body}, OK")
+        print(f"{args.paths[0]}: schema {doc['schema']}, {body}, OK")
     elif args.command == "render":
         sys.stdout.write(_render_lines(doc))
     elif args.command == "summary":

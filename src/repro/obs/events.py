@@ -75,7 +75,17 @@ class EventSink:
     ``clock`` is injectable (defaults to ``time.perf_counter``) and is
     what :meth:`stage` spans measure with, so tests can drive stage
     durations deterministically.
+
+    ``wire_stages`` declares whether this sink wants the connection
+    layer to *split* each outbound gather-write at the control/deposit
+    boundary so the two halves time separately.  Tracing sinks do
+    (that split is the Fig. 7 breakdown); the always-on flight
+    recorder does not — it must leave the wire geometry of the
+    zero-copy single-``sendv`` path untouched.
     """
+
+    #: ask the connection layer for split control/deposit send stages
+    wire_stages = True
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self.clock = clock
@@ -180,6 +190,11 @@ class CompositeSink(EventSink):
         self.sinks = list(sinks)
         clock = self.sinks[0].clock if self.sinks else time.perf_counter
         super().__init__(clock=clock)
+
+    @property
+    def wire_stages(self) -> bool:
+        """Split sends if any member wants the split timing."""
+        return any(s.wire_stages for s in self.sinks)
 
     def emit(self, event) -> None:
         for sink in self.sinks:

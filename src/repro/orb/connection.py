@@ -19,6 +19,7 @@ DESIGN.md §6).
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import threading
 from contextlib import nullcontext
@@ -69,6 +70,29 @@ class ConnStats:
     #: (syscall missing, not a real socket, or the platform refused)
     sendfile_sends: int = 0
     sendfile_fallbacks: int = 0
+    #: the lock the owning connection mutates these counters under
+    #: (its ``_send_lock``); :meth:`snapshot` copies while holding it.
+    #: None (a stats object not yet adopted by a conn) copies bare.
+    owner_lock: Optional[threading.Lock] = \
+        dataclasses.field(default=None, repr=False, compare=False)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A consistent copy of every counter.
+
+        The counters are written under the owning connection's send
+        lock but historically read lock-free by dump paths; taking
+        :attr:`owner_lock` here makes one scrape see one coherent
+        point in time (no torn messages/bytes pairs mid-send).
+        """
+        lock = self.owner_lock
+        if lock is None:
+            return {f: getattr(self, f) for f in self._COUNTER_FIELDS}
+        with lock:
+            return {f: getattr(self, f) for f in self._COUNTER_FIELDS}
+
+
+ConnStats._COUNTER_FIELDS = tuple(
+    f.name for f in dataclasses.fields(ConnStats) if f.name != "owner_lock")
 
 
 @dataclass
@@ -131,12 +155,19 @@ class GIOPConn:
         #: tier (when the stream has one); below it they travel as
         #: mapped views through the ordinary gather write
         self.sendfile_min_size = sendfile_min_size
-        #: a caller-supplied ConnStats survives reconnects (the proxy
-        #: hands the same object to each replacement connection)
-        self.stats = stats if stats is not None else ConnStats()
         self._req_ids = itertools.count(1)
         self._send_lock = threading.Lock()
         self._closed = False
+        #: a caller-supplied ConnStats survives reconnects (the proxy
+        #: hands the same object to each replacement connection)
+        self.adopt_stats(stats if stats is not None else ConnStats())
+
+    def adopt_stats(self, stats: ConnStats) -> None:
+        """Make ``stats`` this connection's counters; its
+        :meth:`ConnStats.snapshot` copies under our send lock from
+        here on."""
+        self.stats = stats
+        stats.owner_lock = self._send_lock
 
     # -- request ids ------------------------------------------------------------
     def next_request_id(self) -> int:
@@ -300,7 +331,12 @@ class GIOPConn:
 
         try:
             with self._send_lock:
-                if self.sink is None:
+                if self.sink is None or not self.sink.wire_stages:
+                    # untouched zero-copy geometry: one gather write
+                    # (or control + tiered payloads) exactly as with no
+                    # sink at all.  Sinks that decline wire_stages (the
+                    # flight recorder) observe the call from the proxy/
+                    # dispatcher spans without perturbing the wire.
                     if channel is None and not has_file:
                         self.stream.sendv(chunks + payloads)
                     else:

@@ -96,14 +96,23 @@ class MethodDispatcher:
             active = tracer.start_server_span(
                 req.operation, extract_trace_context(req.service_contexts),
                 request_id=req.request_id)
+        rec = getattr(conn.orb, "flightrec", None) if conn.orb else None
+        if rec is not None and not rec.enabled:
+            rec = None
+        r_active = rec.start_server_span(
+            req.operation, request_id=req.request_id) \
+            if rec is not None else None
         try:
-            self._dispatch_once(conn, rm, req, chain, info, active)
+            self._dispatch_once(conn, rm, req, chain, info,
+                                (active, r_active))
         finally:
+            if r_active is not None:
+                rec.finish(r_active)
             if active is not None:
                 tracer.finish(active)
 
     def _dispatch_once(self, conn: GIOPConn, rm: ReceivedMessage,
-                       req: RequestHeader, chain, info, active) -> None:
+                       req: RequestHeader, chain, info, actives) -> None:
         echo = _echo_contexts(req)
         try:
             servant = self.poa.find_servant(req.object_key)
@@ -129,17 +138,17 @@ class MethodDispatcher:
                     f"{req.operation!r}"))
             value = method(*args)
         except UserException as exc:
-            self._notify_reply(chain, info, active, "USER_EXCEPTION")
+            self._notify_reply(chain, info, actives, "USER_EXCEPTION")
             self._reply_user_exception(conn, req, exc, echo=echo)
             return
         except SystemException as exc:
             self.errors += 1
-            self._notify_reply(chain, info, active, "SYSTEM_EXCEPTION")
+            self._notify_reply(chain, info, actives, "SYSTEM_EXCEPTION")
             self._reply_system_exception(conn, req, exc, echo=echo)
             return
         except Exception as exc:  # servant bug -> CORBA::UNKNOWN
             self.errors += 1
-            self._notify_reply(chain, info, active, "SYSTEM_EXCEPTION")
+            self._notify_reply(chain, info, actives, "SYSTEM_EXCEPTION")
             self._reply_system_exception(
                 conn, req,
                 UNKNOWN(completed=CompletionStatus.COMPLETED_MAYBE,
@@ -147,7 +156,7 @@ class MethodDispatcher:
                 echo=echo)
             return
 
-        self._notify_reply(chain, info, active, "NO_EXCEPTION")
+        self._notify_reply(chain, info, actives, "NO_EXCEPTION")
         if not req.response_expected:
             return
         try:
@@ -166,9 +175,10 @@ class MethodDispatcher:
             self._reply_system_exception(conn, req, exc, echo=echo)
 
     @staticmethod
-    def _notify_reply(chain, info, active, status: str) -> None:
-        if active is not None:
-            active.record_status(status)
+    def _notify_reply(chain, info, actives, status: str) -> None:
+        for active in actives:
+            if active is not None:
+                active.record_status(status)
         if chain is not None and info is not None:
             info.reply_status = status
             chain.run("send_reply", info)

@@ -21,11 +21,14 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Type
 
 from ..core.buffers import BufferPool, default_pool
 from ..giop import IOR, IIOPProfile
+from ..obs.events import CompositeSink
+from ..obs.flightrec import DEFAULT_SLOW_THRESHOLD, FlightRecorder
 from ..transport.base import Endpoint, TransportRegistry
 from ..transport.base import registry as default_registry
 from .connection import GIOPConn
@@ -73,6 +76,16 @@ class ORBConfig:
     #: wire byte order; flip to emulate a foreign-endian peer (the
     #: receiver-makes-right path of §2.1's architecture negotiation)
     wire_little_endian: bool | None = None
+    #: always-on flight recorder (repro.obs.flightrec): bounded span
+    #: history + slow-call trees on every ORB; False restores the
+    #: allocation-free stage_span fast path when no sink is attached
+    flight_recorder: bool = True
+    #: calls at or above this duration (seconds) keep their full span
+    #: tree in the recorder's slow ring
+    slow_call_threshold: float = DEFAULT_SLOW_THRESHOLD
+    #: auto-register the IDL-defined ORBMonitor servant (initial
+    #: reference "ORBMonitor") on every server ORB
+    monitor: bool = True
 
 
 class ORB:
@@ -88,16 +101,32 @@ class ORB:
         self.transports = transports or default_registry()
         self.pool = pool or default_pool()
         self.on_bytes = on_bytes
+        #: always-on flight recorder; None when disabled by config.
+        #: Joins the sink chain below, so stage events reach it from
+        #: day one without enable_tracing.
+        self.flightrec: Optional[FlightRecorder] = None
+        if self.config.flight_recorder:
+            self.flightrec = FlightRecorder(
+                slow_threshold=self.config.slow_call_threshold)
         #: structured event sink (repro.obs.EventSink): stage spans,
         #: wire events and byte events from every connection this ORB
         #: creates.  Assign (or call :meth:`enable_tracing`) before the
         #: first connection exists, like :attr:`on_bytes`.
         self.sink = sink
+        if self.flightrec is not None:
+            self.sink = self.flightrec if sink is None \
+                else CompositeSink([sink, self.flightrec])
         #: ORB-wide invocation policy (deadline/retry/backoff); a
         #: per-proxy or per-call policy overrides it.  None = one
         #: attempt, no deadline.
         self.policy = policy
         self.orb_id = next(_orb_ids)
+        if self.flightrec is not None:
+            self.flightrec.node = f"orb{self.orb_id}"
+        self._started = time.monotonic()
+        #: telemetry endpoint (repro.obs.httpexport.TelemetryServer);
+        #: installed by :meth:`enable_telemetry`, closed on shutdown
+        self.telemetry = None
         #: distributed tracer (repro.obs.dtrace.DistributedTracer);
         #: installed by ``enable_tracing(distributed=True)``.  The proxy
         #: and dispatcher consult it to propagate trace contexts.
@@ -116,6 +145,11 @@ class ORB:
         self.interceptors = InterceptorRegistry()
         self._lock = threading.Lock()
         self._shutdown = False
+        #: monitor auto-registration state: RLock because registering
+        #: the servant re-enters _ensure_server on the same thread
+        self._monitor_lock = threading.RLock()
+        self._monitor_ref = None
+        self._monitor_registering = False
 
     # -- observability -----------------------------------------------------------
     def enable_tracing(self, registry=None, *, wire: bool = False,
@@ -165,6 +199,33 @@ class ORB:
         self.sink = sinks[0] if len(sinks) == 1 else CompositeSink(sinks)
         return tracer
 
+    def enable_telemetry(self, port: int = 0, host: str = "127.0.0.1",
+                         interval: float = 1.0):
+        """Start the live telemetry plane: ``/metrics`` (Prometheus
+        text 0.0.4), ``/healthz`` and ``/spans`` on an HTTP thread,
+        plus a :class:`~repro.obs.httpexport.RuntimeSampler` refreshing
+        process/pool/arena/connection gauges every ``interval``
+        seconds.  ``port=0`` auto-assigns; the returned
+        :class:`~repro.obs.httpexport.TelemetryServer` has ``.url``.
+
+        Installs :meth:`enable_tracing` first when no metrics registry
+        exists yet (the latency histograms a dashboard needs), so call
+        this — like any sink wiring — before the first connection.
+        Idempotent; closed automatically by :meth:`shutdown`.
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        if self.metrics is None:
+            self.enable_tracing()
+        from ..obs.httpexport import start_telemetry
+        self.telemetry = start_telemetry(self, port=port, host=host,
+                                         interval=interval)
+        return self.telemetry
+
+    def uptime(self) -> float:
+        """Seconds since this ORB was constructed."""
+        return time.monotonic() - self._started
+
     # -- server side ------------------------------------------------------------
     def _default_host(self, scheme: str) -> str:
         """Socket-backed schemes bind a real loopback address; the
@@ -174,6 +235,30 @@ class ORB:
         return f"orb{self.orb_id}"
 
     def _ensure_server(self) -> IIOPServer:
+        server = self._ensure_server_locked()
+        if self.config.monitor:
+            self._register_monitor()
+        return server
+
+    def _register_monitor(self) -> None:
+        """Activate the ORBMonitor servant once per server ORB.
+
+        Runs *after* ``_lock`` is released — activating the servant
+        re-enters :meth:`_ensure_server` — and under its own RLock with
+        a same-thread reentrancy flag, so the recursive call is a
+        no-op instead of a deadlock or a second registration.
+        """
+        with self._monitor_lock:
+            if self._monitor_ref is not None or self._monitor_registering:
+                return
+            self._monitor_registering = True
+            try:
+                from ..services.monitor import register_monitor
+                self._monitor_ref = register_monitor(self)
+            finally:
+                self._monitor_registering = False
+
+    def _ensure_server_locked(self) -> IIOPServer:
         with self._lock:
             if self._server is not None:
                 return self._server
@@ -382,6 +467,45 @@ class ORB:
             self._proxies[endpoint] = proxy
             return proxy
 
+    # -- introspection -----------------------------------------------------------
+    def connections_snapshot(self) -> list:
+        """Per-connection stats dicts, copied under the owning locks.
+
+        One dict per live server connection and per client proxy
+        (proxies aggregate stats across reconnects): ``role``,
+        ``peer``, and every :class:`~repro.orb.connection.ConnStats`
+        counter.  This is what ``ORBMonitor.connections()`` and the
+        telemetry sampler read.
+        """
+        out = []
+        server = self._server
+        if server is not None:
+            for conn in server.connections():
+                out.append({"role": "server",
+                            "peer": str(getattr(conn.stream, "peer", "?")),
+                            **conn.stats.snapshot()})
+        with self._lock:
+            proxies = list(self._proxies.items())
+        for endpoint, proxy in proxies:
+            scheme, host, port = endpoint
+            out.append({"role": "client",
+                        "peer": f"{scheme}://{host}:{port}",
+                        **proxy.stats.snapshot()})
+        return out
+
+    def _iter_streams(self):
+        """Every live connection's transport stream (both roles)."""
+        server = self._server
+        if server is not None:
+            for conn in server.connections():
+                yield conn.stream
+        with self._lock:
+            proxies = list(self._proxies.values())
+        for proxy in proxies:
+            conn = proxy._conn  # never dial just to introspect
+            if conn is not None and not conn.closed:
+                yield conn.stream
+
     # -- lifecycle ---------------------------------------------------------------
     def shutdown(self) -> None:
         with self._lock:
@@ -391,6 +515,12 @@ class ORB:
             proxies = list(self._proxies.values())
             self._proxies.clear()
             server = self._server
+        if self.telemetry is not None:
+            try:
+                self.telemetry.close()
+            except Exception:
+                pass
+            self.telemetry = None
         for proxy in proxies:
             conn = proxy._conn  # do not dial just to say goodbye
             if conn is None:

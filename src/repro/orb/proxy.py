@@ -142,7 +142,7 @@ class IIOPProxy:
         except TransportError as e:
             raise TRANSIENT(completed=CompletionStatus.COMPLETED_NO,
                             message=f"connect failed: {e}") from e
-        conn.stats = self._stats
+        conn.adopt_stats(self._stats)
         return conn
 
     def reconnect(self) -> GIOPConn:
@@ -168,6 +168,14 @@ class IIOPProxy:
             orb = self._conn.orb
         return getattr(orb, "dtracer", None) if orb is not None else None
 
+    def _flightrec(self):
+        """The ORB's always-on FlightRecorder, if live — no dialing."""
+        orb = self._orb
+        if orb is None and self._conn is not None:
+            orb = self._conn.orb
+        rec = getattr(orb, "flightrec", None) if orb is not None else None
+        return rec if rec is not None and rec.enabled else None
+
     # -- invocation ----------------------------------------------------------
     def invoke(self, object_key: bytes, sig: OperationSignature,
                args: Sequence[Any],
@@ -186,6 +194,10 @@ class IIOPProxy:
         # the retry loop: every attempt below shares the trace id but
         # opens a fresh span, so retries are distinguishable on the wire
         scope = tracer.begin_invocation() if tracer is not None else None
+        # the flight recorder mirrors the tracer's lifecycle but stays
+        # process-local: its spans never touch the wire
+        rec = self._flightrec()
+        rec_scope = rec.begin_invocation() if rec is not None else None
         while True:
             if deadline is not None and deadline.expired:
                 self._stats.timeouts += 1
@@ -197,7 +209,7 @@ class IIOPProxy:
             try:
                 return self._invoke_once(object_key, sig, args,
                                          deadline, force_copy, state,
-                                         scope=scope)
+                                         scope=scope, rec_scope=rec_scope)
             except (TRANSIENT, COMM_FAILURE) as exc:
                 if attempt >= policy.max_retries or \
                         not policy.retryable(exc, sig.idempotent):
@@ -228,27 +240,37 @@ class IIOPProxy:
 
     def _invoke_once(self, object_key: bytes, sig: OperationSignature,
                      args: Sequence[Any], deadline: Optional[Deadline],
-                     force_copy: bool, state: _Attempt, scope=None) -> Any:
+                     force_copy: bool, state: _Attempt, scope=None,
+                     rec_scope=None) -> Any:
         self.calls += 1
         conn, demux = self._ensure_conn()
         tracer = self._dtracer() if scope is not None else None
         active = tracer.start_client_span(sig.name, scope) \
             if tracer is not None else None
+        rec = self._flightrec() if rec_scope is not None else None
+        r_active = rec.start_client_span(sig.name, rec_scope) \
+            if rec is not None else None
         try:
             return self._attempt(conn, demux, object_key, sig, args,
-                                 deadline, force_copy, state, active)
+                                 deadline, force_copy, state, active,
+                                 r_active)
         except BaseException as exc:
-            if active is not None:
-                active.record_status(type(exc).__name__)
+            for a in (active, r_active):
+                if a is not None:
+                    a.record_status(type(exc).__name__)
             raise
         finally:
+            # recorder first: its span is the inner of the two stacks
+            if r_active is not None:
+                rec.finish(r_active)
             if active is not None:
                 tracer.finish(active)
 
     def _attempt(self, conn: GIOPConn, demux: ReplyDemux,
                  object_key: bytes, sig: OperationSignature,
                  args: Sequence[Any], deadline: Optional[Deadline],
-                 force_copy: bool, state: _Attempt, active) -> Any:
+                 force_copy: bool, state: _Attempt, active,
+                 r_active=None) -> Any:
         chain = self._interceptors()
         info = None
         if chain is not None and len(chain):
@@ -276,6 +298,8 @@ class IIOPProxy:
             active.set_request_id(request.request_id)
             request.service_contexts.append(
                 active.context.to_service_context())
+        if r_active is not None:
+            r_active.set_request_id(request.request_id)
         # register BEFORE sending: on synchronous-delivery transports
         # the reply can arrive inside send_message itself
         future = demux.register(request.request_id) \
@@ -291,9 +315,9 @@ class IIOPProxy:
         rm = self._await_reply(conn, demux, future, deadline)
         try:
             result = self._process_reply(conn, sig, rm)
-            if active is not None:
-                active.record_status(
-                    rm.msg.body_header.reply_status.name)
+            for a in (active, r_active):
+                if a is not None:
+                    a.record_status(rm.msg.body_header.reply_status.name)
             return result
         finally:
             # the reply points run after demarshaling so tracing

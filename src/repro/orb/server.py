@@ -80,6 +80,11 @@ class RequestWorkerPool:
         with self._inflight_lock:
             return self._inflight
 
+    @property
+    def queue_size(self) -> int:
+        """Requests waiting in the queue (not yet picked up)."""
+        return self._queue.qsize()
+
     def _registry(self):
         return self._metrics() if self._metrics is not None else None
 
@@ -157,6 +162,12 @@ class IIOPServer:
             self.workers = RequestWorkerPool(
                 workers, self._dispatch_request, queue_depth=queue_depth,
                 metrics=lambda: getattr(self.orb, "metrics", None))
+
+    def connections(self) -> List[GIOPConn]:
+        """The live accepted connections (a copy; closed ones pruned)."""
+        with self._lock:
+            self._conns = [c for c in self._conns if not c.closed]
+            return list(self._conns)
 
     # -- transport plumbing ------------------------------------------------------
     def listen_on(self, transport, host: str, port: int):

@@ -309,6 +309,11 @@ class ShmArena:
             return 0
 
     @property
+    def used_slots(self) -> int:
+        """Slots currently OWNED or POSTED (in flight)."""
+        return self.slot_count - self.free_slots
+
+    @property
     def closed(self) -> bool:
         return self._closed
 

@@ -1,0 +1,112 @@
+"""repro-top: dashboard rendering and the --once CLI path."""
+
+import pytest
+
+from repro.apps.top import Snapshot, _normalize, fetch_snapshot, main, render
+from repro.obs.httpexport import TelemetryServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import parse_exposition
+
+
+def _snapshot(text, when=0.0):
+    return Snapshot(parse_exposition(text), when)
+
+
+EXPOSITION = """\
+# TYPE invocations_total counter
+invocations_total{operation="put"} 40
+invocations_total{operation="get"} 10
+# TYPE bytes_sent gauge
+bytes_sent 2097152
+deposits_sent 10
+shm_deposits 6
+sendfile_sends 2
+arena_slots_free{dir="send"} 5
+arena_slots_total{dir="send"} 8
+pool_cached_bytes 65536
+pool_cached_buffers 2
+# TYPE invocation_seconds histogram
+invocation_seconds_bucket{le="0.001"} 30
+invocation_seconds_bucket{le="0.1"} 48
+invocation_seconds_bucket{le="+Inf"} 50
+invocation_seconds_sum 1.5
+invocation_seconds_count 50
+"""
+
+
+class TestSnapshot:
+    def test_total_sums_label_children(self):
+        snap = _snapshot(EXPOSITION)
+        assert snap.total("invocations_total") == 50
+        assert snap.total("invocations_total", operation="put") == 40
+        assert snap.total("missing_series") is None
+
+    def test_histogram_merges_and_decumulates(self):
+        snap = _snapshot(EXPOSITION)
+        bounds, counts = snap.histogram("invocation_seconds")
+        assert bounds == [0.001, 0.1]
+        assert counts == [30, 18, 2]
+
+
+class TestRender:
+    def test_once_renders_totals_and_tier_mix(self):
+        text = render(_snapshot(EXPOSITION))
+        assert "invocations" in text
+        assert "50" in text
+        assert "deposit tier mix" in text
+        assert "shm slots" in text and "60%" in text
+        assert "sendfile" in text and "20%" in text
+        assert "arena slots [send]" in text and "3/8 used" in text
+        assert "invocation latency (lifetime)" in text
+
+    def test_rates_from_scrape_deltas(self):
+        prev = _snapshot(EXPOSITION, when=0.0)
+        cur_text = EXPOSITION.replace(
+            'invocations_total{operation="put"} 40',
+            'invocations_total{operation="put"} 60')
+        cur = _snapshot(cur_text, when=2.0)
+        text = render(cur, prev)
+        assert "10.0/s" in text  # (60-40)/2s
+        assert "(window)" in text
+
+    def test_server_side_fallbacks(self):
+        text = render(_snapshot(
+            "server_requests_total 7\n"
+            '# TYPE server_handle_seconds histogram\n'
+            'server_handle_seconds_bucket{le="0.01"} 7\n'
+            'server_handle_seconds_bucket{le="+Inf"} 7\n'
+            "server_handle_seconds_sum 0.01\n"
+            "server_handle_seconds_count 7\n"))
+        assert "requests served" in text
+        assert "server handle latency" in text
+
+
+class TestCLI:
+    def test_once_against_live_endpoint(self, capsys):
+        reg = MetricsRegistry()
+        reg.counter("invocations_total", operation="put").inc(5)
+        with TelemetryServer(reg) as srv:
+            assert main(["--once", srv.url]) == 0
+            assert main(["--once", f"{srv.host}:{srv.port}"]) == 0
+        out = capsys.readouterr().out
+        assert "repro-top" in out
+        assert "invocations" in out
+
+    def test_scrape_failure_is_exit_1(self, capsys):
+        assert main(["--once", "127.0.0.1:1", "--timeout", "0.5"]) == 1
+        assert "scrape" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("raw,normalized", [
+        ("127.0.0.1:9095", "http://127.0.0.1:9095/metrics"),
+        ("http://h:1/", "http://h:1/metrics"),
+        ("http://h:1/metrics", "http://h:1/metrics"),
+    ])
+    def test_url_normalization(self, raw, normalized):
+        assert _normalize(raw) == normalized
+
+    def test_fetch_snapshot_parses_strictly(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1)
+        with TelemetryServer(reg) as srv:
+            snap = fetch_snapshot(srv.url + "/metrics")
+        assert snap.total("g") == 1

@@ -1,0 +1,85 @@
+"""repro-metrics diff + the shared table renderer."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.export import to_dict
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tables import format_table
+
+
+def _dump(path, build):
+    reg = MetricsRegistry()
+    build(reg)
+    path.write_text(json.dumps(to_dict(reg)))
+    return str(path)
+
+
+class TestFormatTable:
+    def test_widths_follow_content(self):
+        text = format_table(["name", "v"],
+                            [["a_very_long_series_name", "1"],
+                             ["b", "12345"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) == {"-"}
+        assert lines[2].endswith("    1")   # right-aligned number
+        assert lines[3].startswith("b ")    # left-aligned name
+
+    def test_rejects_ragged_rows_and_bad_align(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+        with pytest.raises(ValueError):
+            format_table(["a"], [], align="x")
+
+
+class TestDiff:
+    def test_counter_gauge_histogram_deltas(self, tmp_path, capsys):
+        a = _dump(tmp_path / "a.json", lambda r: (
+            r.counter("calls_total", op="put").inc(10),
+            r.gauge("occupancy").set(3),
+            r.histogram("lat", buckets=[1.0]).observe(0.5)))
+        b = _dump(tmp_path / "b.json", lambda r: (
+            r.counter("calls_total", op="put").inc(25),
+            r.gauge("occupancy").set(7),
+            [r.histogram("lat", buckets=[1.0]).observe(0.5)
+             for _ in range(3)]))
+        assert main(["diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "calls_total{op=put}" in out and "+15" in out
+        assert "3 -> 7" in out                  # gauge old -> new
+        assert "lat count" in out and "+2" in out
+        assert "lat sum" in out and "+1" in out
+        assert "changed" in out
+
+    def test_added_removed_and_unchanged(self, tmp_path, capsys):
+        a = _dump(tmp_path / "a.json", lambda r: (
+            r.counter("stays").inc(4), r.counter("goes").inc(1)))
+        b = _dump(tmp_path / "b.json", lambda r: (
+            r.counter("stays").inc(4), r.counter("comes").inc(2)))
+        assert main(["diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "added" in out and "comes" in out
+        assert "removed" in out and "goes" in out
+        assert "1 unchanged" in out
+
+    def test_identical_dumps_report_no_changes(self, tmp_path, capsys):
+        a = _dump(tmp_path / "a.json", lambda r: r.counter("c").inc(1))
+        b = _dump(tmp_path / "b.json", lambda r: r.counter("c").inc(1))
+        assert main(["diff", a, b]) == 0
+        assert "0 series changed" in capsys.readouterr().out
+
+    def test_diff_needs_exactly_two_paths(self, tmp_path, capsys):
+        a = _dump(tmp_path / "a.json", lambda r: r.counter("c").inc())
+        assert main(["diff", a]) == 1
+        assert "exactly 2" in capsys.readouterr().err
+        assert main(["check", a, a]) == 1
+
+    def test_diff_rejects_span_dumps(self, tmp_path, capsys):
+        a = _dump(tmp_path / "a.json", lambda r: r.counter("c").inc())
+        spans = tmp_path / "spans.json"
+        spans.write_text(json.dumps({"schema": 2, "spans": []}))
+        assert main(["diff", a, str(spans)]) == 1
+        assert "span dump" in capsys.readouterr().err

@@ -85,3 +85,18 @@ def test_null_and_base_sinks_discard():
     for sink in (NullSink(), EventSink()):
         sink.emit(ByteEvent(kind="marshal", nbytes=1))
         sink.on_bytes("marshal", 1)  # no error, no state
+
+
+def test_wire_stages_defaults_true_composes_any():
+    """wire_stages governs whether the connection layer splits the
+    control/deposit gather-write; a composite wants the split iff any
+    member does, and the flight recorder never does."""
+    from repro.obs import FlightRecorder
+
+    assert EventSink().wire_stages is True
+    assert NullSink().wire_stages is True
+    rec = FlightRecorder()
+    assert rec.wire_stages is False
+    assert CompositeSink([rec]).wire_stages is False
+    assert CompositeSink([rec, NullSink()]).wire_stages is True
+    assert CompositeSink([]).wire_stages is False

@@ -1,0 +1,142 @@
+"""Prometheus text exposition: renderer and strict parser.
+
+The renderer must emit what a stock Prometheus server accepts; the
+parser must reject what it would reject.  The two are exercised
+against each other (round-trip) and the parser additionally against
+hand-written violations, including the histogram invariants
+(cumulative buckets, ``+Inf`` == ``_count``) and label escaping.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (CONTENT_TYPE, ExpositionError,
+                                  parse_exposition, render,
+                                  samples_by_name)
+
+
+def _sample_map(text):
+    return samples_by_name(parse_exposition(text))
+
+
+class TestRender:
+    def test_counter_gauge_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", help="total requests",
+                    op="put").inc(3)
+        reg.counter("requests_total", op="get").inc(1)
+        reg.gauge("occupancy").set(0.5)
+        text = render(reg)
+        assert "# HELP requests_total total requests" in text
+        assert "# TYPE requests_total counter" in text
+        by_name = _sample_map(text)
+        vals = {s.labels_dict["op"]: s.value
+                for s in by_name["requests_total"]}
+        assert vals == {"put": 3.0, "get": 1.0}
+        assert by_name["occupancy"][0].value == 0.5
+
+    def test_histogram_buckets_cumulative_and_terminated(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", buckets=[0.01, 0.1, 1.0])
+        for v in (0.005, 0.05, 0.05, 5.0):
+            h.observe(v)
+        by_name = _sample_map(render(reg))
+        buckets = {s.labels_dict["le"]: s.value
+                   for s in by_name["lat_seconds_bucket"]}
+        assert buckets == {"0.01": 1, "0.1": 3, "1": 3, "+Inf": 4}
+        assert by_name["lat_seconds_count"][0].value == 4
+        assert by_name["lat_seconds_sum"][0].value == pytest.approx(5.105)
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        nasty = 'a"b\\c\nd'
+        reg.counter("c_total", path=nasty).inc()
+        (sample,) = parse_exposition(render(reg))
+        assert sample.labels_dict["path"] == nasty
+
+    def test_metric_name_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.total").inc()
+        (sample,) = parse_exposition(render(reg))
+        assert sample.name == "weird_name_total"
+
+    def test_empty_registry_renders_empty(self):
+        assert render(MetricsRegistry()) == ""
+        assert parse_exposition("") == []
+
+    def test_content_type_pins_format_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestParserRejections:
+    @pytest.mark.parametrize("text", [
+        "1bad_name 1\n",                       # name starts with digit
+        'ok{1bad="x"} 1\n',                    # bad label name
+        "ok notanumber\n",                     # bad value lexeme
+        'ok{a="b} 1\n',                        # unterminated label value
+        "# TYPE ok counter\n# TYPE ok counter\nok 1\n",   # repeated TYPE
+        "ok 1\n# TYPE ok counter\nok 2\n",     # TYPE after samples
+        "a 1\nb 2\na 3\n",                     # interleaved family
+        "# TYPE h histogram\n"                 # missing +Inf bucket
+        'h_bucket{le="1"} 1\nh_sum 1\nh_count 1\n',
+        "# TYPE h histogram\n"                 # non-cumulative buckets
+        'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\n'
+        "h_sum 1\nh_count 3\n",
+        "# TYPE h histogram\n"                 # +Inf != _count
+        'h_bucket{le="1"} 1\nh_bucket{le="+Inf"} 4\n'
+        "h_sum 1\nh_count 9\n",
+    ])
+    def test_rejects(self, text):
+        with pytest.raises(ExpositionError):
+            parse_exposition(text)
+
+    def test_accepts_special_values_and_timestamps(self):
+        samples = parse_exposition(
+            "a +Inf\nb -Inf\nc NaN\nd 1.5 1700000000000\n")
+        assert [s.name for s in samples] == ["a", "b", "c", "d"]
+
+
+class TestScrapeUnderLoad:
+    def test_concurrent_writers_never_break_a_scrape(self):
+        """Satellite: writer threads hammer the registry while render()
+        loops — every intermediate scrape parses, and counters only
+        ever move forward between scrapes."""
+        reg = MetricsRegistry()
+        reg.counter("hammered_total", op="seed").inc()  # never empty
+        stop = threading.Event()
+        errors = []
+
+        def writer(tid):
+            i = 0
+            while not stop.is_set():
+                reg.counter("hammered_total", op=f"w{tid}").inc()
+                reg.gauge("level", op=f"w{tid}").set(i)
+                reg.histogram("lat", op=f"w{tid}",
+                              buckets=[0.1, 1.0]).observe(i % 2)
+                i += 1
+
+        threads = [threading.Thread(target=writer, args=(t,), daemon=True)
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            last = {}
+            for _ in range(50):
+                try:
+                    by_name = _sample_map(render(reg))
+                except ExpositionError as e:  # pragma: no cover
+                    errors.append(e)
+                    break
+                for s in by_name.get("hammered_total", []):
+                    key = s.labels_dict["op"]
+                    assert s.value >= last.get(key, 0), \
+                        "counter moved backwards between scrapes"
+                    last[key] = s.value
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=2.0)
+        assert not errors
+        assert sum(last.values()) > 1  # the writers actually ran

@@ -145,3 +145,35 @@ def test_reassembly_error_closes_the_connection():
     with pytest.raises(GIOPError):
         receiver.read_message()
     assert receiver.closed
+
+
+class TestStatsSnapshot:
+    """ConnStats.snapshot(): a consistent copy under the owning lock."""
+
+    def test_snapshot_copies_every_counter_and_no_lock(self):
+        from repro.orb.connection import ConnStats
+
+        stats = ConnStats()
+        stats.messages_sent = 3
+        stats.shm_deposits = 2
+        snap = stats.snapshot()
+        assert snap["messages_sent"] == 3
+        assert snap["shm_deposits"] == 2
+        assert "owner_lock" not in snap
+        assert set(snap) == set(ConnStats._COUNTER_FIELDS)
+        # a snapshot is a copy, not a view
+        stats.messages_sent = 9
+        assert snap["messages_sent"] == 3
+
+    def test_conn_adopts_stats_under_its_send_lock(self):
+        sender, receiver, *_ = _conn_pair()
+        assert sender.stats.owner_lock is sender._send_lock
+        # adopting replacement stats rebinds the lock (proxy reconnect)
+        from repro.orb.connection import ConnStats
+
+        replacement = ConnStats()
+        sender.adopt_stats(replacement)
+        assert sender.stats is replacement
+        assert replacement.owner_lock is sender._send_lock
+        snap = receiver.stats.snapshot()
+        assert snap["messages_received"] == 0

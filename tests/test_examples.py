@@ -59,3 +59,12 @@ def test_blob_server():
     out = run_example("blob_server.py", "--size-mb", "4")
     assert "kernel sendfile" in out
     assert "done." in out
+
+
+def test_telemetry_quickstart():
+    out = run_example("telemetry_quickstart.py")
+    assert "telemetry: http://" in out
+    assert "healthz: ok" in out
+    assert "tracing never enabled" in out
+    assert "repro-top" in out
+    assert "done." in out
