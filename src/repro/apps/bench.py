@@ -7,7 +7,7 @@ convention ``BENCH_<tag>.json``).  CI runs this per PR and uploads the
 file as an artifact, so the repository accumulates a throughput/latency
 trajectory that future changes can be gated against.
 
-Document layout (``BENCH_SCHEMA_VERSION`` = 5)::
+Document layout (``BENCH_SCHEMA_VERSION`` = 6)::
 
     {
       "schema": 5, "kind": "bench", "tag": "...",
@@ -52,6 +52,20 @@ Document layout (``BENCH_SCHEMA_VERSION`` = 5)::
         "speedup_at_max": ...
         # or, where os.sendfile is missing or the kernel refuses it:
         # {"skipped": true, "reason": "...", "degrade_path_ok": true}
+      },
+      "cscale": {              # schema 6: connection scaling
+        "calls_per_conn": N, "work_s": ..., "p99_slo_s": ...,
+        "levels": [
+          {"conns": C,
+           "threaded": {"ok": ..., "goodput_calls_per_s": ...,
+                        "p50_s": ..., "p99_s": ..., "slo_ok": ...,
+                        "completed": ..., "expected": ...},
+           "reactor":  {... same keys ...},
+           "speedup": ...       # reactor/threaded goodput, null when
+          },                    # the threaded side did not complete
+          # levels the host cannot fd-budget skip visibly:
+          # {"conns": C, "skipped": true, "reason": "..."}
+        ]
       }
     }
 
@@ -84,10 +98,11 @@ from .ttcp import KB, MB, TTCPSeries, default_sizes, run_sim_ttcp
 
 __all__ = ["BENCH_SCHEMA_VERSION", "run_bench", "measure_pipelining",
            "measure_shm", "measure_sgcdr", "measure_sendfile",
+           "measure_cscale", "cscale_smoke",
            "validate_bench",
            "compare_bench", "format_compare", "render_figure", "main"]
 
-BENCH_SCHEMA_VERSION = 5
+BENCH_SCHEMA_VERSION = 6
 
 #: the fig6_right zc-corba curves gated by --compare, at these sizes
 #: (falling back to the largest size both documents share)
@@ -600,6 +615,352 @@ def measure_shm(size: int = 1 * MB, repeats: int = 5,
             "speedup": round(speedup, 3), "schemes": schemes}
 
 
+# -- connection scaling (schema 6) -------------------------------------------
+
+#: an echo round-trip slower than this at the p99 counts as a degraded
+#: mode in the cscale sweep (the "baseline fails the SLO" acceptance arm)
+CSCALE_P99_SLO_S = 0.5
+
+
+def _quantile(sorted_vals: List[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    return sorted_vals[min(len(sorted_vals) - 1,
+                           int(q * len(sorted_vals)))]
+
+
+def _nofile_headroom(need: int) -> Optional[str]:
+    """Raise RLIMIT_NOFILE toward the hard limit; a reason string when
+    even that leaves fewer than ``need`` descriptors (the caller skips
+    that sweep level visibly instead of drowning in EMFILE)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < need:
+        want = need if hard == resource.RLIM_INFINITY \
+            else min(need, hard)
+        try:
+            resource.setrlimit(resource.RLIMIT_NOFILE, (want, hard))
+        except (ValueError, OSError):
+            pass
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < need:
+        return (f"RLIMIT_NOFILE {soft} (hard {hard}) below the "
+                f"~{need} descriptors this level needs")
+    return None
+
+
+def _rss_mb() -> float:
+    """Current resident set in MiB (VmRSS; ru_maxrss high-water as the
+    fallback where /proc is unavailable)."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    import resource
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _cscale_policy():
+    from ..orb import InvocationPolicy
+    return InvocationPolicy(timeout=120.0, max_retries=0, jitter=0.0)
+
+
+def _cscale_pair(reactor_on: bool, inflight: int = 16):
+    """(server ORB, client ORB, IIOP profile, echo signature) for one
+    cscale mode.  Both ORBs live in this process; ``reactor_on``
+    selects event-loop adoption on *both* sides versus the
+    thread-per-connection baseline."""
+    import time
+
+    from ..orb import ORB, ORBConfig
+
+    api = _pipe_api()
+
+    class _Servant(api.BenchPipe_skel):
+        def work(self, seconds):
+            if seconds:
+                time.sleep(seconds)
+            return seconds
+
+    server = ORB(ORBConfig(scheme="tcp", reactor=reactor_on,
+                           server_workers=inflight))
+    client = ORB(ORBConfig(scheme="tcp", reactor=reactor_on,
+                           collocated_calls=False))
+    try:
+        ref = server.activate(_Servant())
+        stub = client.string_to_object(server.object_to_string(ref))
+        profile = client.select_profile(stub._ior)
+        return server, client, profile, stub._signature("work")
+    except BaseException:
+        client.shutdown()
+        server.shutdown()
+        raise
+
+
+def _cscale_proxy(client, endpoint, reactor):
+    """A fresh single-connection proxy (never the ORB's shared one —
+    the sweep needs C *distinct* sockets to one endpoint)."""
+    from ..orb.connection import GIOPConn
+    from ..orb.proxy import IIOPProxy
+
+    transport = client.transports.get(endpoint[0])
+
+    def connector() -> "GIOPConn":
+        stream = transport.connect(
+            endpoint, timeout=client.config.connect_timeout)
+        return GIOPConn(stream, pool=client.pool,
+                        zero_copy=client.config.zero_copy, orb=client)
+
+    return IIOPProxy(connector, orb=client, reactor=reactor)
+
+
+def _cscale_record(lat_lists: List[List[float]], wall: float,
+                   expected: int, errors: List) -> dict:
+    lats = sorted(x for lst in lat_lists for x in lst)
+    completed = len(lats)
+    p50 = _quantile(lats, 0.50)
+    p99 = _quantile(lats, 0.99)
+    rec = {"ok": not errors and completed == expected,
+           "completed": completed, "expected": expected,
+           "goodput_calls_per_s": round(completed / wall, 1)
+           if wall > 0 else 0.0,
+           "p50_s": round(p50, 6), "p99_s": round(p99, 6),
+           "slo_ok": bool(completed) and p99 <= CSCALE_P99_SLO_S}
+    if errors:
+        rec["reason"] = (f"{len(errors)} calls failed "
+                         f"(first: {errors[0]!r:.120})")
+    elif completed < expected:
+        rec["reason"] = (f"only {completed}/{expected} replies "
+                         f"arrived before the join deadline")
+    return rec
+
+
+def _cscale_threaded(conns: int, calls_per_conn: int,
+                     work_s: float) -> dict:
+    """The baseline: C sockets, each with a sync driver thread and a
+    demux reader thread client-side plus a reader thread server-side —
+    ~3C threads total, the cost the reactor removes."""
+    import threading
+    import time
+
+    policy = _cscale_policy()
+    server, client, profile, sig = _cscale_pair(reactor_on=False)
+    proxies = [_cscale_proxy(client, profile.endpoint, None)
+               for _ in range(conns)]
+    lat_lists: List[List[float]] = [[] for _ in range(conns)]
+    errors: List = []
+    start = threading.Event()
+    warmed = threading.Semaphore(0)
+    abort = False
+
+    def drive(proxy, lats):
+        # one untimed call dials the socket and warms the GIOP path,
+        # so the timed window below measures steady-state concurrency,
+        # not connection-establishment queuing
+        try:
+            proxy.invoke(profile.object_key, sig, [work_s],
+                         policy=policy)
+        except Exception as e:
+            errors.append(e)
+            warmed.release()
+            return
+        warmed.release()
+        start.wait()
+        if abort:
+            return
+        for _ in range(calls_per_conn):
+            t0 = time.perf_counter()
+            try:
+                proxy.invoke(profile.object_key, sig, [work_s],
+                             policy=policy)
+            except Exception as e:
+                errors.append(e)
+                return
+            lats.append(time.perf_counter() - t0)
+
+    threads: List[threading.Thread] = []
+    try:
+        try:
+            for proxy, lats in zip(proxies, lat_lists):
+                t = threading.Thread(target=drive, args=(proxy, lats),
+                                     daemon=True)
+                t.start()
+                threads.append(t)
+        except (RuntimeError, MemoryError, OSError) as e:
+            # the honest baseline failure mode at high C: the host
+            # cannot stack that many driver threads
+            abort = True
+            start.set()
+            return {"ok": False, "completed": 0,
+                    "expected": conns * calls_per_conn,
+                    "reason": (f"thread creation failed after "
+                               f"{len(threads)} of {conns} "
+                               f"connections: {e}")}
+        deadline = time.monotonic() + 300.0
+        for _ in threads:
+            warmed.acquire(timeout=max(0.0,
+                                       deadline - time.monotonic()))
+        t0 = time.perf_counter()
+        start.set()
+        for t in threads:
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        wall = time.perf_counter() - t0
+    finally:
+        for proxy in proxies:
+            try:
+                proxy.close(timeout=0.05)
+            except Exception:
+                pass
+        client.shutdown()
+        server.shutdown()
+    return _cscale_record(lat_lists, wall, conns * calls_per_conn,
+                          errors)
+
+
+def _cscale_reactor(conns: int, calls_per_conn: int,
+                    work_s: float) -> dict:
+    """The reactor mode: C sockets adopted by the event loop on both
+    sides, driven by C coroutines on one ``asyncio.run`` loop — no
+    per-connection thread anywhere."""
+    import asyncio
+    import time
+
+    policy = _cscale_policy()
+    server, client, profile, sig = _cscale_pair(reactor_on=True)
+    proxies = [_cscale_proxy(client, profile.endpoint, client.reactor)
+               for _ in range(conns)]
+    lat_lists: List[List[float]] = [[] for _ in range(conns)]
+    errors: List = []
+
+    async def warm(proxy):
+        # untimed: dial + GIOP warmup, mirroring the threaded driver
+        try:
+            await proxy.invoke_async(profile.object_key, sig,
+                                     [work_s], policy=policy)
+        except Exception as e:
+            errors.append(e)
+
+    async def drive(proxy, lats):
+        for _ in range(calls_per_conn):
+            t0 = time.perf_counter()
+            try:
+                await proxy.invoke_async(profile.object_key, sig,
+                                         [work_s], policy=policy)
+            except Exception as e:
+                errors.append(e)
+                return
+            lats.append(time.perf_counter() - t0)
+
+    async def run_all():
+        await asyncio.gather(*(warm(p) for p in proxies))
+        t0 = time.perf_counter()
+        await asyncio.gather(*(drive(p, lst)
+                               for p, lst in zip(proxies, lat_lists)))
+        return time.perf_counter() - t0
+
+    try:
+        wall = asyncio.run(run_all())
+    finally:
+        for proxy in proxies:
+            try:
+                proxy.close(timeout=0.05)
+            except Exception:
+                pass
+        client.shutdown()
+        server.shutdown()
+    return _cscale_record(lat_lists, wall, conns * calls_per_conn,
+                          errors)
+
+
+def measure_cscale(conn_counts=(100, 1000), calls_per_conn: int = 5,
+                   work_s: float = 0.0,
+                   threaded_conn_cap: int = 2000) -> dict:
+    """Concurrent-connection scaling: reactor vs thread-per-connection.
+
+    For each level C the probe opens C distinct GIOP connections to an
+    echo servant and drives ``calls_per_conn`` pipelined calls on each,
+    twice: once with the threaded baseline (sync stubs; ~3C threads)
+    and once with the reactor (async stubs; zero per-connection
+    threads).  Each connection first makes one *untimed* warm-up call
+    (dial + GIOP round trip), so the timed window measures
+    steady-state concurrency rather than connection-establishment
+    queuing.  ``goodput_calls_per_s`` is total completed calls over
+    the wall time, p50/p99 the per-call round-trip quantiles, and
+    ``speedup`` the reactor/threaded goodput ratio — the tentpole
+    acceptance metric at 1k+ connections.
+
+    Above ``threaded_conn_cap`` the baseline is recorded as not
+    attempted (its ~3C threads would destabilise the host rather than
+    produce a number); the reactor side still runs, which is itself
+    the claim: it completes where the baseline cannot.  Levels the
+    file-descriptor budget cannot cover (even after raising the soft
+    RLIMIT_NOFILE to the hard limit) are skipped visibly per level.
+    """
+    levels: List[dict] = []
+    for conns in conn_counts:
+        reason = _nofile_headroom(2 * conns + 64)
+        if reason:
+            print(f"repro-bench: NOTICE: cscale@{conns}: {reason}; "
+                  f"skipping this level", file=sys.stderr)
+            levels.append({"conns": conns, "skipped": True,
+                           "reason": reason})
+            continue
+        if conns <= threaded_conn_cap:
+            threaded = _cscale_threaded(conns, calls_per_conn, work_s)
+        else:
+            threaded = {"ok": False, "completed": 0,
+                        "expected": conns * calls_per_conn,
+                        "reason": (f"not attempted: {conns} connections "
+                                   f"need ~{3 * conns} threads, past the "
+                                   f"{threaded_conn_cap}-connection "
+                                   f"threaded cap")}
+        reactor = _cscale_reactor(conns, calls_per_conn, work_s)
+        speedup = None
+        if threaded.get("ok") and reactor.get("ok"):
+            denom = threaded["goodput_calls_per_s"]
+            if denom:
+                speedup = round(
+                    reactor["goodput_calls_per_s"] / denom, 3)
+        levels.append({"conns": conns, "threaded": threaded,
+                       "reactor": reactor, "speedup": speedup})
+    return {"calls_per_conn": calls_per_conn, "work_s": work_s,
+            "p99_slo_s": CSCALE_P99_SLO_S, "levels": levels}
+
+
+def cscale_smoke(conns: int = 500, calls_per_conn: int = 4,
+                 rss_limit_mb: float = 512.0) -> dict:
+    """The CI gate: ~``conns`` concurrent pipelined reactor clients,
+    zero dropped replies, bounded RSS growth.  Returns a result dict
+    with ``ok`` — `repro-bench --cscale-smoke N` prints it and exits
+    nonzero on a violation."""
+    reason = _nofile_headroom(2 * conns + 64)
+    if reason:
+        return {"ok": True, "skipped": True, "conns": conns,
+                "reason": reason}
+    rss_before = _rss_mb()
+    rec = _cscale_reactor(conns, calls_per_conn, 0.0)
+    rss_after = _rss_mb()
+    growth = round(rss_after - rss_before, 1)
+    return {"ok": bool(rec.get("ok")) and growth < rss_limit_mb,
+            "conns": conns, "calls_per_conn": calls_per_conn,
+            "completed": rec.get("completed"),
+            "expected": rec.get("expected"),
+            "dropped": rec.get("expected", 0) - rec.get("completed", 0),
+            "goodput_calls_per_s": rec.get("goodput_calls_per_s"),
+            "p50_s": rec.get("p50_s"), "p99_s": rec.get("p99_s"),
+            "rss_before_mb": round(rss_before, 1),
+            "rss_after_mb": round(rss_after, 1),
+            "rss_growth_mb": growth,
+            "rss_limit_mb": rss_limit_mb,
+            **({"reason": rec["reason"]} if rec.get("reason") else {})}
+
+
 def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
               latency_size: int = 64 * KB, latency_calls: int = 50,
               pipeline_inflight: int = 8, pipeline_calls: int = 32,
@@ -608,6 +969,7 @@ def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
               sgcdr_repeats: int = 5,
               sendfile_sizes=(1 * MB, 4 * MB, 16 * MB),
               sendfile_repeats: int = 5,
+              cscale_conns=(100, 1000), cscale_calls: int = 5,
               tag: str = "", registry: Optional[MetricsRegistry] = None
               ) -> dict:
     """The full trajectory document (see module docstring)."""
@@ -647,10 +1009,21 @@ def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
     if registry is not None and not sendfile.get("skipped"):
         registry.gauge("bench_sendfile_speedup").set(
             sendfile["speedup_at_max"])
+    cscale = measure_cscale(conn_counts=cscale_conns,
+                            calls_per_conn=cscale_calls)
+    if registry is not None:
+        for lv in cscale["levels"]:
+            if lv.get("skipped"):
+                continue
+            for mode in ("threaded", "reactor"):
+                if lv[mode].get("ok"):
+                    registry.gauge("bench_cscale_goodput", mode=mode,
+                                   conns=str(lv["conns"])).set(
+                        lv[mode]["goodput_calls_per_s"])
     return {"schema": BENCH_SCHEMA_VERSION, "kind": "bench", "tag": tag,
             "figures": figures, "latency": latency,
             "pipelining": pipelining, "shm": shm, "sgcdr": sgcdr,
-            "sendfile": sendfile}
+            "sendfile": sendfile, "cscale": cscale}
 
 
 def validate_bench(doc: dict) -> List[str]:
@@ -743,6 +1116,31 @@ def validate_bench(doc: dict) -> List[str]:
                     or "copy_mb_per_s" not in r
                     or "speedup" not in r for r in sf_rows):
             problems.append("sendfile.sizes: malformed rows")
+    cscale = doc.get("cscale")
+    if not isinstance(cscale, dict) or \
+            not isinstance(cscale.get("levels"), list) \
+            or not cscale["levels"]:
+        return problems + ["'cscale' missing or malformed"]
+    for lv in cscale["levels"]:
+        if not isinstance(lv, dict) or "conns" not in lv:
+            problems.append("cscale.levels: malformed row")
+            continue
+        if lv.get("skipped"):
+            if not lv.get("reason"):
+                problems.append(
+                    f"cscale@{lv['conns']}: skipped without a reason")
+            continue
+        for mode in ("threaded", "reactor"):
+            rec = lv.get(mode)
+            if not isinstance(rec, dict) or "ok" not in rec:
+                problems.append(f"cscale@{lv['conns']}.{mode}: malformed")
+            elif rec["ok"] and any(
+                    k not in rec for k in ("goodput_calls_per_s",
+                                           "p50_s", "p99_s")):
+                problems.append(
+                    f"cscale@{lv['conns']}.{mode}: missing quantiles")
+        if "speedup" not in lv:
+            problems.append(f"cscale@{lv['conns']}: missing speedup")
     return problems
 
 
@@ -763,8 +1161,10 @@ def compare_bench(old: dict, new: dict,
     Gated series: the pipelining speedup per scheme, the shm deposit
     speedup, the fig6_right zc-corba throughput at 256 KiB and 1 MiB
     (or the largest size both documents share — quick runs sweep
-    smaller), the sgcdr scatter/gather encode MB/s per size, and the
-    sendfile disk-to-socket MB/s per size both documents swept.  Each
+    smaller), the sgcdr scatter/gather encode MB/s per size, the
+    sendfile disk-to-socket MB/s per size both documents swept, and
+    the cscale reactor goodput at the largest connection count both
+    documents completed.  Each
     row is ``{"metric", "old", "new", "ratio", "ok"}``; a row fails
     (``ok=False``) when ``new < old * tolerance``.  Metrics present in
     only one document (probe skipped, different sweep) are reported
@@ -825,6 +1225,26 @@ def compare_bench(old: dict, new: dict,
             add(f"sendfile@{s}.sendfile_mb_per_s",
                 o_rows[s].get("sendfile_mb_per_s"),
                 n_rows[s].get("sendfile_mb_per_s"))
+
+    def _cs_levels(doc: dict) -> Dict[int, dict]:
+        return {lv["conns"]: lv
+                for lv in (doc.get("cscale") or {}).get("levels", [])
+                if isinstance(lv, dict) and "conns" in lv
+                and not lv.get("skipped")}
+
+    old_cs, new_cs = _cs_levels(old), _cs_levels(new)
+    # gate at the LARGEST level both documents completed: that is the
+    # scale claim, and the small levels' sub-second timed windows are
+    # too noisy to gate on (like the figure curves' largest-common-size
+    # fallback for quick runs)
+    common_cs = [c for c in sorted(set(old_cs) & set(new_cs))
+                 if (old_cs[c].get("reactor") or {}).get("ok")
+                 and (new_cs[c].get("reactor") or {}).get("ok")]
+    if common_cs:
+        c = common_cs[-1]
+        add(f"cscale@{c}.reactor_goodput_calls_per_s",
+            old_cs[c]["reactor"].get("goodput_calls_per_s"),
+            new_cs[c]["reactor"].get("goodput_calls_per_s"))
     return rows
 
 
@@ -891,6 +1311,19 @@ def main(argv: Optional[list] = None) -> int:
     ap.add_argument("--sendfile-max-size", type=int, default=16 * MB,
                     help="largest file in the sendfile-vs-copy sweep "
                          "(the 1-4-16-64 MiB ladder is clipped to it)")
+    ap.add_argument("--cscale-conns", default="100,1000",
+                    help="comma-separated connection counts for the "
+                         "reactor-vs-threaded scaling sweep "
+                         "(default: %(default)s; nightly passes "
+                         "100,1000,10000)")
+    ap.add_argument("--cscale-calls", type=int, default=5,
+                    help="pipelined calls per connection in the "
+                         "cscale sweep")
+    ap.add_argument("--cscale-smoke", type=int, metavar="CONNS",
+                    default=None,
+                    help="run ONLY the connection-scaling smoke gate "
+                         "at CONNS reactor clients (zero dropped "
+                         "replies, bounded RSS) and exit")
     ap.add_argument("--quick", action="store_true",
                     help="tiny sweep for CI smoke (16 KiB max, 10 calls)")
     ap.add_argument("--check", metavar="PATH", default=None,
@@ -908,6 +1341,24 @@ def main(argv: Optional[list] = None) -> int:
                     help="print the fig5 table of an existing document "
                          "instead of running the benchmarks")
     args = ap.parse_args(argv)
+
+    if args.cscale_smoke is not None:
+        result = cscale_smoke(conns=args.cscale_smoke)
+        print(json.dumps(result, indent=2))
+        if result.get("skipped"):
+            print(f"repro-bench: cscale smoke SKIPPED: "
+                  f"{result['reason']}", file=sys.stderr)
+            return 0
+        if not result["ok"]:
+            print("repro-bench: cscale smoke FAILED "
+                  f"({result.get('dropped', '?')} dropped replies, "
+                  f"RSS +{result.get('rss_growth_mb', '?')} MiB)",
+                  file=sys.stderr)
+            return 1
+        print(f"repro-bench: cscale smoke OK: {result['completed']} "
+              f"replies over {result['conns']} connections, "
+              f"RSS +{result['rss_growth_mb']} MiB")
+        return 0
 
     if args.compare:
         docs = []
@@ -963,7 +1414,24 @@ def main(argv: Optional[list] = None) -> int:
 
     sgcdr_repeats = 5
     sendfile_repeats = 5
+    try:
+        cscale_conns = tuple(int(c) for c in
+                             args.cscale_conns.split(",") if c.strip())
+    except ValueError:
+        print(f"repro-bench: bad --cscale-conns: {args.cscale_conns!r}",
+              file=sys.stderr)
+        return 1
+    cscale_calls = args.cscale_calls
     if args.quick:
+        # the per-PR gate sweeps 100 and 500 connections; the full
+        # 1k/10k levels are the nightly's job.  Six calls per conn
+        # keeps the 500-level timed window over a second — that level
+        # is the gate's anchor (largest common with the committed
+        # baseline), so it needs the steadiest number of the sweep
+        cscale_conns = tuple(c for c in (100, 500)
+                             if c <= max(cscale_conns, default=0)) \
+            or cscale_conns
+        cscale_calls = min(cscale_calls, 6)
         args.max_size = min(args.max_size, 16 * KB)
         args.latency_size = min(args.latency_size, 16 * KB)
         args.latency_calls = min(args.latency_calls, 10)
@@ -990,6 +1458,8 @@ def main(argv: Optional[list] = None) -> int:
                     sgcdr_repeats=sgcdr_repeats,
                     sendfile_sizes=sendfile_sizes,
                     sendfile_repeats=sendfile_repeats,
+                    cscale_conns=cscale_conns,
+                    cscale_calls=cscale_calls,
                     tag=args.tag)
     problems = validate_bench(doc)
     if problems:  # a bug in this module, not in the caller's input
@@ -1035,6 +1505,21 @@ def main(argv: Optional[list] = None) -> int:
                   f"{row['sendfile_mb_per_s']:.0f} MB/s kernel vs "
                   f"{row['copy_mb_per_s']:.0f} MB/s copy "
                   f"({row['speedup']:.1f}x)")
+    for lv in doc["cscale"]["levels"]:
+        if lv.get("skipped"):
+            print(f"cscale: {lv['conns']} conns SKIPPED "
+                  f"({lv['reason']})")
+            continue
+        re_rec, th_rec = lv["reactor"], lv["threaded"]
+
+        def _side(rec):
+            if not rec.get("ok"):
+                return f"FAILED ({rec.get('reason', 'unknown')})"
+            return (f"{rec['goodput_calls_per_s']:.0f} calls/s "
+                    f"p99={rec['p99_s'] * 1e3:.1f}ms")
+        ratio = f"{lv['speedup']:.1f}x" if lv["speedup"] else "n/a"
+        print(f"cscale: {lv['conns']} conns reactor {_side(re_rec)} "
+              f"vs threaded {_side(th_rec)} ({ratio})")
     print(f"bench document written to {args.out}")
     return 0
 

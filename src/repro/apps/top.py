@@ -223,6 +223,20 @@ def render(cur: Snapshot, prev: Optional[Snapshot] = None) -> str:
             else "server handle"
         out.append(f"{name} latency ({window}): {line}")
 
+    loop_tasks = cur.total("loop_tasks")
+    if loop_tasks is not None:
+        shards = cur.label_values("loop_tasks", "shard")
+        lag = _quantiles(cur, prev, "loop_lag_seconds")
+        window = "window" if prev is not None else "lifetime"
+        lag_txt = "  ".join(
+            f"{tag} {'-' if v is None else f'{v * 1e3:.3f}ms'}"
+            for tag, v in lag) if lag else "-"
+        out.append("")
+        out.append(
+            f"reactor: {len(shards) or 1} shard(s)  "
+            f"{_fmt(loop_tasks)} loop tasks  "
+            f"lag ({window}): {lag_txt}")
+
     recorded = cur.total("flightrec_recorded_total")
     if recorded is not None:
         out.append(

@@ -5,6 +5,7 @@ Python renditions of the MICO classes on the data path of Figs. 3/4 —
 the compiler-facing stub/skeleton bases — plus CORBA system/user
 exceptions and the ORB facade."""
 
+from .aio import AsyncStub, async_api, gather_window, run_sync
 from .async_invoke import AsyncInvoker, invoke_async
 from .connection import ConnStats, GIOPConn, ReceivedMessage
 from .dii import DynRequest
@@ -19,12 +20,15 @@ from .object_adapter import POA, Servant
 from .orb import ORB, ORBConfig
 from .policy import NO_RETRY, Deadline, InvocationPolicy
 from .proxy import IIOPProxy
+from .reactor import Reactor, get_reactor
 from .server import IIOPServer
 from .signatures import (InterfaceDef, OperationSignature, Param, ParamMode)
 from .stubs import ObjectStub, lookup_stub_class, register_stub_class
 
 __all__ = [
     "ORB", "ORBConfig", "DynRequest", "AsyncInvoker", "invoke_async",
+    "AsyncStub", "async_api", "gather_window", "run_sync",
+    "Reactor", "get_reactor",
     "InvocationPolicy", "Deadline", "NO_RETRY",
     "RequestInterceptor", "RequestInfo", "InterceptorRegistry",
     "AccountingInterceptor",

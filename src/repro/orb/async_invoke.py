@@ -9,6 +9,12 @@ endpoint.  Calls to *different* servers genuinely overlap, and — now
 that the proxy pipelines — so do calls to the *same* server: the
 workers share one connection and their requests are in flight
 concurrently, matched to replies by request id.
+
+This model still burns a thread per in-flight call.  The native
+coroutine surface in :mod:`repro.orb.aio` (``async_api`` +
+``gather_window``) holds no thread while a reply is outstanding —
+prefer it for large fan-outs; this module remains the zero-asyncio
+option for plain threaded code.
 """
 
 from __future__ import annotations

@@ -158,6 +158,15 @@ class GIOPConn:
         self._req_ids = itertools.count(1)
         self._send_lock = threading.Lock()
         self._closed = False
+        #: callbacks run exactly once when close() fires — the reactor
+        #: registers one to detach its fd reader before the fd dies.
+        #: Guarded by a dedicated lock, NOT _send_lock: close() can be
+        #: re-entered from *inside* a send (a fault mid-sendv closes a
+        #: synchronous-delivery stream, whose peer pump then closes the
+        #: conn on the same thread, with _send_lock already held)
+        self._close_hooks: list = []
+        self._hooks_lock = threading.Lock()
+        self._hooks_fired = False
         #: a caller-supplied ConnStats survives reconnects (the proxy
         #: hands the same object to each replacement connection)
         self.adopt_stats(stats if stats is not None else ConnStats())
@@ -514,6 +523,58 @@ class GIOPConn:
         emitting thread, so the demux captures the events and the
         awaiting caller re-emits them on its own thread.  Wire events
         are thread-agnostic and still go to the sink directly.
+
+        This is the *blocking driver* over :meth:`_read_message_gen`:
+        the parse itself is a resumable generator so the reactor
+        (repro.orb.reactor) can feed it from non-blocking reads one
+        readiness callback at a time.  Both drivers run the same
+        parser, so framing, stats, and CORBA exception mapping cannot
+        diverge between the threaded and the event-loop path.
+        """
+        gen = self._read_message_gen(wait_stage, capture)
+        result = None
+        throwing: Optional[BaseException] = None
+        while True:
+            try:
+                if throwing is not None:
+                    req = gen.throw(throwing)
+                else:
+                    req = gen.send(result)
+            except StopIteration as stop:
+                return stop.value
+            throwing = None
+            result = None
+            try:
+                kind = req[0]
+                if kind == "exact":
+                    result = self.stream.recv_exact(req[1])
+                elif kind == "into":
+                    self.stream.recv_into(req[1])
+                else:  # "land": shm arena slot mapping, no stream read
+                    req[1].land(req[2])
+            except BaseException as exc:
+                # hand the failure to the generator: its except clauses
+                # own the stats/close/CORBA mapping, exactly once
+                throwing = exc
+
+    def _read_message_gen(self, wait_stage: str = STAGE_RECV_WAIT,
+                          capture: Optional[list] = None):
+        """Resumable GIOP parse: yields read requests, returns the
+        :class:`ReceivedMessage` (via ``StopIteration.value``).
+
+        Yielded requests (the driver performs the I/O):
+
+        * ``("exact", n)`` — read exactly ``n`` bytes, send back the
+          ``memoryview``;
+        * ``("into", view)`` — fill ``view`` completely (direct-deposit
+          landing, §4.5), send back None;
+        * ``("land", receiver, desc)`` — map the descriptor's shm arena
+          slot (never yielded to the reactor: shm streams keep their
+          reader thread), send back None.
+
+        Transport errors raised by the driver are ``throw()``-n into
+        the generator at the yield point, so the except clauses below
+        map them to CORBA exceptions identically for every driver.
         """
         fragments = 1
         stage_sink = self.sink
@@ -521,9 +582,9 @@ class GIOPConn:
             stage_sink = CaptureSink(capture, clock=self.sink.clock)
         try:
             with stage_span(stage_sink, wait_stage) as span:
-                raw_header = self.stream.recv_exact(GIOP_HEADER_SIZE)
+                raw_header = (yield ("exact", GIOP_HEADER_SIZE))
                 header = decode_header(raw_header)
-                body = self.stream.recv_exact(header.size) if header.size \
+                body = (yield ("exact", header.size)) if header.size \
                     else memoryview(b"")
                 # wire accounting: headers + bodies actually read, NOT
                 # the reassembled size (each fragment counts exactly once)
@@ -537,14 +598,14 @@ class GIOPConn:
                 more_fragments = header.more_fragments
                 while more_fragments:
                     frag_header = decode_header(
-                        self.stream.recv_exact(GIOP_HEADER_SIZE))
+                        (yield ("exact", GIOP_HEADER_SIZE)))
                     if frag_header.msg_type is not MsgType.Fragment:
                         raise GIOPError(
                             f"expected Fragment continuation, got "
                             f"{frag_header.msg_type.name}")
                     if assembled is None:
                         assembled = bytearray(body)
-                    assembled += self.stream.recv_exact(frag_header.size)
+                    assembled += (yield ("exact", frag_header.size))
                     wire_nbytes += GIOP_HEADER_SIZE + frag_header.size
                     fragments += 1
                     more_fragments = frag_header.more_fragments
@@ -590,7 +651,7 @@ class GIOPConn:
                         # reads the inline fallback) — no recv_into on
                         # the arena path
                         for desc, _ in receiver.pending_in_order():
-                            receiver.land(desc)
+                            yield ("land", receiver, desc)
                             span.add_bytes(desc.size)
                             if self.on_bytes is not None:
                                 self.on_bytes("deposit-recv", desc.size)
@@ -598,7 +659,7 @@ class GIOPConn:
                         for desc, buf in receiver.pending_in_order():
                             # land the payload directly in its final
                             # buffer
-                            self.stream.recv_into(buf.view())
+                            yield ("into", buf.view())
                             span.add_bytes(desc.size)
                             if self.on_bytes is not None:
                                 self.on_bytes("deposit-recv", desc.size)
@@ -658,6 +719,27 @@ class GIOPConn:
     def closed(self) -> bool:
         return self._closed
 
+    def add_close_hook(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` once when this connection closes (idempotent
+        across repeated close() calls).  If the connection is already
+        closed the hook runs immediately."""
+        run_now = False
+        with self._hooks_lock:
+            if self._hooks_fired:
+                run_now = True
+            else:
+                self._close_hooks.append(fn)
+        if run_now:
+            fn()
+
     def close(self) -> None:
         self._closed = True
+        with self._hooks_lock:
+            hooks, self._close_hooks = self._close_hooks, []
+            self._hooks_fired = True
+        for fn in hooks:
+            try:
+                fn()
+            except Exception:
+                pass
         self.stream.close()

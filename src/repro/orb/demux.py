@@ -57,7 +57,8 @@ class ReplyFuture:
     stage events of the reply read (see module docstring).
     """
 
-    __slots__ = ("request_id", "_event", "message", "stages", "exception")
+    __slots__ = ("request_id", "_event", "message", "stages", "exception",
+                 "_cb_lock", "_callbacks")
 
     def __init__(self, request_id: int):
         self.request_id = request_id
@@ -65,16 +66,20 @@ class ReplyFuture:
         self.message: Optional[ReceivedMessage] = None
         self.stages: Tuple[StageEvent, ...] = ()
         self.exception: Optional[SystemException] = None
+        self._cb_lock = threading.Lock()
+        self._callbacks: List = []
 
     def complete(self, rm: ReceivedMessage,
                  stages: Tuple[StageEvent, ...] = ()) -> None:
         self.message = rm
         self.stages = tuple(stages)
         self._event.set()
+        self._fire()
 
     def fail(self, exc: SystemException) -> None:
         self.exception = exc
         self._event.set()
+        self._fire()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until completed; False when ``timeout`` expired first."""
@@ -84,6 +89,23 @@ class ReplyFuture:
     def done(self) -> bool:
         return self._event.is_set()
 
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` on completion — immediately if already
+        done, else from whichever thread completes the future.  The
+        async invocation path bridges this to an asyncio future via
+        ``call_soon_threadsafe``."""
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def _fire(self) -> None:
+        with self._cb_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
 
 #: message types that complete a pending future by request id
 _MATCHED = (MsgType.Reply, MsgType.LocateReply)
@@ -92,8 +114,12 @@ _MATCHED = (MsgType.Reply, MsgType.LocateReply)
 class ReplyDemux:
     """Per-connection reader matching inbound replies to futures."""
 
-    def __init__(self, conn: GIOPConn):
+    def __init__(self, conn: GIOPConn, reactor=None):
         self.conn = conn
+        #: the event-loop reactor (repro.orb.reactor) to adopt the read
+        #: side into; None (or a non-adoptable stream) keeps the
+        #: dedicated reader thread with identical semantics
+        self.reactor = reactor
         self._pending: Dict[int, ReplyFuture] = {}
         self._lock = threading.Lock()
         #: the connection-fatal failure, once one happened
@@ -113,12 +139,32 @@ class ReplyDemux:
         if set_handler is not None:
             # synchronous delivery (loopback): pump on data arrival
             set_handler(self._pump)
+        elif self.reactor is not None \
+                and self.reactor.adoptable(self.conn.stream):
+            # event-loop mode: no reader thread — the reactor feeds the
+            # same GIOP parser from readiness callbacks and routes
+            # finished messages through the same _route
+            self.reactor.adopt(
+                self.conn, self._on_reactor_message,
+                self._on_reactor_error, wait_stage=STAGE_SERVER_WAIT,
+                want_capture=True)
         else:
             self._thread = threading.Thread(
                 target=self._read_loop,
                 name=f"giop-demux-{getattr(self.conn.stream, 'name', '?')}",
                 daemon=True)
             self._thread.start()
+
+    def close(self, timeout: float = 1.0) -> None:
+        """Close the connection and join the reader thread (bounded).
+
+        Reactor-adopted connections detach through the conn close hook;
+        thread mode unblocks the reader by closing the stream under it.
+        """
+        self.conn.close()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout)
 
     @property
     def inflight(self) -> int:
@@ -213,6 +259,16 @@ class ReplyDemux:
         except SystemException as exc:
             self._fail_all(self._as_inflight_failure(exc))
             return False
+        return self._route(rm, capture)
+
+    def _route(self, rm: ReceivedMessage,
+               capture: Optional[List[StageEvent]]) -> bool:
+        """Route one successfully read message; False = conn is dead.
+
+        Shared by the reader thread, the loopback pump, and the reactor
+        callback — routing semantics are identical in every mode.
+        """
+        conn = self.conn
         mtype = rm.header.msg_type
         if mtype in _MATCHED:
             request_id = rm.msg.body_header.request_id
@@ -245,6 +301,27 @@ class ReplyDemux:
             completed=CompletionStatus.COMPLETED_MAYBE,
             message=f"unexpected {mtype.name} on client connection"))
         return False
+
+    # -- reactor callbacks (loop thread; must not block) -------------------
+    def _on_reactor_message(self, rm: ReceivedMessage,
+                            capture: Optional[List[StageEvent]],
+                            driver) -> None:
+        self._route(rm, capture)
+
+    def _on_reactor_error(self, exc: BaseException) -> None:
+        """Mirror of _step's except clauses for the event-loop path."""
+        if isinstance(exc, GIOPError):
+            self.conn.close()
+            self._fail_all(COMM_FAILURE(
+                completed=CompletionStatus.COMPLETED_MAYBE,
+                message=f"GIOP framing error on reply stream: {exc}"))
+        elif isinstance(exc, SystemException):
+            self._fail_all(self._as_inflight_failure(exc))
+        else:
+            self.conn.close()
+            self._fail_all(INTERNAL(
+                completed=CompletionStatus.COMPLETED_MAYBE,
+                message=f"reactor read failed: {exc!r}"))
 
     # -- failure fan-out ---------------------------------------------------
     def _has_pending(self) -> bool:

@@ -86,6 +86,13 @@ class ORBConfig:
     #: auto-register the IDL-defined ORBMonitor servant (initial
     #: reference "ORBMonitor") on every server ORB
     monitor: bool = True
+    #: asyncio reactor (repro.orb.reactor): adoptable TCP connections
+    #: are read on a shared event loop instead of a thread each — the
+    #: C10K path.  False restores thread-per-connection everywhere.
+    reactor: bool = True
+    #: event-loop shards of the process-wide reactor (fixed by the
+    #: first ORB that touches it; later values are ignored)
+    reactor_shards: int = 1
 
 
 class ORB:
@@ -150,6 +157,19 @@ class ORB:
         self._monitor_lock = threading.RLock()
         self._monitor_ref = None
         self._monitor_registering = False
+
+    @property
+    def reactor(self):
+        """The process-wide event-loop reactor (lazily started), or
+        None when ``config.reactor`` is off.  Attaching registers this
+        ORB for loop-health metrics (``loop_lag_seconds`` /
+        ``loop_tasks``) once it has a metrics registry."""
+        if not self.config.reactor:
+            return None
+        from .reactor import get_reactor
+        reactor = get_reactor(self.config.reactor_shards)
+        reactor.attach_orb(self)
+        return reactor
 
     # -- observability -----------------------------------------------------------
     def enable_tracing(self, registry=None, *, wire: bool = False,
@@ -272,7 +292,8 @@ class ORB:
                                 sink=self.sink,
                                 workers=cfg.server_workers,
                                 queue_depth=cfg.server_queue_depth,
-                                sendfile_min_size=cfg.sendfile_min_size)
+                                sendfile_min_size=cfg.sendfile_min_size,
+                                reactor=self.reactor)
             schemes = [cfg.scheme] + [s for s in cfg.extra_schemes
                                       if s != cfg.scheme]
             endpoints = []
@@ -378,6 +399,25 @@ class ORB:
         return proxy.invoke(profile.object_key, sig, args,
                             policy=policy or self.policy)
 
+    async def invoke_async(self, ior: IOR, sig: OperationSignature,
+                           args: Sequence[Any],
+                           policy: Optional[InvocationPolicy] = None
+                           ) -> Any:
+        """Coroutine twin of :meth:`invoke` — same routing (collocated
+        bypass, profile selection, shared proxies), awaitable reply."""
+        servant = self.find_local_servant(ior) \
+            if self.config.collocated_calls else None
+        if servant is not None:
+            method = getattr(servant, sig.name, None)
+            if method is None:
+                raise OBJECT_NOT_EXIST(message=(
+                    f"local servant lacks operation {sig.name!r}"))
+            return method(*args)
+        profile = self.select_profile(ior)
+        proxy = self._proxy_for(profile.endpoint)
+        return await proxy.invoke_async(profile.object_key, sig, args,
+                                        policy=policy or self.policy)
+
     def locate(self, ref: ObjectStub) -> bool:
         """GIOP LocateRequest: is the referenced object reachable and
         known to its server?  (OBJECT_HERE -> True.)"""
@@ -463,7 +503,7 @@ class ORB:
                                 .sendfile_min_size,
                                 sink=self.sink, **kw)
 
-            proxy = IIOPProxy(connector, orb=self)
+            proxy = IIOPProxy(connector, orb=self, reactor=self.reactor)
             self._proxies[endpoint] = proxy
             return proxy
 
@@ -522,14 +562,12 @@ class ORB:
                 pass
             self.telemetry = None
         for proxy in proxies:
-            conn = proxy._conn  # do not dial just to say goodbye
-            if conn is None:
-                continue
+            # polite close + bounded join of the demux reader thread,
+            # so threading.active_count() returns to baseline
             try:
-                conn.send_close()
+                proxy.close()
             except Exception:
                 pass
-            conn.close()
         if server is not None:
             server.shutdown()
 

@@ -32,6 +32,7 @@ future with the appropriate CORBA system exception.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 from typing import Any, Callable, Optional, Sequence, Tuple, Union
 
@@ -68,7 +69,7 @@ class IIOPProxy:
 
     def __init__(self, conn: Union[GIOPConn, Connector],
                  policy: Optional[InvocationPolicy] = None,
-                 orb=None):
+                 orb=None, reactor=None):
         if isinstance(conn, GIOPConn):
             self._conn: Optional[GIOPConn] = conn
             self._connector: Optional[Connector] = None
@@ -78,6 +79,9 @@ class IIOPProxy:
             self._connector = conn
             self._stats = ConnStats()
         self.policy = policy
+        #: the event-loop reactor handed to each ReplyDemux: adoptable
+        #: connections get no reader thread.  None = threaded demux.
+        self._reactor = reactor
         #: the owning ORB (for tracers/interceptors); falls back to the
         #: connection's ORB when constructed around a live GIOPConn
         self._orb = orb
@@ -107,7 +111,7 @@ class IIOPProxy:
             if conn is not None and not conn.closed:
                 if self._demux is None:
                     # proxy constructed around a live GIOPConn: adopt it
-                    self._demux = ReplyDemux(conn)
+                    self._demux = ReplyDemux(conn, reactor=self._reactor)
                     self._demux.start()
                 return conn, self._demux
             replacing = conn is not None
@@ -116,7 +120,7 @@ class IIOPProxy:
                 self._conn = None
                 self._demux = None
             conn = self._dial()
-            demux = ReplyDemux(conn)
+            demux = ReplyDemux(conn, reactor=self._reactor)
             self._conn = conn
             self._demux = demux
             if replacing:
@@ -154,6 +158,21 @@ class IIOPProxy:
         # _ensure_conn sees the dead conn and replaces it (counting the
         # reconnect); with no conn at all this is just the first dial
         return self._ensure_conn()[0]
+
+    def close(self, timeout: float = 1.0) -> None:
+        """Close the connection politely and join the demux reader
+        thread (bounded) — ``ORB.shutdown`` calls this so the thread
+        count returns to baseline."""
+        with self._conn_lock:
+            conn, demux = self._conn, self._demux
+            self._conn = None
+            self._demux = None
+        if conn is not None:
+            conn.send_close()
+        if demux is not None:
+            demux.close(timeout)
+        elif conn is not None:
+            conn.close()
 
     def _interceptors(self):
         orb = self._orb
@@ -237,6 +256,164 @@ class IIOPProxy:
                     policy.sleep(delay)
                 attempt += 1
                 self._stats.retries += 1
+
+    # -- async invocation ----------------------------------------------------
+    async def invoke_async(self, object_key: bytes, sig: OperationSignature,
+                           args: Sequence[Any],
+                           policy: Optional[InvocationPolicy] = None) -> Any:
+        """Coroutine twin of :meth:`invoke`: the same deadline, retry
+        budget, and deposit-fallback semantics, but the reply wait is an
+        asyncio future — thousands of calls can be in flight on one
+        awaiting task with no thread per call.
+
+        Runs on *any* running event loop (the caller's ``asyncio.run``
+        loop or a reactor shard).  Blocking pieces — the dial, the
+        marshal+send, an injectable ``policy.sleep`` — hop through the
+        loop's default executor so the loop itself never blocks.
+        Interceptor chains and distributed-tracer spans are a sync-path
+        feature; the async path skips them (DESIGN.md §15).
+        """
+        policy = policy or self.policy or NO_RETRY
+        deadline = policy.start_deadline()
+        attempt = 0
+        force_copy = False
+        loop = asyncio.get_running_loop()
+        while True:
+            if deadline is not None and deadline.expired:
+                self._stats.timeouts += 1
+                raise TIMEOUT(
+                    completed=CompletionStatus.COMPLETED_NO,
+                    message=(f"deadline of {policy.timeout}s expired "
+                             f"before the request was sent"))
+            state = _Attempt()
+            try:
+                return await self._invoke_once_async(
+                    loop, object_key, sig, args, deadline, force_copy,
+                    state)
+            except (TRANSIENT, COMM_FAILURE) as exc:
+                if attempt >= policy.max_retries or \
+                        not policy.retryable(exc, sig.idempotent):
+                    raise
+                if deadline is not None and deadline.expired:
+                    self._stats.timeouts += 1
+                    raise TIMEOUT(
+                        completed=exc.completed,
+                        message=(f"deadline of {policy.timeout}s "
+                                 f"expired after "
+                                 f"{attempt + 1} attempt(s): "
+                                 f"{exc.message}")) from exc
+                if state.had_deposits and not force_copy:
+                    force_copy = True
+                    self._stats.deposit_fallbacks += 1
+                delay = policy.backoff(attempt)
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline.remaining))
+                if delay > 0:
+                    # the policy's sleep is injectable (tests replace
+                    # it); honor the injection without stalling the loop
+                    await loop.run_in_executor(None, policy.sleep, delay)
+                attempt += 1
+                self._stats.retries += 1
+
+    async def _invoke_once_async(self, loop, object_key: bytes,
+                                 sig: OperationSignature,
+                                 args: Sequence[Any],
+                                 deadline: Optional[Deadline],
+                                 force_copy: bool, state: _Attempt) -> Any:
+        self.calls += 1
+        conn, demux, future = await loop.run_in_executor(
+            None, self._send_attempt_sync, object_key, sig, args,
+            force_copy, state)
+        if future is None:  # oneway: the send is the whole call
+            return None
+        rm = await self._await_reply_async(loop, conn, demux, future,
+                                           deadline)
+        return self._process_reply(conn, sig, rm)
+
+    def _send_attempt_sync(self, object_key: bytes,
+                           sig: OperationSignature, args: Sequence[Any],
+                           force_copy: bool, state: _Attempt):
+        """Dial-marshal-register-send, on an executor thread: every
+        piece that may block (connect, socket write) or hold the send
+        lock stays off the event loop."""
+        conn, demux = self._ensure_conn()
+        with stage_span(conn.sink, STAGE_MARSHAL) as span:
+            ctx = conn.make_marshal_context(force_copy=force_copy)
+            enc = conn.body_encoder()
+            sig.marshal_request(enc, args, ctx)
+            span.add_bytes(enc.nbytes)
+        state.had_deposits = bool(ctx.descriptors)
+        request = RequestHeader(
+            request_id=conn.next_request_id(),
+            object_key=object_key,
+            operation=sig.name,
+            response_expected=not sig.oneway,
+        )
+        future = demux.register(request.request_id) \
+            if not sig.oneway else None
+        try:
+            conn.send_message(request, enc, ctx)
+        except BaseException:
+            if future is not None:
+                demux.discard(request.request_id)
+            raise
+        return conn, demux, future
+
+    async def _await_reply_async(self, loop, conn: GIOPConn,
+                                 demux: ReplyDemux, future: ReplyFuture,
+                                 deadline: Optional[Deadline]
+                                 ) -> ReceivedMessage:
+        """Await this call's future without a thread: the demux (reader
+        thread or reactor) completes it, a done-callback wakes us via
+        ``call_soon_threadsafe``."""
+        afut = loop.create_future()
+
+        def _wake(_fut) -> None:
+            def _set() -> None:
+                if not afut.done():
+                    afut.set_result(None)
+            try:
+                loop.call_soon_threadsafe(_set)
+            except RuntimeError:
+                pass  # caller's loop already closed; nobody is waiting
+
+        future.add_done_callback(_wake)
+        timeout = None if deadline is None \
+            else max(deadline.remaining, 1e-4)
+        try:
+            await asyncio.wait_for(afut, timeout)
+        except asyncio.TimeoutError:
+            demux.discard(future.request_id)
+            # same squeak-in re-check as the sync path
+            if not future.done:
+                self._stats.timeouts += 1
+                raise TIMEOUT(
+                    completed=CompletionStatus.COMPLETED_MAYBE,
+                    message=(f"reply to request {future.request_id} did "
+                             f"not arrive within the deadline")) from None
+        except asyncio.CancelledError:
+            # a cancelled stub call must not leak: forget the pending
+            # registration, and if the reply already landed, release its
+            # deposit buffers back to the pool
+            demux.discard(future.request_id)
+            if future.done and future.message is not None:
+                ReplyDemux._drop_stale(future.message)
+            raise
+        if future.exception is not None:
+            raise future.exception
+        rm = future.message
+        assert rm is not None
+        if conn.sink is not None:
+            # captured reply stage events re-emit on the awaiting
+            # task's thread, exactly like the sync path
+            for event in future.stages:
+                conn.sink.emit(event)
+        reply = rm.msg.body_header
+        if not isinstance(reply, ReplyHeader):
+            raise INTERNAL(message=(
+                f"request {future.request_id} answered by "
+                f"{type(reply).__name__}"))
+        return rm
 
     def _invoke_once(self, object_key: bytes, sig: OperationSignature,
                      args: Sequence[Any], deadline: Optional[Deadline],

@@ -1,0 +1,390 @@
+"""The asyncio reactor: event-loop ownership of GIOP read sides.
+
+The threaded ORB spends one daemon thread per connection — a reader in
+:class:`~repro.orb.demux.ReplyDemux` on the client, an accept-spawned
+reader in :class:`~repro.orb.server.IIOPServer` on the server.  That
+tops out at hundreds of peers.  This module moves the *read* side of
+every adoptable TCP connection onto a small set of asyncio event loops
+("shards", default one), each running on its own daemon thread:
+
+* readiness is delivered by ``loop.add_reader(fd, cb)`` — level
+  triggered, so a callback that leaves bytes unread is re-armed;
+* each readiness callback drains the socket with non-blocking
+  ``recv_into_nb`` calls and feeds the bytes to the connection's
+  resumable GIOP parser (``GIOPConn._read_message_gen``) — the *same*
+  parser the blocking path drives, so framing, byte accounting, and
+  CORBA exception mapping cannot diverge;
+* completed messages are handed to an ``on_message`` callback (the
+  demux router on clients, the dispatch router on servers), transport
+  errors to ``on_error`` — both run on the loop thread and must not
+  block (servant up-calls go to the worker pool, reply sends happen on
+  worker/caller threads; the loop only parses).
+
+Sockets stay in *blocking* mode: only reads use ``MSG_DONTWAIT``
+(``TCPStream.recv_into_nb``), so every send tier — ``sendall``,
+``sendmsg`` gather writes, kernel ``sendfile`` — is untouched.  Streams
+that intercept reads (FaultyStream) or read from somewhere other than a
+socket (shm deposit channel control reads are sockets, but SimStream /
+LoopbackStream are not) are simply never adopted; they keep their
+reader threads with identical semantics.
+
+Loop health is exported through every attached ORB's metrics registry:
+``loop_lag_seconds`` (scheduled-vs-actual heartbeat delta, one series
+per shard) and ``loop_tasks`` (pending tasks + attached drivers), so
+``/metrics``, ``ORBMonitor.snapshot()``, and ``repro-top`` show reactor
+saturation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import weakref
+from typing import Callable, Optional
+
+from ..obs.stages import STAGE_RECV_WAIT
+
+__all__ = ["Reactor", "get_reactor", "reset_reactor"]
+
+#: heartbeat period for the loop-lag probe (seconds)
+_HEARTBEAT = 0.05
+
+
+class _ConnDriver:
+    """Feeds one connection's resumable parser from readiness events.
+
+    Lives entirely on its shard's loop thread after attach; the only
+    cross-thread entry points are :meth:`request_detach` (scheduled via
+    ``call_soon_threadsafe`` from the conn's close hook) and the
+    pause/resume pair, which the server's backpressure logic also calls
+    from the loop thread.
+    """
+
+    __slots__ = ("conn", "shard", "fd", "on_message", "on_error",
+                 "wait_stage", "want_capture", "_gen", "_request",
+                 "_buf", "_filled", "_capture", "_paused", "_detached")
+
+    def __init__(self, conn, shard: "_Shard", on_message, on_error,
+                 wait_stage: str, want_capture: bool):
+        self.conn = conn
+        self.shard = shard
+        self.fd = conn.stream.fileno()
+        self.on_message = on_message
+        self.on_error = on_error
+        self.wait_stage = wait_stage
+        self.want_capture = want_capture
+        self._gen = None
+        self._request = None      # ("exact", n) | ("into", view)
+        self._buf: Optional[memoryview] = None
+        self._filled = 0
+        self._capture: Optional[list] = None
+        self._paused = False
+        self._detached = False
+
+    # -- attach/detach (loop thread) ----------------------------------------
+    def attach(self) -> None:
+        self.shard.drivers[self.fd] = self
+        self.shard.loop.add_reader(self.fd, self._on_readable)
+
+    def detach(self) -> None:
+        if self._detached:
+            return
+        self._detached = True
+        # fd-reuse guard: only unregister if this fd still maps to *us*
+        # (a new conn may have been adopted on a recycled fd already)
+        if self.shard.drivers.get(self.fd) is self:
+            del self.shard.drivers[self.fd]
+            if not self._paused:
+                try:
+                    self.shard.loop.remove_reader(self.fd)
+                except (OSError, ValueError):
+                    pass
+        if self._gen is not None:
+            self._gen.close()
+            self._gen = None
+
+    def request_detach(self) -> None:
+        """Thread-safe detach entry point (the conn close hook)."""
+        loop = self.shard.loop
+        if loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self.detach)
+        except RuntimeError:
+            pass  # loop shut down between the check and the call
+
+    # -- backpressure (loop thread) -----------------------------------------
+    def pause(self) -> None:
+        """Stop reading this fd (server queue full)."""
+        if self._paused or self._detached:
+            return
+        self._paused = True
+        try:
+            self.shard.loop.remove_reader(self.fd)
+        except (OSError, ValueError):
+            pass
+
+    def resume(self) -> None:
+        """Re-arm readiness; immediately drains anything buffered."""
+        if not self._paused or self._detached:
+            return
+        self._paused = False
+        self.shard.loop.add_reader(self.fd, self._on_readable)
+        # level-triggered add_reader only fires on *socket* readability;
+        # run one drain pass now in case the kernel buffer already has
+        # the next message
+        self._on_readable()
+
+    # -- the drain loop (loop thread) ---------------------------------------
+    def _start_message(self) -> None:
+        self._capture = [] if (self.want_capture and
+                               self.conn.sink is not None) else None
+        self._gen = self.conn._read_message_gen(self.wait_stage,
+                                                self._capture)
+        self._advance(None)
+
+    def _advance(self, value) -> None:
+        """Push a satisfied read result into the parser; stage the next
+        read request (or deliver the finished message)."""
+        try:
+            req = self._gen.send(value)
+        except StopIteration as stop:
+            rm = stop.value
+            self._gen = None
+            self._request = None
+            self._buf = None
+            self.on_message(rm, self._capture, self)
+            return
+        self._stage(req)
+
+    def _stage(self, req) -> None:
+        kind = req[0]
+        if kind == "exact":
+            n = req[1]
+            if n == 0:
+                # zero-size request (empty body): satisfied without I/O
+                self._advance(memoryview(b""))
+                return
+            self._request = req
+            self._buf = memoryview(bytearray(n))
+            self._filled = 0
+        elif kind == "into":
+            view = req[1]
+            if view.format != "B" or view.ndim != 1:
+                view = view.cast("B")
+            if view.nbytes == 0:
+                self._advance(None)
+                return
+            self._request = req
+            self._buf = view
+            self._filled = 0
+        else:
+            # "land" requests only come from shm deposit channels, and
+            # shm streams are never reactor-adopted
+            self._throw(RuntimeError(
+                "shm deposit landing reached the reactor"))
+
+    def _throw(self, exc: BaseException) -> None:
+        """Inject a driver-side failure into the parser so its except
+        clauses perform the canonical stats/close/CORBA mapping."""
+        gen, self._gen = self._gen, None
+        self._request = None
+        self._buf = None
+        try:
+            gen.throw(exc)
+        except StopIteration as stop:
+            self.on_message(stop.value, self._capture, self)
+            return
+        except BaseException as mapped:
+            self.detach()
+            self.on_error(mapped)
+            return
+        # generator swallowed the error and yielded again — impossible
+        # for _read_message_gen, but fail closed
+        self.detach()
+        self.on_error(exc)
+
+    def _on_readable(self) -> None:
+        conn = self.conn
+        while not self._detached and not self._paused:
+            if self._gen is None:
+                if conn.closed:
+                    self.detach()
+                    return
+                self._start_message()
+                continue
+            if self._buf is None:
+                # invariant: an active parser always has a staged read
+                self._throw(RuntimeError("reactor parser without a "
+                                         "staged read request"))
+                return
+            try:
+                n = conn.stream.recv_into_nb(self._buf[self._filled:])
+            except BaseException as exc:
+                self._throw(exc)
+                return
+            if n is None:
+                return  # would block: wait for the next readiness event
+            self._filled += n
+            if self._filled < self._buf.nbytes:
+                continue
+            req, self._request = self._request, None
+            buf, self._buf = self._buf, None
+            if req[0] == "exact":
+                self._advance(buf)
+            else:
+                self._advance(None)
+
+
+class _Shard:
+    """One event loop on one daemon thread, plus its fd->driver map."""
+
+    def __init__(self, index: int, reactor: "Reactor"):
+        self.index = index
+        self.reactor = reactor
+        self.loop = asyncio.new_event_loop()
+        self.drivers: dict = {}
+        self._expected = 0.0
+        self.thread = threading.Thread(
+            target=self._run, name=f"giop-reactor-{index}", daemon=True)
+        self.thread.start()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.call_soon(self._arm_heartbeat)
+        try:
+            self.loop.run_forever()
+        finally:
+            self.loop.close()
+
+    # -- loop-health heartbeat (loop thread) --------------------------------
+    def _arm_heartbeat(self) -> None:
+        self._expected = self.loop.time() + _HEARTBEAT
+        self.loop.call_later(_HEARTBEAT, self._heartbeat)
+
+    def _heartbeat(self) -> None:
+        lag = max(0.0, self.loop.time() - self._expected)
+        tasks = len(asyncio.all_tasks(self.loop)) + len(self.drivers)
+        self.reactor._observe(self.index, lag, tasks)
+        self._arm_heartbeat()
+
+    def stop(self, join_timeout: float = 1.0) -> None:
+        if self.loop.is_closed():
+            return
+        try:
+            self.loop.call_soon_threadsafe(self.loop.stop)
+        except RuntimeError:
+            return
+        self.thread.join(timeout=join_timeout)
+
+
+class Reactor:
+    """N event-loop shards owning GIOP read sides, keyed by fd hash."""
+
+    def __init__(self, shards: int = 1):
+        if shards < 1:
+            raise ValueError("reactor needs at least one shard")
+        self._shards = [_Shard(i, self) for i in range(shards)]
+        #: ORBs whose metrics registries receive loop-health series;
+        #: weakly held so an abandoned ORB doesn't pin its registry
+        self._orbs: "weakref.WeakSet" = weakref.WeakSet()
+        self._lock = threading.Lock()
+
+    # -- adoption -----------------------------------------------------------
+    @staticmethod
+    def adoptable(stream) -> bool:
+        """True when the reactor may own this stream's read side."""
+        return bool(getattr(stream, "reactor_safe", False)) \
+            and hasattr(stream, "fileno") \
+            and hasattr(stream, "recv_into_nb")
+
+    def adopt(self, conn, on_message: Callable, on_error: Callable,
+              wait_stage: str = STAGE_RECV_WAIT,
+              want_capture: bool = False) -> "_ConnDriver":
+        """Hand ``conn``'s read side to a shard.
+
+        ``on_message(rm, stages, driver)`` and ``on_error(exc)`` run on
+        the shard's loop thread and must not block.  Returns the driver
+        (for pause/resume backpressure).  The conn's close hook detaches
+        the driver, so callers never unregister by hand.
+        """
+        if not self.adoptable(conn.stream):
+            raise ValueError(
+                f"stream {conn.stream!r} is not reactor-adoptable")
+        fd = conn.stream.fileno()
+        shard = self._shards[fd % len(self._shards)]
+        driver = _ConnDriver(conn, shard, on_message, on_error,
+                             wait_stage, want_capture)
+        conn.add_close_hook(driver.request_detach)
+        shard.loop.call_soon_threadsafe(driver.attach)
+        return driver
+
+    # -- sync<->async bridging ----------------------------------------------
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The first shard's loop — the default home for client-side
+        reply futures and ``run_coroutine_threadsafe`` bridging."""
+        return self._shards[0].loop
+
+    def loop_for_fd(self, fd: int) -> asyncio.AbstractEventLoop:
+        return self._shards[fd % len(self._shards)].loop
+
+    def run_sync(self, coro, timeout: Optional[float] = None):
+        """Run a coroutine on shard 0 from a non-loop thread and wait."""
+        fut = asyncio.run_coroutine_threadsafe(coro, self.loop)
+        return fut.result(timeout)
+
+    # -- metrics ------------------------------------------------------------
+    def attach_orb(self, orb) -> None:
+        """Start mirroring loop health into ``orb``'s metrics registry
+        (a no-op until the ORB has one — enable_tracing/telemetry)."""
+        self._orbs.add(orb)
+
+    def _observe(self, shard_index: int, lag: float, tasks: int) -> None:
+        shard_label = str(shard_index)
+        for orb in list(self._orbs):
+            registry = getattr(orb, "metrics", None)
+            if registry is None:
+                continue
+            registry.histogram("loop_lag_seconds",
+                               shard=shard_label).observe(lag)
+            registry.gauge("loop_tasks", shard=shard_label).set(tasks)
+
+    # -- introspection / lifecycle ------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def driver_count(self) -> int:
+        return sum(len(s.drivers) for s in self._shards)
+
+    def stop(self) -> None:
+        for shard in self._shards:
+            shard.stop()
+
+
+_reactor: Optional[Reactor] = None
+_reactor_lock = threading.Lock()
+
+
+def get_reactor(shards: int = 1) -> Reactor:
+    """The process-wide reactor (created lazily on first use).
+
+    The shard count is fixed by the first caller; later callers share
+    the same instance regardless of the argument — loops are a process
+    resource, not a per-ORB one.
+    """
+    global _reactor
+    with _reactor_lock:
+        if _reactor is None:
+            _reactor = Reactor(shards)
+        return _reactor
+
+
+def reset_reactor() -> None:
+    """Stop and forget the process-wide reactor (tests only)."""
+    global _reactor
+    with _reactor_lock:
+        reactor, _reactor = _reactor, None
+    if reactor is not None:
+        reactor.stop()

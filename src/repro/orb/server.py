@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Callable, List, Optional
 
 from ..core.buffers import BufferPool
@@ -101,6 +102,39 @@ class RequestWorkerPool:
             reg.gauge("server_inflight_requests").inc()
         self._queue.put((conn, rm))
 
+    def submit_nowait(self, conn: GIOPConn, rm: ReceivedMessage) -> None:
+        """Enqueue without blocking; raises :class:`queue.Full`.
+
+        The reactor path uses this — the event loop must never block on
+        backpressure; a full queue pauses the connection's fd reader
+        instead.
+        """
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            self._queue.put_nowait((conn, rm))
+        except queue.Full:
+            with self._inflight_lock:
+                self._inflight -= 1
+            raise
+        reg = self._registry()
+        if reg is not None:
+            reg.gauge("server_inflight_requests").inc()
+            reg.histogram("server_queue_depth",
+                          buckets=self.QUEUE_BUCKETS).observe(
+                              self._queue.qsize())
+
+    def drain(self, timeout: float = 2.0) -> bool:
+        """Wait (bounded) until no request is queued or executing —
+        graceful shutdown lets in-flight work finish and its replies
+        leave before connections drop."""
+        deadline = time.monotonic() + timeout
+        while self.inflight > 0:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.002)
+        return True
+
     def _work(self) -> None:
         while not self._stop.is_set():
             try:
@@ -139,9 +173,15 @@ class IIOPServer:
                  orb=None, fragment_size: int = 0,
                  wire_little_endian=None, sink=None,
                  workers: int = 4, queue_depth: int = 32,
-                 sendfile_min_size: int = 256 * 1024):
+                 sendfile_min_size: int = 256 * 1024,
+                 reactor=None):
         self.poa = poa
         self.orb = orb
+        #: event-loop reactor (repro.orb.reactor): adoptable accepted
+        #: streams are read on the loop instead of a thread each.  Only
+        #: usable with a worker pool — servant up-calls must never run
+        #: on the loop thread.
+        self.reactor = reactor
         self.pool = pool
         self.zero_copy = zero_copy
         self.generic_loop = generic_loop
@@ -154,13 +194,14 @@ class IIOPServer:
         self.dispatcher = MethodDispatcher(poa, on_bytes=on_bytes)
         self.listeners: List = []
         self._conns: List[GIOPConn] = []
+        self._reader_threads: List[threading.Thread] = []
         self._lock = threading.Lock()
         self._shutdown = False
         #: bounded dispatch pool; None = inline dispatch (workers=0)
         self.workers: Optional[RequestWorkerPool] = None
         if workers > 0:
             self.workers = RequestWorkerPool(
-                workers, self._dispatch_request, queue_depth=queue_depth,
+                workers, self._worker_handle, queue_depth=queue_depth,
                 metrics=lambda: getattr(self.orb, "metrics", None))
 
     def connections(self) -> List[GIOPConn]:
@@ -200,10 +241,23 @@ class IIOPServer:
             # recursing or dropping a wakeup.
             pump = _PumpGuard(lambda: self._pump(conn, stream))
             set_handler(pump)
+        elif self.reactor is not None and self.workers is not None \
+                and self.reactor.adoptable(stream):
+            # event-loop mode: the reactor parses on the loop; every
+            # decoded message routes through the worker pool, so the
+            # loop thread never blocks on an upcall or a reply send.
+            # On a read error the conn just closes — no courtesy
+            # MessageError, whose blocking send could stall the loop
+            # behind a peer that stopped reading.
+            self.reactor.adopt(conn, self._on_reactor_message,
+                               lambda exc, c=conn: c.close())
         else:
-            threading.Thread(target=self._read_loop, args=(conn,),
-                             name=f"iiop-server-{stream.peer}",
-                             daemon=True).start()
+            t = threading.Thread(target=self._read_loop, args=(conn,),
+                                 name=f"iiop-server-{stream.peer}",
+                                 daemon=True)
+            with self._lock:
+                self._reader_threads.append(t)
+            t.start()
 
     # -- message loops ---------------------------------------------------------
     def _read_one(self, conn: GIOPConn):
@@ -266,6 +320,68 @@ class IIOPServer:
         else:
             conn.send_error()
 
+    # -- reactor routing (loop thread; must not block) ---------------------
+    def _on_reactor_message(self, rm: ReceivedMessage, capture,
+                            driver) -> None:
+        conn = driver.conn
+        mtype = rm.header.msg_type
+        if mtype in (MsgType.Request, MsgType.LocateRequest):
+            # everything that answers goes through the pool — a
+            # LocateReply send can block on _send_lock behind a large
+            # reply, and the loop must never wait on a send.  Oneway
+            # requests queue too (inline dispatch would run servant
+            # code on the loop): FIFO pickup order is preserved by the
+            # queue, completion order is relaxed — GIOP permits that
+            # over TCP, and loopback (never adopted) keeps the strict
+            # seed semantics.
+            self._submit_reactor(conn, rm, driver)
+        elif mtype in (MsgType.CloseConnection, MsgType.MessageError):
+            conn.close()
+        elif mtype in (MsgType.CancelRequest, MsgType.Reply):
+            pass  # best-effort cancel; stale replies drop
+        else:
+            conn.close()
+
+    def _submit_reactor(self, conn: GIOPConn, rm: ReceivedMessage,
+                        driver) -> None:
+        try:
+            self.workers.submit_nowait(conn, rm)
+        except queue.Full:
+            # backpressure without blocking the loop: stop reading this
+            # fd and retry the handoff shortly.  The socket buffer (and
+            # eventually the peer's send) absorbs the pushback, exactly
+            # like the blocked reader thread did.
+            driver.pause()
+            driver.shard.loop.call_later(
+                0.002, self._retry_submit, conn, rm, driver)
+
+    def _retry_submit(self, conn: GIOPConn, rm: ReceivedMessage,
+                      driver) -> None:
+        if conn.closed or self._shutdown:
+            # nobody will ever dispatch this request: its landed
+            # deposit buffers go back to the pool
+            for buf in rm.deposits.values():
+                try:
+                    buf.release()
+                except Exception:  # noqa: BLE001 - already released
+                    pass
+            return
+        try:
+            self.workers.submit_nowait(conn, rm)
+        except queue.Full:
+            driver.shard.loop.call_later(
+                0.002, self._retry_submit, conn, rm, driver)
+            return
+        driver.resume()
+
+    def _worker_handle(self, conn: GIOPConn, rm: ReceivedMessage) -> None:
+        """Pool handler: dispatch requests, answer everything else via
+        the normal routing (LocateRequest replies from a worker)."""
+        if rm.header.msg_type is MsgType.Request:
+            self._dispatch_request(conn, rm)
+        else:
+            self._handle(conn, rm)
+
     def _dispatch_request(self, conn: GIOPConn,
                           rm: ReceivedMessage) -> None:
         try:
@@ -276,15 +392,22 @@ class IIOPServer:
             conn.close()
 
     # -- lifecycle ---------------------------------------------------------------
-    def shutdown(self) -> None:
+    def shutdown(self, timeout: float = 2.0, drain: bool = True) -> None:
+        """Stop the server: close listeners, drain in-flight requests
+        (bounded by ``timeout``) so their replies leave, then drop
+        connections and join every reader/accept thread."""
         with self._lock:
             self._shutdown = True
             conns = list(self._conns)
             self._conns.clear()
+            readers = list(self._reader_threads)
+            self._reader_threads.clear()
         for listener in self.listeners:
             listener.close()
         self.listeners.clear()
         if self.workers is not None:
+            if drain:
+                self.workers.drain(timeout)
             self.workers.shutdown()
         for conn in conns:
             try:
@@ -292,6 +415,10 @@ class IIOPServer:
             except SystemException:
                 pass
             conn.close()
+        current = threading.current_thread()
+        for t in readers:
+            if t is not current:
+                t.join(timeout=timeout)
 
 
 class _PumpGuard:

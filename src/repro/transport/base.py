@@ -75,7 +75,15 @@ class Stream(Protocol):
     #   without reading it into user space (``os.sendfile``), returning
     #   True on the kernel path or False after the byte-identical
     #   copying fallback ran.  Streams without it get file payloads as
-    #   mapped views through ``sendv`` — the copy tier.
+    #   mapped views through ``sendv`` — the copy tier;
+    # * streams whose read side may be owned by the asyncio reactor
+    #   (repro.orb.reactor) set the class attribute
+    #   ``reactor_safe = True`` and expose ``fileno()`` plus
+    #   ``recv_into_nb(view) -> Optional[int]`` — one non-blocking recv
+    #   returning None on would-block, the byte count otherwise.
+    #   Wrapping streams that intercept reads (FaultyStream) must set
+    #   ``reactor_safe = False`` explicitly so attribute delegation
+    #   cannot leak the inner stream's capability past the wrapper.
 
 
 class Listener(Protocol):

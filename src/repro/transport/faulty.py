@@ -189,6 +189,13 @@ def _byte_views(chunks) -> list:
 class FaultyStream:
     """A stream that consults the plan before every send/recv."""
 
+    #: never hand the read side to the reactor: ``__getattr__`` below
+    #: delegates unknown attributes to the inner stream, so without this
+    #: explicit class attribute a wrapped TCPStream would leak its own
+    #: ``reactor_safe``/``recv_into_nb`` and the event loop would read
+    #: the socket directly — silently bypassing every recv fault rule.
+    reactor_safe = False
+
     def __init__(self, inner, plan: FaultPlan, conn_index: int):
         self._inner = inner
         self._plan = plan

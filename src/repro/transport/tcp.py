@@ -52,8 +52,20 @@ _SENDFILE_UNSUPPORTED = {errno.EINVAL, errno.ENOSYS, errno.EOPNOTSUPP,
 _SENDFILE_CHUNK = 256 * 1024
 
 
+#: non-blocking single-recv flag; POSIX everywhere we support the
+#: reactor.  Platforms without it keep the thread-per-connection path.
+_MSG_DONTWAIT = getattr(socket, "MSG_DONTWAIT", None)
+
+
 class TCPStream:
     """A connected TCP socket with exact-read helpers."""
+
+    #: reactor adoption marker (repro.orb.reactor): a *plain* TCP
+    #: stream may hand its read side to the event loop.  Wrappers that
+    #: intercept reads (FaultyStream, ShmStream, SimStream) must NOT
+    #: inherit this via delegation — they set it False explicitly or
+    #: simply never define it, keeping their reader-thread semantics.
+    reactor_safe = _MSG_DONTWAIT is not None
 
     def __init__(self, sock: socket.socket, name: str):
         self._sock = sock
@@ -238,6 +250,38 @@ class TCPStream:
             # ConnStats/span cross-checks reconcile against it)
             self.bytes_received += n
 
+    def fileno(self) -> int:
+        """The socket's file descriptor (reactor ``add_reader`` key)."""
+        return self._sock.fileno()
+
+    def recv_into_nb(self, view: memoryview) -> Optional[int]:
+        """One non-blocking read into ``view``: the bytes available
+        right now, up to ``view.nbytes``.
+
+        Returns the count landed (>= 1), or ``None`` when the socket
+        has nothing to read (the reactor waits for the next readability
+        event).  EOF and errors raise :class:`TransportError` exactly
+        like :meth:`recv_into`, so the GIOP layer's exception mapping
+        is shared between the blocking and reactor read drivers.  Uses
+        ``MSG_DONTWAIT``, so the socket itself stays in blocking mode —
+        the send side (``sendall``/``sendmsg``/``sendfile``) is
+        untouched.
+        """
+        if view.format != "B" or view.ndim != 1:
+            view = view.cast("B")
+        try:
+            n = self._sock.recv_into(view, view.nbytes, _MSG_DONTWAIT)
+        except (BlockingIOError, InterruptedError):
+            return None
+        except OSError as e:
+            raise TransportError(f"{self.name}: recv failed: {e}") from e
+        if n == 0:
+            raise TransportError(
+                f"{self.name}: connection closed with {view.nbytes} "
+                f"bytes outstanding")
+        self.bytes_received += n
+        return n
+
     def close(self) -> None:
         try:
             self._sock.shutdown(socket.SHUT_RDWR)
@@ -296,9 +340,23 @@ class TCPListener:
                 except OSError:
                     pass
 
-    def close(self) -> None:
+    def close(self, join_timeout: float = 1.0) -> None:
+        """Stop accepting and join the accept thread (bounded).
+
+        ``shutdown`` on the listening socket wakes a blocked
+        ``accept`` (it returns ``EINVAL``), so the thread exits
+        promptly instead of leaking until interpreter teardown —
+        ``ORB.shutdown`` counts on ``threading.active_count`` dropping
+        back to its pre-server baseline.
+        """
         self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         self._sock.close()
+        if self._thread is not threading.current_thread():
+            self._thread.join(timeout=join_timeout)
 
 
 class TCPTransport:

@@ -21,6 +21,12 @@ def _curve(*sizes, mbit=800.0):
     return [{"size": s, "mbit_per_s": mbit} for s in sizes]
 
 
+def _cscale_rec(goodput, ok=True):
+    return {"ok": ok, "completed": 500, "expected": 500,
+            "goodput_calls_per_s": goodput, "p50_s": 0.01, "p99_s": 0.05,
+            "slo_ok": True}
+
+
 def _doc(**over):
     """A minimal schema-valid bench document."""
     doc = {
@@ -67,6 +73,15 @@ def _doc(**over):
                                 "copy_mb_per_s": 2000.0,
                                 "speedup": 2.5}],
                      "speedup_at_max": 2.5},
+        "cscale": {"calls_per_conn": 5, "work_s": 0.0, "p99_slo_s": 0.5,
+                   "levels": [
+                       {"conns": 100,
+                        "threaded": _cscale_rec(900.0),
+                        "reactor": _cscale_rec(2100.0),
+                        "speedup": 2.333},
+                       {"conns": 10000, "skipped": True,
+                        "reason": "fd budget too small for 10000 conns"},
+                   ]},
     }
     doc.update(over)
     return doc
@@ -177,6 +192,57 @@ class TestCompareLogic:
         assert "pipelining.tcp.speedup" not in metrics
         assert f"sgcdr@{1 * MB}.sg_mb_per_s" not in metrics
 
+    def test_cscale_goodput_regression_fails_the_gate(self):
+        old = _doc()
+        new = _clone(old)
+        new["cscale"]["levels"][0]["reactor"] = _cscale_rec(500.0)
+        rows = compare_bench(old, new, tolerance=0.75)
+        bad = {r["metric"] for r in rows if not r["ok"]}
+        assert bad == {"cscale@100.reactor_goodput_calls_per_s"}
+
+    def test_skipped_cscale_level_is_not_punished(self):
+        """The 10k row is skipped in the synthetic doc (fd budget) and
+        a failed threaded baseline must not gate either — only reactor
+        goodput at levels BOTH documents completed is compared."""
+        old = _doc()
+        new = _clone(old)
+        new["cscale"]["levels"][0]["threaded"] = _cscale_rec(0.0, ok=False)
+        rows = compare_bench(old, new)
+        assert all(r["ok"] for r in rows)
+        metrics = {r["metric"] for r in rows}
+        assert "cscale@100.reactor_goodput_calls_per_s" in metrics
+        assert not any("cscale@10000" in m for m in metrics)
+
+    def test_cscale_gates_only_the_largest_common_level(self):
+        """Small levels have sub-second timed windows — the gate
+        anchors on the largest level both documents completed, the
+        scale claim."""
+        old = _doc()
+        old["cscale"]["levels"].insert(
+            1, {"conns": 1000, "threaded": _cscale_rec(1500.0),
+                "reactor": _cscale_rec(2800.0), "speedup": 1.867})
+        new = _clone(old)
+        new["cscale"]["levels"][0]["reactor"] = _cscale_rec(100.0)
+        rows = compare_bench(new, _clone(new), tolerance=0.75)
+        metrics = {r["metric"] for r in rows}
+        assert "cscale@1000.reactor_goodput_calls_per_s" in metrics
+        assert "cscale@100.reactor_goodput_calls_per_s" not in metrics
+        # the regression at the small level does not trip the gate...
+        assert all(r["ok"] for r in compare_bench(old, new))
+        # ...but one at the anchor level does
+        new["cscale"]["levels"][1]["reactor"] = _cscale_rec(700.0)
+        bad = {r["metric"] for r in compare_bench(old, new)
+               if not r["ok"]}
+        assert bad == {"cscale@1000.reactor_goodput_calls_per_s"}
+
+    def test_cscale_level_failed_in_one_document_never_fails(self):
+        old = _doc()
+        new = _clone(old)
+        new["cscale"]["levels"][0]["reactor"] = _cscale_rec(0.0, ok=False)
+        rows = compare_bench(old, new)
+        assert all(r["ok"] for r in rows)
+        assert not any(r["metric"].startswith("cscale@") for r in rows)
+
     def test_format_compare_marks_failures(self):
         old = _doc()
         new = _clone(old)
@@ -266,6 +332,25 @@ class TestSchema4Validation:
         doc = _doc()
         del doc["sgcdr"]["sizes"][0]["sg_mb_per_s"]
         assert any("sgcdr.sizes" in p for p in validate_bench(doc))
+
+    def test_missing_cscale_flagged(self):
+        doc = _doc()
+        del doc["cscale"]
+        assert any("cscale" in p for p in validate_bench(doc))
+
+    def test_cscale_skipped_level_requires_reason(self):
+        doc = _doc()
+        doc["cscale"]["levels"][1] = {"conns": 10000, "skipped": True}
+        assert any("skipped without a reason" in p
+                   for p in validate_bench(doc))
+
+    def test_cscale_ok_record_requires_quantiles(self):
+        doc = _doc()
+        del doc["cscale"]["levels"][0]["reactor"]["p99_s"]
+        assert any("missing quantiles" in p for p in validate_bench(doc))
+        doc = _doc()
+        del doc["cscale"]["levels"][0]["speedup"]
+        assert any("missing speedup" in p for p in validate_bench(doc))
 
     def test_render_figure_handles_missing_figure(self):
         assert "no fig5" in render_figure({"figures": {}})

@@ -1,0 +1,319 @@
+"""The event-loop connection engine: adoption rules, thread hygiene,
+graceful shutdown, and identical failure semantics on the async path.
+
+The reactor must only ever own plain TCP read sides (wrapped or
+emulated streams keep their reader threads), every thread the ORB
+starts must be joined on shutdown, an in-flight request must drain
+before the server closes its connections, and a mid-call fault must
+surface the *same* CORBA exception/completion mapping whether the call
+was sync or awaited.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core import OctetSequence
+from repro.orb import COMM_FAILURE, NO_RETRY, ORB, ORBConfig
+from repro.orb.aio import async_api
+from repro.orb.reactor import get_reactor
+from repro.transport import (FaultPlan, LoopbackTransport, TCPTransport,
+                             faulty_registry)
+from repro.transport.faulty import FaultyStream
+from tests.conftest import make_store_impl
+
+
+def _settle(predicate, timeout=5.0, step=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(step)
+    return predicate()
+
+
+@pytest.fixture
+def tcp_stream_pair():
+    transport = TCPTransport()
+    accepted = []
+    listener = transport.listen("127.0.0.1", 0, accepted.append)
+    client = transport.connect(listener.endpoint)
+    assert _settle(lambda: accepted)
+    yield client, accepted[0]
+    client.close()
+    accepted[0].close()
+    listener.close()
+
+
+class TestAdoption:
+    def test_tcp_stream_is_adoptable(self, tcp_stream_pair):
+        client, _server = tcp_stream_pair
+        reactor = get_reactor()
+        assert client.reactor_safe
+        assert reactor.adoptable(client)
+
+    def test_faulty_wrapper_is_never_adopted(self, tcp_stream_pair):
+        """FaultyStream delegates unknown attributes to the inner
+        TCPStream; its explicit ``reactor_safe = False`` must win, or
+        the loop would read the socket directly and bypass every
+        injected recv fault."""
+        client, _server = tcp_stream_pair
+        wrapped = FaultyStream(client, FaultPlan(), 1)
+        # the capability methods leak through __getattr__ by design...
+        assert hasattr(wrapped, "recv_into_nb")
+        # ...but the explicit gate keeps the reactor away
+        assert wrapped.reactor_safe is False
+        assert not get_reactor().adoptable(wrapped)
+
+    def test_loopback_stream_is_not_adoptable(self):
+        transport = LoopbackTransport()
+        accepted = []
+        listener = transport.listen("adopt-host", 0, accepted.append)
+        client = transport.connect(listener.endpoint)
+        try:
+            assert getattr(client, "reactor_safe", False) is False
+            assert not get_reactor().adoptable(client)
+        finally:
+            client.close()
+            listener.close()
+
+    def test_orb_reactor_off_means_none(self):
+        orb = ORB(ORBConfig(scheme="tcp", reactor=False))
+        try:
+            assert orb.reactor is None
+        finally:
+            orb.shutdown()
+
+
+class TestThreadHygiene:
+    def test_active_count_returns_to_baseline(self, test_api):
+        """S1: shutdown joins the demux readers, accept threads and
+        worker pool — a full client/server cycle must not leave
+        threads behind (the persistent reactor shard is warmed first
+        so it is part of the baseline)."""
+
+        def cycle():
+            server = ORB(ORBConfig(scheme="tcp"))
+            client = ORB(ORBConfig(scheme="tcp"))
+            try:
+                impl = make_store_impl(test_api)
+                stub = client.string_to_object(
+                    server.object_to_string(server.activate(impl)))
+                assert stub.put_std(OctetSequence(b"x" * 64)) == 64
+            finally:
+                client.shutdown()
+                server.shutdown()
+
+        cycle()  # warm: reactor shard thread + default executor persist
+        assert _settle(lambda: True)
+        baseline = threading.active_count()
+        cycle()
+        assert _settle(
+            lambda: threading.active_count() <= baseline), \
+            [t.name for t in threading.enumerate()]
+
+    def test_threaded_fallback_also_joins(self, test_api):
+        """The same hygiene with the reactor disabled (reader threads
+        per connection, like the pre-reactor ORB)."""
+
+        def cycle():
+            server = ORB(ORBConfig(scheme="tcp", reactor=False))
+            client = ORB(ORBConfig(scheme="tcp", reactor=False))
+            try:
+                impl = make_store_impl(test_api)
+                stub = client.string_to_object(
+                    server.object_to_string(server.activate(impl)))
+                assert stub.put_std(OctetSequence(b"y" * 8)) == 8
+            finally:
+                client.shutdown()
+                server.shutdown()
+
+        cycle()
+        assert _settle(lambda: True)
+        baseline = threading.active_count()
+        cycle()
+        assert _settle(
+            lambda: threading.active_count() <= baseline), \
+            [t.name for t in threading.enumerate()]
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_inflight_request(self, test_api):
+        """S3: a request already handed to a worker completes (and its
+        reply reaches the client) before shutdown closes the
+        connections."""
+        impl = make_store_impl(test_api)
+        entered = threading.Event()
+        release = threading.Event()
+        orig = impl.put_std
+
+        def slow_put_std(data):
+            entered.set()
+            assert release.wait(10.0)
+            return orig(data)
+
+        impl.put_std = slow_put_std
+        server = ORB(ORBConfig(scheme="tcp"))
+        client = ORB(ORBConfig(scheme="tcp"))
+        result = []
+        errors = []
+        try:
+            stub = client.string_to_object(
+                server.object_to_string(server.activate(impl)))
+
+            def call():
+                try:
+                    result.append(stub.put_std(OctetSequence(b"drain!")))
+                except Exception as e:  # noqa: BLE001 - recorded
+                    errors.append(e)
+
+            t = threading.Thread(target=call)
+            t.start()
+            assert entered.wait(10.0)
+            shut = threading.Thread(target=server.shutdown)
+            shut.start()
+            time.sleep(0.1)  # let shutdown reach its drain loop
+            release.set()
+            shut.join(10.0)
+            t.join(10.0)
+            assert not errors, errors
+            assert result == [6]
+        finally:
+            release.set()
+            client.shutdown()
+            server.shutdown()
+
+
+class TestAsyncFailureMapping:
+    """S3 + S6: the async path surfaces the same CORBA exception and
+    completion status as the sync path, and fault injection keeps
+    working (faulty streams fall back to the reader thread)."""
+
+    @staticmethod
+    def _faulty_pair(plan, store_impl):
+        server = ORB(ORBConfig(scheme="tcp"))
+        client = ORB(ORBConfig(scheme="tcp"),
+                     transports=faulty_registry(plan), policy=NO_RETRY)
+        ref = server.activate(store_impl)
+        stub = client.string_to_object(server.object_to_string(ref))
+        return stub, client, server
+
+    def test_mid_call_reset_maps_identically(self, test_api):
+        def run_one(asynchronous):
+            # recv #1 is the reply *header* (the demux blocks there
+            # from the moment it starts); resetting recv #2 lands the
+            # fault deterministically mid-reply, after the request is
+            # on the wire — COMPLETED_MAYBE on both paths
+            plan = FaultPlan().reset_on_recv(nth=2)
+            stub, client, server = self._faulty_pair(
+                plan, make_store_impl(test_api))
+            try:
+                if asynchronous:
+                    async def go():
+                        await async_api(stub).put_std(
+                            OctetSequence(b"zap"))
+                    with pytest.raises(COMM_FAILURE) as ei:
+                        asyncio.run(go())
+                else:
+                    with pytest.raises(COMM_FAILURE) as ei:
+                        stub.put_std(OctetSequence(b"zap"))
+                return ei.value
+            finally:
+                client.shutdown()
+                server.shutdown()
+
+        sync_exc = run_one(asynchronous=False)
+        async_exc = run_one(asynchronous=True)
+        assert type(async_exc) is type(sync_exc)
+        assert async_exc.completed == sync_exc.completed
+
+    def test_stalled_recv_still_completes_async(self, test_api):
+        plan = FaultPlan().stall_recv(nth=1, delay=0.05)
+        stub, client, server = self._faulty_pair(
+            plan, make_store_impl(test_api))
+        try:
+            async def go():
+                return await async_api(stub).put_std(
+                    OctetSequence(b"slow"))
+            assert asyncio.run(go()) == 4
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+    def test_partial_send_fails_async_like_sync(self, test_api):
+        def run_one(asynchronous):
+            plan = FaultPlan().partial_send(nth=2, fraction=0.5)
+            stub, client, server = self._faulty_pair(
+                plan, make_store_impl(test_api))
+            try:
+                stub.put_std(OctetSequence(b"warm"))  # send #1 is clean
+                if asynchronous:
+                    async def go():
+                        await async_api(stub).put_std(
+                            OctetSequence(b"torn"))
+                    with pytest.raises(COMM_FAILURE) as ei:
+                        asyncio.run(go())
+                else:
+                    with pytest.raises(COMM_FAILURE) as ei:
+                        stub.put_std(OctetSequence(b"torn"))
+                return ei.value
+            finally:
+                client.shutdown()
+                server.shutdown()
+
+        sync_exc = run_one(asynchronous=False)
+        async_exc = run_one(asynchronous=True)
+        assert type(async_exc) is type(sync_exc)
+        assert async_exc.completed == sync_exc.completed
+
+
+class TestShmUnderReactor:
+    def test_shm_handshake_and_deposits_unchanged(self, test_api):
+        """S6: the shm data plane is not reactor-adoptable; with the
+        reactor globally on, the handshake, deposits and fallbacks
+        behave exactly as before (reader threads)."""
+        from repro.transport.shm import shm_available
+        if not shm_available("/dev/shm"):
+            pytest.skip("no usable shared-memory filesystem")
+        from repro.core import ZCOctetSequence
+        impl = make_store_impl(test_api)
+        server = ORB(ORBConfig(scheme="shm", reactor=True))
+        client = ORB(ORBConfig(scheme="shm", reactor=True,
+                               collocated_calls=False))
+        try:
+            stub = client.string_to_object(
+                server.object_to_string(server.activate(impl)))
+            payload = bytes(range(256)) * 256  # 64 KiB
+            assert stub.put(ZCOctetSequence.from_data(payload)) \
+                == len(payload)
+            got = stub.get(1024)
+            assert bytes(got)[:4] == bytes([0, 1, 2, 3])
+        finally:
+            client.shutdown()
+            server.shutdown()
+
+
+class TestReactorTelemetry:
+    def test_loop_metrics_reach_the_registry(self, test_api):
+        """S2: the heartbeat publishes loop_lag_seconds/loop_tasks
+        into every attached ORB's metrics registry."""
+        orb = ORB(ORBConfig(scheme="tcp"))
+        server = ORB(ORBConfig(scheme="tcp"))
+        try:
+            orb.enable_tracing()
+            impl = make_store_impl(test_api)
+            stub = orb.string_to_object(
+                server.object_to_string(server.activate(impl)))
+            stub.put_std(OctetSequence(b"t"))
+
+            def seen():
+                names = {m["name"]
+                         for m in orb.metrics.snapshot()["metrics"]}
+                return "loop_lag_seconds" in names \
+                    and "loop_tasks" in names
+            assert _settle(seen, timeout=3.0)
+        finally:
+            orb.shutdown()
+            server.shutdown()
