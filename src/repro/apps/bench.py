@@ -7,7 +7,7 @@ convention ``BENCH_<tag>.json``).  CI runs this per PR and uploads the
 file as an artifact, so the repository accumulates a throughput/latency
 trajectory that future changes can be gated against.
 
-Document layout (``BENCH_SCHEMA_VERSION`` = 6)::
+Document layout (``BENCH_SCHEMA_VERSION`` = 7)::
 
     {
       "schema": 5, "kind": "bench", "tag": "...",
@@ -51,6 +51,21 @@ Document layout (``BENCH_SCHEMA_VERSION`` = 6)::
                    "copy_mb_per_s": ..., "speedup": ...}, ...],
         "speedup_at_max": ...
         # or, where os.sendfile is missing or the kernel refuses it:
+        # {"skipped": true, "reason": "...", "degrade_path_ok": true}
+      },
+      "pubsub": {              # schema 7: single-copy pub/sub fan-out
+        "size": ..., "events": N,
+        "levels": [
+          {"subs": M,
+           "shm": {"seconds": ..., "events_per_s": ...,
+                   "delivered_bytes_per_s": ...,
+                   "fanout_posts": ..., "shared_refs": ...},
+           "tcp": {"seconds": ..., "events_per_s": ...,
+                   "delivered_bytes_per_s": ...},
+           "speedup": ...     # shm/tcp events_per_s at this fan-out
+          }, ...],
+        "speedup_at_max": ...  # at the largest subscriber count
+        # or, on hosts without a usable shared-memory filesystem:
         # {"skipped": true, "reason": "...", "degrade_path_ok": true}
       },
       "cscale": {              # schema 6: connection scaling
@@ -98,11 +113,12 @@ from .ttcp import KB, MB, TTCPSeries, default_sizes, run_sim_ttcp
 
 __all__ = ["BENCH_SCHEMA_VERSION", "run_bench", "measure_pipelining",
            "measure_shm", "measure_sgcdr", "measure_sendfile",
+           "measure_pubsub", "pubsub_smoke",
            "measure_cscale", "cscale_smoke",
            "validate_bench",
            "compare_bench", "format_compare", "render_figure", "main"]
 
-BENCH_SCHEMA_VERSION = 6
+BENCH_SCHEMA_VERSION = 7
 
 #: the fig6_right zc-corba curves gated by --compare, at these sizes
 #: (falling back to the largest size both documents share)
@@ -615,6 +631,142 @@ def measure_shm(size: int = 1 * MB, repeats: int = 5,
             "speedup": round(speedup, 3), "schemes": schemes}
 
 
+# -- pub/sub fan-out (schema 7) ----------------------------------------------
+
+def _pubsub_round(mode: str, subs: int, size: int, events: int) -> dict:
+    """One fan-out measurement: a TopicHub publishing ``events``
+    payloads of ``size`` bytes to ``subs`` subscribers whose callback
+    ORBs listen on ``mode`` ("shm" = the single-copy shared-arena
+    cohort, "tcp" = one deposit per subscriber link)."""
+    import time
+
+    from ..orb import ORB, ORBConfig
+    from ..services import CountingSubscriber, TopicHubImpl
+
+    page = 4096
+    slot = max(page, (size + page - 1) // page * page)
+    hub = TopicHubImpl(slot_size=slot, slot_count=16, slot_wait=5.0)
+    orbs, impls = [], []
+    try:
+        for _ in range(subs):
+            orb = ORB(ORBConfig(scheme=mode))
+            orbs.append(orb)
+            impl = CountingSubscriber()
+            impls.append(impl)
+            hub.subscribe("bench", orb.activate(impl))
+        payload = bytes(size)
+        want = events * subs
+        t0 = time.perf_counter()
+        delivered = 0
+        for _ in range(events):
+            delivered += hub.publish("bench", payload)
+        # deliver is oneway: the publish loop returns as soon as the
+        # records are on the wire — the clock stops when the last
+        # subscriber has actually counted its event
+        deadline = time.monotonic() + 60.0
+        while sum(i.received for i in impls) < want:
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"pubsub bench stalled: "
+                    f"{sum(i.received for i in impls)}/{want} delivered")
+            time.sleep(0.0005)
+        elapsed = time.perf_counter() - t0
+        if delivered != want:
+            raise RuntimeError(
+                f"pubsub bench lost deliveries: {delivered}/{want}")
+        rec = {"seconds": round(elapsed, 6),
+               "events_per_s": round(events / elapsed, 1),
+               "delivered_bytes_per_s": round(want * size / elapsed, 1)}
+        if mode == "shm":
+            rec["fanout_posts"] = hub.fanout_posts
+            rec["fanout_fallbacks"] = hub.fanout_fallbacks
+            rec["shared_refs"] = sum(
+                s["shm_shared_refs"]
+                for s in hub.delivery_orb.connections_snapshot())
+        return rec
+    finally:
+        hub.destroy()
+        for orb in orbs:
+            orb.shutdown()
+
+
+def measure_pubsub(size: int = 1 * MB, events: int = 20,
+                   subs_counts=(1, 2, 4, 8)) -> dict:
+    """TopicHub fan-out throughput: shared-arena vs per-link (schema 7).
+
+    For each subscriber count the same publish loop runs twice: once
+    with every subscriber colocated on the shm cohort (one refcounted
+    arena post per event, a 24-byte record per link) and once with
+    tcp-only subscribers (one full deposit per link — copies scale with
+    fan-out, the pre-hub behaviour).  ``speedup`` is the shm/tcp
+    events-per-second ratio at each level; the shm stanza also records
+    ``fanout_posts`` and ``shared_refs`` so the document *proves* the
+    payload crossed once per event, not once per subscriber.
+
+    Without a usable shared-memory filesystem the probe skips visibly,
+    after verifying the per-link tcp path still delivers.
+    """
+    import os
+    import tempfile
+
+    from ..transport.shm import shm_available
+
+    shm_dir = "/dev/shm" if os.path.isdir("/dev/shm") \
+        else tempfile.gettempdir()
+    if not shm_available(shm_dir):
+        print(f"repro-bench: NOTICE: no usable shared-memory filesystem "
+              f"(probed {shm_dir}); skipping the pubsub fan-out probe",
+              file=sys.stderr)
+        tcp = _pubsub_round("tcp", 2, min(size, 64 * KB), 2)
+        return {"size": size, "events": 0, "skipped": True,
+                "reason": f"no usable shared memory at {shm_dir}",
+                "degrade_path_ok": tcp["events_per_s"] > 0,
+                "levels": []}
+
+    levels = []
+    for subs in subs_counts:
+        shm = _pubsub_round("shm", subs, size, events)
+        tcp = _pubsub_round("tcp", subs, size, events)
+        speedup = shm["events_per_s"] / tcp["events_per_s"] \
+            if tcp["events_per_s"] else float("inf")
+        levels.append({"subs": subs, "shm": shm, "tcp": tcp,
+                       "speedup": round(speedup, 3)})
+    return {"size": size, "events": events, "levels": levels,
+            "speedup_at_max": levels[-1]["speedup"]}
+
+
+def pubsub_smoke(subs: int = 4, size: int = 1 * MB,
+                 events: int = 10) -> dict:
+    """The CI fan-out gate: at ``subs`` colocated subscribers the
+    shared-arena path must both (a) post each event into the arena
+    exactly once — ``fanout_posts == events`` with one shared ref per
+    subscriber link — and (b) beat the per-consumer tcp-deposit path
+    on delivered events/s.  Returns ``{"ok": bool, ...}``; skips
+    visibly where shared memory is unavailable."""
+    import os
+    import tempfile
+
+    from ..transport.shm import shm_available
+
+    shm_dir = "/dev/shm" if os.path.isdir("/dev/shm") \
+        else tempfile.gettempdir()
+    if not shm_available(shm_dir):
+        return {"skipped": True,
+                "reason": f"no usable shared memory at {shm_dir}"}
+    shm = _pubsub_round("shm", subs, size, events)
+    tcp = _pubsub_round("tcp", subs, size, events)
+    single_copy = (shm["fanout_posts"] == events
+                   and shm["shared_refs"] == events * subs)
+    faster = shm["events_per_s"] > tcp["events_per_s"]
+    return {"ok": single_copy and faster, "subs": subs, "size": size,
+            "events": events, "single_copy": single_copy,
+            "faster": faster,
+            "shm_events_per_s": shm["events_per_s"],
+            "tcp_events_per_s": tcp["events_per_s"],
+            "fanout_posts": shm["fanout_posts"],
+            "shared_refs": shm["shared_refs"]}
+
+
 # -- connection scaling (schema 6) -------------------------------------------
 
 #: an echo round-trip slower than this at the p99 counts as a degraded
@@ -965,6 +1117,8 @@ def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
               latency_size: int = 64 * KB, latency_calls: int = 50,
               pipeline_inflight: int = 8, pipeline_calls: int = 32,
               shm_size: int = 1 * MB, shm_repeats: int = 5,
+              pubsub_size: int = 1 * MB, pubsub_events: int = 20,
+              pubsub_subs=(1, 2, 4, 8),
               sgcdr_sizes=(64 * KB, 256 * KB, 1 * MB),
               sgcdr_repeats: int = 5,
               sendfile_sizes=(1 * MB, 4 * MB, 16 * MB),
@@ -1000,6 +1154,11 @@ def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
     shm = measure_shm(size=shm_size, repeats=shm_repeats)
     if registry is not None and not shm.get("skipped"):
         registry.gauge("bench_shm_speedup").set(shm["speedup"])
+    pubsub = measure_pubsub(size=pubsub_size, events=pubsub_events,
+                            subs_counts=pubsub_subs)
+    if registry is not None and not pubsub.get("skipped"):
+        registry.gauge("bench_pubsub_speedup_at_max").set(
+            pubsub["speedup_at_max"])
     sgcdr = measure_sgcdr(sizes=sgcdr_sizes, repeats=sgcdr_repeats)
     if registry is not None:
         registry.gauge("bench_sgcdr_min_improvement").set(
@@ -1022,8 +1181,8 @@ def run_bench(max_size: int = 16 * MB, scheme: str = "loop",
                         lv[mode]["goodput_calls_per_s"])
     return {"schema": BENCH_SCHEMA_VERSION, "kind": "bench", "tag": tag,
             "figures": figures, "latency": latency,
-            "pipelining": pipelining, "shm": shm, "sgcdr": sgcdr,
-            "sendfile": sendfile, "cscale": cscale}
+            "pipelining": pipelining, "shm": shm, "pubsub": pubsub,
+            "sgcdr": sgcdr, "sendfile": sendfile, "cscale": cscale}
 
 
 def validate_bench(doc: dict) -> List[str]:
@@ -1087,6 +1246,33 @@ def validate_bench(doc: dict) -> List[str]:
         shm_rec = schemes.get("shm")
         if isinstance(shm_rec, dict) and "shm_deposits_total" not in shm_rec:
             problems.append("shm.schemes.shm: missing shm_deposits_total")
+    pubsub = doc.get("pubsub")
+    if not isinstance(pubsub, dict):
+        return problems + ["'pubsub' missing or malformed"]
+    if pubsub.get("skipped"):
+        if not pubsub.get("reason"):
+            problems.append("pubsub: skipped without a reason")
+        if pubsub.get("degrade_path_ok") is not True:
+            problems.append("pubsub: skipped but degrade path not verified")
+    else:
+        levels = pubsub.get("levels")
+        if "speedup_at_max" not in pubsub or \
+                not isinstance(levels, list) or not levels:
+            problems.append("'pubsub' missing or malformed")
+        else:
+            for lv in levels:
+                if not isinstance(lv, dict) or "subs" not in lv \
+                        or "speedup" not in lv or any(
+                            not isinstance(lv.get(m), dict)
+                            or "events_per_s" not in lv[m]
+                            for m in ("shm", "tcp")):
+                    problems.append(
+                        f"pubsub.levels@{lv.get('subs', '?')}: malformed")
+                elif "fanout_posts" not in lv["shm"] \
+                        or "shared_refs" not in lv["shm"]:
+                    problems.append(
+                        f"pubsub.levels@{lv['subs']}: shm stanza missing "
+                        "single-copy accounting")
     sgcdr = doc.get("sgcdr")
     if not isinstance(sgcdr, dict) or "min_improvement" not in sgcdr:
         return problems + ["'sgcdr' missing or malformed"]
@@ -1159,7 +1345,9 @@ def compare_bench(old: dict, new: dict,
     """Per-metric regression rows for two bench documents.
 
     Gated series: the pipelining speedup per scheme, the shm deposit
-    speedup, the fig6_right zc-corba throughput at 256 KiB and 1 MiB
+    speedup, the pub/sub shm events/s and fan-out speedup at the
+    largest subscriber count both documents swept, the fig6_right
+    zc-corba throughput at 256 KiB and 1 MiB
     (or the largest size both documents share — quick runs sweep
     smaller), the sgcdr scatter/gather encode MB/s per size, the
     sendfile disk-to-socket MB/s per size both documents swept, and
@@ -1193,6 +1381,25 @@ def compare_bench(old: dict, new: dict,
     old_shm, new_shm = old.get("shm") or {}, new.get("shm") or {}
     if not old_shm.get("skipped") and not new_shm.get("skipped"):
         add("shm.speedup", old_shm.get("speedup"), new_shm.get("speedup"))
+
+    # the pub/sub fan-out gate: shm events/s at the largest subscriber
+    # count both documents swept (quick runs sweep fewer levels)
+    def _ps_levels(doc: dict) -> Dict[int, dict]:
+        ps = doc.get("pubsub") or {}
+        if ps.get("skipped"):
+            return {}
+        return {lv["subs"]: lv for lv in ps.get("levels", [])
+                if isinstance(lv, dict) and "subs" in lv}
+
+    old_ps, new_ps = _ps_levels(old), _ps_levels(new)
+    common_ps = sorted(set(old_ps) & set(new_ps))
+    if common_ps:
+        m = common_ps[-1]
+        add(f"pubsub@{m}.shm_events_per_s",
+            (old_ps[m].get("shm") or {}).get("events_per_s"),
+            (new_ps[m].get("shm") or {}).get("events_per_s"))
+        add(f"pubsub@{m}.speedup",
+            old_ps[m].get("speedup"), new_ps[m].get("speedup"))
 
     for fig, label in _GATE_CURVES:
         o_rows, n_rows = _curve_rows(old, fig, label), \
@@ -1308,6 +1515,19 @@ def main(argv: Optional[list] = None) -> int:
     ap.add_argument("--shm-size", type=int, default=1 * MB,
                     help="payload bytes in the shm-vs-tcp deposit probe")
     ap.add_argument("--shm-repeats", type=int, default=5)
+    ap.add_argument("--pubsub-size", type=int, default=1 * MB,
+                    help="payload bytes in the pub/sub fan-out probe")
+    ap.add_argument("--pubsub-events", type=int, default=20,
+                    help="events published per fan-out level")
+    ap.add_argument("--pubsub-subs", default="1,2,4,8",
+                    help="comma-separated subscriber counts for the "
+                         "fan-out sweep (default: %(default)s)")
+    ap.add_argument("--pubsub-smoke", type=int, metavar="SUBS",
+                    default=None,
+                    help="run ONLY the pub/sub fan-out smoke gate at "
+                         "SUBS colocated subscribers (one arena post "
+                         "per event AND shm beats per-consumer tcp) "
+                         "and exit")
     ap.add_argument("--sendfile-max-size", type=int, default=16 * MB,
                     help="largest file in the sendfile-vs-copy sweep "
                          "(the 1-4-16-64 MiB ladder is clipped to it)")
@@ -1341,6 +1561,28 @@ def main(argv: Optional[list] = None) -> int:
                     help="print the fig5 table of an existing document "
                          "instead of running the benchmarks")
     args = ap.parse_args(argv)
+
+    if args.pubsub_smoke is not None:
+        result = pubsub_smoke(subs=args.pubsub_smoke)
+        print(json.dumps(result, indent=2))
+        if result.get("skipped"):
+            print(f"repro-bench: pubsub smoke SKIPPED: "
+                  f"{result['reason']}", file=sys.stderr)
+            return 0
+        if not result["ok"]:
+            print("repro-bench: pubsub smoke FAILED "
+                  f"(single_copy={result['single_copy']}, "
+                  f"faster={result['faster']}: shm "
+                  f"{result['shm_events_per_s']:.1f} ev/s vs tcp "
+                  f"{result['tcp_events_per_s']:.1f} ev/s)",
+                  file=sys.stderr)
+            return 1
+        print(f"repro-bench: pubsub smoke OK: {result['fanout_posts']} "
+              f"arena posts for {result['events']} events x "
+              f"{result['subs']} subscribers "
+              f"({result['shm_events_per_s']:.1f} ev/s shm vs "
+              f"{result['tcp_events_per_s']:.1f} ev/s tcp)")
+        return 0
 
     if args.cscale_smoke is not None:
         result = cscale_smoke(conns=args.cscale_smoke)
@@ -1422,6 +1664,13 @@ def main(argv: Optional[list] = None) -> int:
               file=sys.stderr)
         return 1
     cscale_calls = args.cscale_calls
+    try:
+        pubsub_subs = tuple(int(c) for c in
+                            args.pubsub_subs.split(",") if c.strip())
+    except ValueError:
+        print(f"repro-bench: bad --pubsub-subs: {args.pubsub_subs!r}",
+              file=sys.stderr)
+        return 1
     if args.quick:
         # the per-PR gate sweeps 100 and 500 connections; the full
         # 1k/10k levels are the nightly's job.  Six calls per conn
@@ -1438,6 +1687,12 @@ def main(argv: Optional[list] = None) -> int:
         args.pipeline_calls = min(args.pipeline_calls, 16)
         args.shm_size = min(args.shm_size, 256 * KB)
         args.shm_repeats = min(args.shm_repeats, 3)
+        # the subscriber ladder keeps its 8-way top even in quick mode
+        # (the acceptance claim lives at 8 colocated subscribers, and
+        # --compare anchors at the largest common level); only the
+        # payload and event count shrink
+        args.pubsub_size = min(args.pubsub_size, 256 * KB)
+        args.pubsub_events = min(args.pubsub_events, 10)
         # the sgcdr sweep keeps its 64 KiB..1 MiB ladder even in quick
         # mode (it is encode-only and fast) so --compare always has the
         # same sizes on both sides; only the repeats shrink
@@ -1455,6 +1710,9 @@ def main(argv: Optional[list] = None) -> int:
                     pipeline_inflight=args.pipeline_inflight,
                     pipeline_calls=args.pipeline_calls,
                     shm_size=args.shm_size, shm_repeats=args.shm_repeats,
+                    pubsub_size=args.pubsub_size,
+                    pubsub_events=args.pubsub_events,
+                    pubsub_subs=pubsub_subs,
                     sgcdr_repeats=sgcdr_repeats,
                     sendfile_sizes=sendfile_sizes,
                     sendfile_repeats=sendfile_repeats,
@@ -1490,6 +1748,18 @@ def main(argv: Optional[list] = None) -> int:
               f"({shm['speedup']:.1f}x over tcp loopback, "
               f"{shm_rec['shm_deposits_total']} arena deposits, "
               f"{shm_rec['shm_fallbacks_total']} fallbacks)")
+    pubsub = doc["pubsub"]
+    if pubsub.get("skipped"):
+        print(f"pubsub: SKIPPED ({pubsub['reason']}; degrade path "
+              f"{'ok' if pubsub.get('degrade_path_ok') else 'FAILED'})")
+    else:
+        for lv in pubsub["levels"]:
+            print(f"pubsub: {lv['subs']} subs "
+                  f"{lv['shm']['events_per_s']:.0f} ev/s shm "
+                  f"({lv['shm']['fanout_posts']} posts, "
+                  f"{lv['shm']['shared_refs']} shared refs) vs "
+                  f"{lv['tcp']['events_per_s']:.0f} ev/s tcp "
+                  f"({lv['speedup']:.2f}x)")
     for row in doc["sgcdr"]["sizes"]:
         print(f"sgcdr: {row['size']} B encode "
               f"{row['sg_mb_per_s']:.0f} MB/s chunked vs "

@@ -120,6 +120,22 @@ class IOR:
                      for tag, data in self.profiles
                      if tag == TAG_INTERNET_IOP)
 
+    def identity(self) -> Tuple:
+        """A hashable, profile-order-independent object identity.
+
+        Two references denote the same object when they name the same
+        type and the same object key(s) — however many transport
+        profiles carry those keys and whatever order they were
+        advertised in (a multi-homed server emits one profile per
+        endpoint, all sharing one key).  Never raises: a reference
+        with no IIOP profile at all falls back to its raw profile
+        tuple, so registries keyed on this stay total.
+        """
+        keys = frozenset(p.object_key for p in self.iiop_profiles())
+        if keys:
+            return (self.type_id, keys)
+        return (self.type_id, self.profiles)
+
     # -- binary / stringified forms ------------------------------------------
     def encode(self) -> bytes:
         enc = CDREncoder()

@@ -37,6 +37,7 @@ from ..obs.events import CaptureSink, EventSink, WireEvent, stage_span
 from ..obs.stages import (STAGE_CONTROL_SEND, STAGE_DEPOSIT_RECV,
                           STAGE_DEPOSIT_SEND, STAGE_RECV_WAIT)
 from ..transport.base import Stream, TransportError, TransportTimeout
+from ..transport.shm import SEND_SHARED
 from .exceptions import COMM_FAILURE, MARSHAL, TIMEOUT, CompletionStatus
 
 __all__ = ["GIOPConn", "ReceivedMessage", "ConnStats"]
@@ -65,6 +66,10 @@ class ConnStats:
     #: fallback, counted on both the send and receive side
     shm_deposits: int = 0
     shm_fallbacks: int = 0
+    #: the subset of shm_deposits that were *shared fan-out
+    #: references*: a record naming a slot some other connection's
+    #: payload write already filled (pub/sub single-copy delivery)
+    shm_shared_refs: int = 0
     #: file-backed deposits (FileBackedBuffer) at or above the
     #: sendfile threshold: kernel-path sends vs copying fallbacks
     #: (syscall missing, not a real socket, or the platform refused)
@@ -288,7 +293,7 @@ class GIOPConn:
         # instead of trailing the control message on the stream
         channel = getattr(self.stream, "deposit_channel", None) \
             if payloads else None
-        shm_sent = shm_fallback = 0
+        shm_sent = shm_fallback = shm_shared = 0
         sf_sent = sf_fallback = 0
         slot_waits: list = []
 
@@ -312,14 +317,16 @@ class GIOPConn:
             self.stream.sendv([fbb.view()])
 
         def send_payloads() -> None:
-            nonlocal shm_sent, shm_fallback
+            nonlocal shm_sent, shm_fallback, shm_shared
             if channel is not None:
                 for p in payloads:
                     view = p.view() if isinstance(p, FileBackedBuffer) \
                         else p
-                    used_arena, waited = channel.send_deposit(view)
-                    if used_arena:
+                    tier, waited = channel.send_deposit(view)
+                    if tier:
                         shm_sent += 1
+                        if tier == SEND_SHARED:
+                            shm_shared += 1
                     else:
                         shm_fallback += 1
                     slot_waits.append(waited)
@@ -388,6 +395,7 @@ class GIOPConn:
                     self.stats.deposit_bytes_sent += view.nbytes
                 self.stats.shm_deposits += shm_sent
                 self.stats.shm_fallbacks += shm_fallback
+                self.stats.shm_shared_refs += shm_shared
                 self.stats.sendfile_sends += sf_sent
                 self.stats.sendfile_fallbacks += sf_fallback
         except TransportTimeout as e:
@@ -401,7 +409,7 @@ class GIOPConn:
             raise COMM_FAILURE(message=str(e)) from e
         if channel is not None:
             self._record_shm_metrics("send", shm_sent, shm_fallback,
-                                     slot_waits)
+                                     slot_waits, shared_count=shm_shared)
         if sf_sent or sf_fallback:
             self._record_sendfile_metrics(sf_sent, sf_fallback)
         if self.on_bytes is not None:
@@ -461,7 +469,8 @@ class GIOPConn:
         return chunks, len(fragments)
 
     def _record_shm_metrics(self, op: str, arena_count: int,
-                            fallback_count: int, waits=()) -> None:
+                            fallback_count: int, waits=(),
+                            shared_count: int = 0) -> None:
         """Thread shm channel accounting into the ORB's metrics registry
         (present once ``enable_tracing`` ran; a no-op otherwise)."""
         registry = getattr(self.orb, "metrics", None) \
@@ -473,6 +482,9 @@ class GIOPConn:
         if fallback_count:
             registry.counter("shm_fallbacks_total", op=op).inc(
                 fallback_count)
+        if shared_count:
+            registry.counter("shm_shared_refs_total", op=op).inc(
+                shared_count)
         if waits:
             hist = registry.histogram("shm_slot_wait_seconds")
             for waited in waits:

@@ -192,6 +192,23 @@ class ReplyDemux:
         with self._lock:
             self._pending.pop(request_id, None)
 
+    def abandon(self, future: ReplyFuture) -> None:
+        """A cancelled awaiter will never collect this reply: forget
+        the registration, and release the reply's deposit buffers —
+        now if it already landed, or the moment it does.  Idempotent
+        and thread-safe: the buffers go back exactly once, whether the
+        loop thread, the executor thread, or the reader gets here
+        first."""
+        with self._lock:
+            self._pending.pop(future.request_id, None)
+        future.add_done_callback(self._drop_abandoned)
+
+    def _drop_abandoned(self, future: ReplyFuture) -> None:
+        with self._lock:
+            rm, future.message = future.message, None
+        if rm is not None:
+            self._drop_stale(rm)
+
     # -- message loops -----------------------------------------------------
     def _pump(self) -> None:
         """Drain complete messages (synchronous-delivery streams).

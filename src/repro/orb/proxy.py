@@ -54,14 +54,27 @@ __all__ = ["IIOPProxy"]
 Connector = Callable[[], GIOPConn]
 
 
+def _abandon_sent(send_fut) -> None:
+    """Done-callback for a send whose awaiter was cancelled mid-hop:
+    retire whatever registration the executor made (demux.abandon is
+    idempotent, so racing the executor's own state.abandoned check is
+    harmless)."""
+    if send_fut.cancelled() or send_fut.exception() is not None:
+        return
+    _conn, demux, future = send_fut.result()
+    if future is not None:
+        demux.abandon(future)
+
+
 class _Attempt:
     """Per-attempt state.  One invoke() may run several attempts, and
     several invokes run concurrently, so this cannot live on the proxy."""
 
-    __slots__ = ("had_deposits",)
+    __slots__ = ("had_deposits", "abandoned")
 
     def __init__(self):
         self.had_deposits = False
+        self.abandoned = False
 
 
 class IIOPProxy:
@@ -321,9 +334,21 @@ class IIOPProxy:
                                  deadline: Optional[Deadline],
                                  force_copy: bool, state: _Attempt) -> Any:
         self.calls += 1
-        conn, demux, future = await loop.run_in_executor(
+        send_fut = loop.run_in_executor(
             None, self._send_attempt_sync, object_key, sig, args,
             force_copy, state)
+        try:
+            conn, demux, future = await asyncio.shield(send_fut)
+        except asyncio.CancelledError:
+            # the executor send outlives the cancellation — it may
+            # already have registered (or even received) the reply.
+            # Mark the attempt abandoned so the executor thread cleans
+            # up after itself, and hook the wrapper future for the case
+            # where the send finished before the flag was visible;
+            # demux.abandon is idempotent, so both firing is fine.
+            state.abandoned = True
+            send_fut.add_done_callback(_abandon_sent)
+            raise
         if future is None:  # oneway: the send is the whole call
             return None
         rm = await self._await_reply_async(loop, conn, demux, future,
@@ -357,6 +382,11 @@ class IIOPProxy:
             if future is not None:
                 demux.discard(request.request_id)
             raise
+        if future is not None and state.abandoned:
+            # the awaiting task was cancelled while we were sending:
+            # nobody will ever collect this reply, so retire it here,
+            # on a thread that needs no event loop
+            demux.abandon(future)
         return conn, demux, future
 
     async def _await_reply_async(self, loop, conn: GIOPConn,
@@ -393,11 +423,9 @@ class IIOPProxy:
                              f"not arrive within the deadline")) from None
         except asyncio.CancelledError:
             # a cancelled stub call must not leak: forget the pending
-            # registration, and if the reply already landed, release its
-            # deposit buffers back to the pool
-            demux.discard(future.request_id)
-            if future.done and future.message is not None:
-                ReplyDemux._drop_stale(future.message)
+            # registration, and release the reply's deposit buffers
+            # whether it landed already or lands later
+            demux.abandon(future)
             raise
         if future.exception is not None:
             raise future.exception

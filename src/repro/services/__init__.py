@@ -6,10 +6,14 @@ from .blobstore import BLOB_IDL, BlobStoreImpl, blob_api, read_all
 from .events import EVENTS_IDL, EventChannelImpl, QueueingConsumer, events_api
 from .naming import (NAMING_IDL, NameClient, NamingContextImpl, naming_api,
                      start_name_service)
+from .pubsub import (PUBSUB_IDL, CollectingSubscriber, CountingSubscriber,
+                     TopicHubImpl, decode_event, encode_event, pubsub_api)
 
 __all__ = [
     "NAMING_IDL", "naming_api", "NamingContextImpl", "NameClient",
     "start_name_service",
     "EVENTS_IDL", "events_api", "EventChannelImpl", "QueueingConsumer",
     "BLOB_IDL", "blob_api", "BlobStoreImpl", "read_all",
+    "PUBSUB_IDL", "pubsub_api", "TopicHubImpl", "CollectingSubscriber",
+    "CountingSubscriber", "encode_event", "decode_event",
 ]

@@ -43,6 +43,8 @@ module Events {
         unsigned long long events_delivered();
         // dead consumers auto-disconnected by a failing push
         unsigned long consumers_evicted();
+        // disconnect everyone; later pushes raise Disconnected
+        void destroy();
     };
 };
 """
@@ -83,18 +85,23 @@ class EventChannelImpl:
                     self._consumers.append(consumer)
 
             def disconnect_consumer(self, consumer):
+                # key on full object identity (type id + object keys,
+                # profile-order independent) — matching on the first
+                # IIOP profile alone misses multi-profile references
+                # and raises for profile-less ones
+                gone = consumer.ior.identity()
                 with self._lock:
                     self._consumers = [
                         c for c in self._consumers
-                        if c.ior.iiop_profile().object_key
-                        != consumer.ior.iiop_profile().object_key]
+                        if c.ior.identity() != gone]
 
             def push(self, event):
-                if self._closed:
-                    raise api.Events_Disconnected(why="channel closed")
                 with self._lock:
+                    if self._closed:
+                        raise api.Events_Disconnected(why="channel closed")
                     consumers = list(self._consumers)
                 dead = []
+                delivered = 0
                 for consumer in consumers:
                     try:
                         consumer.push(event)
@@ -105,26 +112,36 @@ class EventChannelImpl:
                         # auto-disconnect it and keep delivering
                         dead.append(consumer)
                         continue
-                    self._delivered += 1
+                    delivered += 1
+                with self._lock:
+                    # concurrent pushes both mutate the counter; an
+                    # unserialized += would lose updates
+                    self._delivered += delivered
                 if dead:
                     self._evict(dead)
 
             def _evict(self, dead) -> None:
-                gone = {c.ior.iiop_profile().object_key for c in dead}
+                gone = {c.ior.identity() for c in dead}
                 with self._lock:
                     before = len(self._consumers)
                     self._consumers = [
                         c for c in self._consumers
-                        if c.ior.iiop_profile().object_key not in gone]
+                        if c.ior.identity() not in gone]
                     self.events_consumers_evicted += \
                         before - len(self._consumers)
+
+            def destroy(self):
+                with self._lock:
+                    self._closed = True
+                    self._consumers = []
 
             def n_consumers(self):
                 with self._lock:
                     return len(self._consumers)
 
             def events_delivered(self):
-                return self._delivered
+                with self._lock:
+                    return self._delivered
 
             def consumers_evicted(self):
                 return self.events_consumers_evicted

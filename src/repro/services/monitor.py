@@ -53,6 +53,7 @@ module Monitor {
         unsigned long timeouts;
         unsigned long shm_deposits;
         unsigned long shm_fallbacks;
+        unsigned long shm_shared_refs;
         unsigned long sendfile_sends;
         unsigned long sendfile_fallbacks;
     };

@@ -26,15 +26,28 @@ the side channel):
   the stream); ``slot == -1`` is the per-deposit inline fallback: the
   raw payload bytes follow, landed via ``recv_into`` as on tcp.
 
-Slot lifecycle: ``FREE -> OWNED`` (sender allocates, under its local
-lock — only the arena's creator ever allocates), ``OWNED -> POSTED``
-(sender publishes), ``POSTED -> FREE`` (receiver, once the landed
-buffer is released or garbage-collected).  Every transition has a
-single writer, so plain byte stores in the shared state array are
-race-free.  Slot exhaustion (receiver still holding every slot) waits
-up to ``slot_wait`` and then falls back to the inline path for that
-deposit — the same graceful-degradation discipline as the policy
-layer's deposit fallback.
+Slot lifecycle (protocol v2, refcounted): ``FREE -> OWNED`` (sender
+allocates, under its local lock — only the arena's creator ever
+allocates), ``OWNED -> POSTED(n)`` (sender publishes to ``n``
+readers: 1 for an ordinary deposit, N for a shared fan-out post, see
+:meth:`ShmArena.post_shared`), then each reader's release decrements
+the slot's refcount byte and the *last* one returns the slot
+(``POSTED(1) -> FREE``).  The ``FREE -> OWNED`` transition keeps its
+single writer; the decrement is serialized by ``flock`` on the arena
+file, which excludes both across processes and between two mappings
+of the same file in one process (the lock rides the open file
+description, not the process) — so N attached readers race-freely
+share one posted slot.  Slot exhaustion (receivers still holding
+every slot) waits up to ``slot_wait`` and then falls back to the
+inline path for that deposit — the same graceful-degradation
+discipline as the policy layer's deposit fallback.
+
+Fan-out (the pub/sub hub's path): the creator writes a payload into
+one slot, posts it with ``readers=N``, and every subscriber
+connection sharing the arena (``ShmTransport(shared_send_arena=True)``)
+sends only a 24-byte record referencing the same slot — one copy
+crosses the process boundary no matter how many colocated
+subscribers map it.
 """
 
 from __future__ import annotations
@@ -45,8 +58,14 @@ import struct
 import tempfile
 import threading
 import time
+from contextlib import contextmanager
 from functools import partial
 from typing import Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: refcount decrements fall back to the
+    fcntl = None     # instance lock (single-process correctness only)
 
 import numpy as np
 
@@ -58,11 +77,14 @@ from .base import (AcceptHandler, Endpoint, TransportError,
 from .tcp import DEFAULT_CONNECT_TIMEOUT, TCPListener, TCPStream
 
 __all__ = ["ShmTransport", "ShmStream", "ShmArena", "ShmError",
-           "shm_available"]
+           "shm_available", "SEND_INLINE", "SEND_COPY", "SEND_REFERENCE",
+           "SEND_SHARED"]
 
 #: 'SHM1' — marks the handshake hello and every deposit record
 SHM_MAGIC = 0x53484D31
-SHM_VERSION = 1
+#: v2 added the per-slot refcount byte array (shared fan-out posts);
+#: a peer speaking another version degrades to plain streaming
+SHM_VERSION = 2
 
 #: magic, version, flags, slot_size, slot_count, path_len
 _HELLO = struct.Struct("<IHHQII")
@@ -78,6 +100,17 @@ _HANDSHAKE_TIMEOUT = 10.0
 SLOT_FREE = 0
 SLOT_OWNED = 1
 SLOT_POSTED = 2
+
+#: a slot's refcount is one byte: at most 255 concurrent readers
+_MAX_REFCOUNT = 255
+
+#: :meth:`ShmStream.send_deposit` tier results — ints so existing
+#: truthiness checks (``used_arena``) keep working: 0 is the only
+#: non-arena outcome
+SEND_INLINE = 0      # payload streamed inline after the record
+SEND_COPY = 1        # copied into a freshly allocated slot
+SEND_REFERENCE = 2   # caller's buffer was an owned slot: posted as-is
+SEND_SHARED = 3      # pre-posted fan-out slot: record-only reference
 
 #: attach-side sanity bounds for negotiated geometry
 _MAX_SLOT_COUNT = 4096
@@ -125,15 +158,18 @@ def _view_address(view: memoryview) -> int:
 class ShmArena:
     """A file-backed shared mapping carved into page-aligned slots.
 
-    Layout: ``slot_count`` state bytes (page-rounded), then
+    Layout (v2): ``slot_count`` state bytes, then ``slot_count``
+    refcount bytes, the pair page-rounded together, then
     ``slot_count`` slots of ``slot_size`` bytes each, every slot
     starting on a page boundary.  The backing file lives in
     ``/dev/shm`` when available, so the pages never touch a disk.
 
     One process *creates* the arena (and alone allocates slots from
-    it); the peer *attaches* it (and alone frees posted slots).  The
-    creator unlinks the file on close — the attacher's mapping stays
-    valid until it too closes.
+    it); one or more peers *attach* it.  A posted slot carries a
+    refcount — each reader's release decrements it under ``flock`` on
+    the arena file, and the decrement that reaches zero frees the
+    slot.  The creator unlinks the file on close — attached mappings
+    stay valid until they too close.
     """
 
     def __init__(self, path: str, slot_size: int, slot_count: int,
@@ -148,7 +184,8 @@ class ShmArena:
         self.slot_size = slot_size
         self.slot_count = slot_count
         self.created = create
-        self.data_offset = _page_round(slot_count)
+        # state byte per slot, then refcount byte per slot
+        self.data_offset = _page_round(2 * slot_count)
         self.total_size = self.data_offset + slot_size * slot_count
         if create:
             fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o600)
@@ -166,15 +203,28 @@ class ShmArena:
                                f"geometry")
         try:
             self._mm = mmap.mmap(fd, self.total_size)
-        finally:
+        except BaseException:
             os.close(fd)
+            raise
+        #: kept open for the refcount file lock (flock excludes per
+        #: open file description, so every arena instance gets its own)
+        self._fd = fd
         arr = np.frombuffer(self._mm, dtype=np.uint8, count=1)
         self.base_address = int(arr.ctypes.data)
         del arr  # releases the buffer export immediately
         self._lock = threading.Lock()
         self._owners: dict[int, int] = {}  # slot -> token, OWNED via acquire
+        #: slot -> fan-out references not yet claimed by a send
+        self._shared_pending: dict[int, int] = {}
+        #: creator-side post times, for stale-slot reclaim
+        self._post_times: dict[int, float] = {}
         self._next_token = 1
         self._closed = False
+        #: creator-side post accounting: every payload publication is
+        #: one ``posts`` tick however many readers it fans out to
+        self.posts = 0
+        self.shared_posts = 0
+        self.stale_reclaims = 0
 
     @classmethod
     def create(cls, directory: str, slot_size: int,
@@ -194,6 +244,33 @@ class ShmArena:
     def slot_address(self, slot: int, offset: int = 0) -> int:
         return self.base_address + self._slot_start(slot) + offset
 
+    # -- refcounts -----------------------------------------------------------
+    def _rc_get(self, slot: int) -> int:
+        return self._mm[self.slot_count + slot]
+
+    def _rc_set(self, slot: int, value: int) -> None:
+        self._mm[self.slot_count + slot] = value
+
+    @contextmanager
+    def _file_lock(self):
+        """Serialize refcount updates across every mapping of the file."""
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+        else:
+            with self._lock:
+                yield
+
+    def refcount(self, slot: int) -> int:
+        """Live reader references on ``slot`` (0 for FREE/OWNED slots)."""
+        try:
+            return self._rc_get(slot)
+        except (ValueError, IndexError):
+            return 0
+
     # -- sender side (creator) ----------------------------------------------
     def alloc(self, timeout: float = 0.0) -> Tuple[Optional[int], float]:
         """Claim a FREE slot (``-> OWNED``); ``(slot, waited_seconds)``.
@@ -212,6 +289,11 @@ class ShmArena:
                     for i in range(self.slot_count):
                         if self._mm[i] == SLOT_FREE:
                             self._mm[i] = SLOT_OWNED
+                            # a freed slot may carry a stale fan-out
+                            # plan from a post whose sends never all
+                            # happened; a fresh lease voids it
+                            self._shared_pending.pop(i, None)
+                            self._post_times.pop(i, None)
                             return i, time.monotonic() - start
             now = time.monotonic()
             if self._closed or now >= deadline:
@@ -265,14 +347,73 @@ class ShmArena:
                 pass  # mapping already closed
 
     def post(self, slot: int) -> None:
-        """Publish an OWNED slot to the peer (``-> POSTED``)."""
+        """Publish an OWNED slot to one reader (``-> POSTED(1)``)."""
         with self._lock:
             self._owners.pop(slot, None)
+            self._rc_set(slot, 1)
+            self._post_times[slot] = time.monotonic()
             self._mm[slot] = SLOT_POSTED
+            self.posts += 1
+
+    def post_shared(self, slot: int, readers: int) -> None:
+        """Publish an OWNED slot to ``readers`` readers at once.
+
+        The fan-out post: the refcount starts at ``readers`` and each
+        planned reader's record is claimed by a later
+        :meth:`take_shared_ref` (the sends reference the slot, they do
+        not re-post it).  The slot frees when the last reader
+        releases.
+        """
+        if not 1 <= readers <= _MAX_REFCOUNT:
+            raise ValueError(
+                f"readers must be in [1, {_MAX_REFCOUNT}], got {readers}")
+        with self._lock:
+            self._owners.pop(slot, None)
+            self._rc_set(slot, readers)
+            self._shared_pending[slot] = readers
+            self._post_times[slot] = time.monotonic()
+            self._mm[slot] = SLOT_POSTED
+            self.posts += 1
+            self.shared_posts += 1
+
+    def take_shared_ref(self, slot: int) -> bool:
+        """Claim one planned fan-out reference on a shared-posted slot.
+
+        The send path calls this to distinguish a reference to a
+        pre-posted fan-out slot (emit a record, leave the state alone)
+        from an owned slot it must post itself.
+        """
+        with self._lock:
+            n = self._shared_pending.get(slot)
+            if not n:
+                return False
+            if n == 1:
+                del self._shared_pending[slot]
+            else:
+                self._shared_pending[slot] = n - 1
+            return True
+
+    def shared_pending(self, slot: int) -> int:
+        """Fan-out references planned but not yet claimed by a send."""
+        with self._lock:
+            return self._shared_pending.get(slot, 0)
+
+    def is_owned(self, slot: int) -> bool:
+        """Whether ``slot`` is currently leased via :meth:`acquire`."""
+        with self._lock:
+            return slot in self._owners
+
+    def abort_shared_ref(self, slot: int) -> None:
+        """Compensate one planned reader whose record will never be
+        sent (its connection died before the send): drop the pending
+        reference and release its share of the refcount."""
+        if self.take_shared_ref(slot):
+            self.free(slot)
 
     def locate(self, view: memoryview) -> Optional[Tuple[int, int]]:
         """``(slot, offset)`` when ``view`` lies inside one caller-owned
-        slot at a page-aligned offset; ``None`` -> copy path."""
+        (or shared-posted, fan-out pending) slot at a page-aligned
+        offset; ``None`` -> copy path."""
         if view.nbytes == 0:
             return None
         addr = _view_address(view)
@@ -287,17 +428,64 @@ class ShmArena:
         if offset % PAGE_SIZE:
             return None  # receiver must land page-aligned
         with self._lock:
-            if slot not in self._owners:
+            if slot not in self._owners \
+                    and slot not in self._shared_pending:
                 return None  # not leased from this arena (or already sent)
         return slot, offset
 
     # -- receiver side (attacher) -------------------------------------------
     def free(self, slot: int) -> None:
-        """Return a consumed POSTED slot to the sender (``-> FREE``)."""
+        """Release one reader reference; the last one frees the slot
+        (``POSTED(1) -> FREE``)."""
         try:
-            self._mm[slot] = SLOT_FREE
-        except (ValueError, IndexError):
-            pass  # mapping already closed
+            with self._file_lock():
+                rc = self._rc_get(slot)
+                rc = rc - 1 if rc > 0 else 0
+                self._rc_set(slot, rc)
+                if rc == 0:
+                    self._mm[slot] = SLOT_FREE
+        except (ValueError, IndexError, OSError):
+            pass  # mapping or lock fd already closed
+
+    # -- creator-side stale reclaim ------------------------------------------
+    def reclaim_stale(self, max_age: float) -> int:
+        """Force-free slots POSTED longer than ``max_age`` seconds.
+
+        The crash-safety valve behind the finalizer machinery: an
+        attached reader that died without releasing leaves its
+        reference forever, and only the creator (which recorded every
+        post time) can break the leak.  Called by the pub/sub hub when
+        allocation starves.  Returns the number of slots reclaimed.
+        """
+        now = time.monotonic()
+        reclaimed = 0
+        with self._lock:
+            candidates = list(self._post_times.items())
+        for slot, posted_at in candidates:
+            try:
+                state = self._mm[slot]
+            except (ValueError, IndexError):
+                break  # mapping closed under us
+            if state != SLOT_POSTED:
+                with self._lock:
+                    if self._post_times.get(slot) == posted_at:
+                        self._post_times.pop(slot, None)
+                continue
+            if now - posted_at <= max_age:
+                continue
+            try:
+                with self._file_lock():
+                    if self._mm[slot] == SLOT_POSTED:
+                        self._rc_set(slot, 0)
+                        self._mm[slot] = SLOT_FREE
+                        reclaimed += 1
+            except (ValueError, IndexError, OSError):
+                break
+            with self._lock:
+                self._post_times.pop(slot, None)
+                self._shared_pending.pop(slot, None)
+                self.stale_reclaims += 1
+        return reclaimed
 
     # -- introspection -------------------------------------------------------
     @property
@@ -323,11 +511,18 @@ class ShmArena:
                 return
             self._closed = True
             self._owners.clear()
+            self._shared_pending.clear()
+            self._post_times.clear()
         try:
             self._mm.close()
         except BufferError:
             # landed MappedBuffers still export views of the mapping;
             # it is released when the last of them goes away
+            pass
+        fd, self._fd = self._fd, -1  # late finalizer frees must not
+        try:                         # flock a recycled descriptor
+            os.close(fd)
+        except OSError:
             pass
         if self.created:
             try:
@@ -352,14 +547,20 @@ class ShmStream:
     def __init__(self, inner: TCPStream, name: str,
                  send_arena: Optional[ShmArena] = None,
                  recv_arena: Optional[ShmArena] = None,
-                 slot_wait: float = 0.05):
+                 slot_wait: float = 0.05,
+                 owns_send_arena: bool = True):
         self._inner = inner
         self.name = name
         self.send_arena = send_arena
         self.recv_arena = recv_arena
         self.slot_wait = slot_wait
+        #: False when the transport shares one send arena across every
+        #: connection (fan-out mode): closing this stream must not
+        #: tear down the other connections' data plane
+        self.owns_send_arena = owns_send_arena
         self.shm_deposits_sent = 0
         self.shm_references_sent = 0
+        self.shm_shared_refs_sent = 0
         self.shm_fallbacks_sent = 0
         self.shm_deposits_received = 0
         self.shm_fallbacks_received = 0
@@ -395,9 +596,10 @@ class ShmStream:
 
     def close(self) -> None:
         self._inner.close()
-        for arena in (self.send_arena, self.recv_arena):
-            if arena is not None:
-                arena.close()
+        if self.recv_arena is not None:
+            self.recv_arena.close()
+        if self.send_arena is not None and self.owns_send_arena:
+            self.send_arena.close()
 
     # -- deposit channel ------------------------------------------------------
     @property
@@ -408,12 +610,16 @@ class ShmStream:
             return self
         return None
 
-    def send_deposit(self, view: memoryview) -> Tuple[bool, float]:
-        """Route one registered payload; ``(used_arena, slot_wait_s)``.
+    def send_deposit(self, view: memoryview) -> Tuple[int, float]:
+        """Route one registered payload; ``(tier, slot_wait_s)``.
 
-        Caller holds the connection's send lock, immediately after the
-        control chunks — the record (and any inline bytes) stay
-        adjacent to their message on the control stream.
+        ``tier`` is one of :data:`SEND_INLINE` (0, the only non-arena
+        outcome — truthiness still reads "used the arena"),
+        :data:`SEND_COPY`, :data:`SEND_REFERENCE`, or
+        :data:`SEND_SHARED`.  Caller holds the connection's send lock,
+        immediately after the control chunks — the record (and any
+        inline bytes) stay adjacent to their message on the control
+        stream.
         """
         if view.format != "B" or view.ndim != 1:
             view = view.cast("B")
@@ -423,14 +629,28 @@ class ShmStream:
         if arena is not None and not arena.closed:
             loc = arena.locate(view)
             if loc is not None:
-                # the payload already lives in the arena: transfer the
-                # slot by reference — the true zero-copy send
                 slot, offset = loc
-                arena.post(slot)
-                self._inner.send(_RECORD.pack(SHM_MAGIC, slot, offset, size))
-                self.shm_deposits_sent += 1
-                self.shm_references_sent += 1
-                return True, waited
+                if arena.take_shared_ref(slot):
+                    # pre-posted fan-out slot: this connection's share
+                    # of the payload is one 24-byte record — the slot
+                    # was written and posted exactly once for every
+                    # reader mapping it
+                    self._inner.send(
+                        _RECORD.pack(SHM_MAGIC, slot, offset, size))
+                    self.shm_deposits_sent += 1
+                    self.shm_shared_refs_sent += 1
+                    return SEND_SHARED, waited
+                if arena.is_owned(slot):
+                    # the payload already lives in the arena: transfer
+                    # the slot by reference — the true zero-copy send
+                    arena.post(slot)
+                    self._inner.send(
+                        _RECORD.pack(SHM_MAGIC, slot, offset, size))
+                    self.shm_deposits_sent += 1
+                    self.shm_references_sent += 1
+                    return SEND_REFERENCE, waited
+                # raced with a concurrent fan-out send that claimed
+                # the last planned reference: fall through to copy
             if 0 < size <= arena.slot_size:
                 slot, waited = arena.alloc(self.slot_wait)
                 self.slot_wait_seconds += waited
@@ -440,11 +660,11 @@ class ShmStream:
                     self._inner.send(
                         _RECORD.pack(SHM_MAGIC, slot, 0, size))
                     self.shm_deposits_sent += 1
-                    return True, waited
+                    return SEND_COPY, waited
         # inline fallback: the payload follows the record on the stream
         self._inner.sendv([_RECORD.pack(SHM_MAGIC, -1, 0, size), view])
         self.shm_fallbacks_sent += 1
-        return False, waited
+        return SEND_INLINE, waited
 
     def recv_deposit(self, desc: DepositDescriptor,
                      pool: BufferPool) -> Tuple[ZCBuffer, bool]:
@@ -504,26 +724,66 @@ class ShmTransport:
     ``slot_count`` slots per direction per connection; ``slot_wait``
     bounds how long a send waits for a free slot before falling back
     inline.
+
+    ``shared_send_arena=True`` switches the transport into fan-out
+    mode: every outbound connection advertises the *same* send arena,
+    so a payload posted once with ``post_shared(slot, readers=N)`` is
+    mapped by all N peers that attached it — the pub/sub hub's
+    single-copy delivery plane.  The shared arena outlives individual
+    connections; call :meth:`close` (or let the owning hub do it) to
+    tear it down.
     """
 
     scheme = "shm"
 
     def __init__(self, slot_size: int = 1 << 20, slot_count: int = 16,
                  slot_wait: float = 0.05,
-                 directory: Optional[str] = None):
+                 directory: Optional[str] = None,
+                 shared_send_arena: bool = False):
         self.slot_size = _slot_size_class(slot_size)
         self.slot_count = int(slot_count)
         self.slot_wait = slot_wait
         self.directory = directory or (
             "/dev/shm" if os.path.isdir("/dev/shm")
             else tempfile.gettempdir())
+        self.shared_send_arena = bool(shared_send_arena)
+        self._shared_arena: Optional[ShmArena] = None
+        self._shared_lock = threading.Lock()
+
+    @property
+    def shared_arena(self) -> Optional[ShmArena]:
+        """The fan-out send arena (``None`` until the first connect,
+        or when the transport is per-connection)."""
+        return self._shared_arena
+
+    def close(self) -> None:
+        """Tear down the shared send arena, if any."""
+        with self._shared_lock:
+            arena, self._shared_arena = self._shared_arena, None
+        if arena is not None:
+            arena.close()
 
     def _make_arena(self) -> Optional[ShmArena]:
+        if self.shared_send_arena:
+            with self._shared_lock:
+                if self._shared_arena is None or self._shared_arena.closed:
+                    try:
+                        self._shared_arena = ShmArena.create(
+                            self.directory, self.slot_size, self.slot_count)
+                    except (OSError, ShmError):
+                        self._shared_arena = None
+                return self._shared_arena
         try:
             return ShmArena.create(self.directory, self.slot_size,
                                    self.slot_count)
         except (OSError, ShmError):
             return None
+
+    def _discard(self, arena: Optional[ShmArena]) -> None:
+        """Drop an arena a failed handshake leaves behind — except the
+        shared one, which other connections may be using."""
+        if arena is not None and arena is not self._shared_arena:
+            arena.close()
 
     # -- handshake ------------------------------------------------------------
     @staticmethod
@@ -566,9 +826,9 @@ class ShmTransport:
         """Both acks in hand: keep the arenas or degrade symmetrically."""
         if own is not None and attached is not None and peer_ok:
             return own, attached
-        for arena in (own, attached):
-            if arena is not None:
-                arena.close()
+        self._discard(own)
+        if attached is not None:
+            attached.close()
         return None, None
 
     def _client_handshake(self, stream: TCPStream
@@ -584,9 +844,9 @@ class ShmTransport:
             stream.send(_ACK_OK if ok else _ACK_NO)
             peer_ok = bytes(stream.recv_exact(1)) == _ACK_OK
         except BaseException:
-            for arena in (own, attached):
-                if arena is not None:
-                    arena.close()
+            self._discard(own)
+            if attached is not None:
+                attached.close()
             raise
         finally:
             stream.set_timeout(None)
@@ -605,9 +865,9 @@ class ShmTransport:
             ok = own is not None and attached is not None
             stream.send(_ACK_OK if ok else _ACK_NO)
         except BaseException:
-            for arena in (own, attached):
-                if arena is not None:
-                    arena.close()
+            self._discard(own)
+            if attached is not None:
+                attached.close()
             raise
         finally:
             stream.set_timeout(None)
@@ -637,7 +897,8 @@ class ShmTransport:
             inner.close()
             raise
         return ShmStream(inner, inner.name, send_arena, recv_arena,
-                         self.slot_wait)
+                         self.slot_wait,
+                         owns_send_arena=not self.shared_send_arena)
 
     def listen(self, host: str, port: int,
                on_accept: AcceptHandler) -> TCPListener:
@@ -654,7 +915,8 @@ class ShmTransport:
         def accept(inner: TCPStream) -> None:
             send_arena, recv_arena = self._server_handshake(inner)
             on_accept(ShmStream(inner, inner.name, send_arena, recv_arena,
-                                self.slot_wait))
+                                self.slot_wait,
+                                owns_send_arena=not self.shared_send_arena))
 
         return TCPListener(sock, accept, name=f"shm-{host}:{port}",
                            scheme="shm")

@@ -16,6 +16,9 @@ def _tiny_doc(**kw):
     kw.setdefault("pipeline_inflight", 4)
     kw.setdefault("shm_size", 64 * KB)
     kw.setdefault("shm_repeats", 2)
+    kw.setdefault("pubsub_size", 64 * KB)
+    kw.setdefault("pubsub_events", 3)
+    kw.setdefault("pubsub_subs", (1, 2))
     kw.setdefault("sendfile_sizes", (1024 * KB,))
     kw.setdefault("sendfile_repeats", 2)
     return run_bench(**kw)
@@ -54,6 +57,17 @@ class TestRunBench:
         assert shm["schemes"]["shm"]["shm_deposits_total"] > 0
         assert shm["schemes"]["shm"]["shm_fallbacks_total"] == 0
         assert reg.get("bench_shm_speedup").value == shm["speedup"]
+        # pubsub probe: the shm stanza carries single-copy accounting
+        ps = doc["pubsub"]
+        if ps.get("skipped"):
+            assert ps["reason"] and ps["degrade_path_ok"] is True
+        else:
+            assert [lv["subs"] for lv in ps["levels"]] == [1, 2]
+            for lv in ps["levels"]:
+                assert lv["shm"]["fanout_posts"] == 3  # one per event
+                assert lv["shm"]["shared_refs"] == 3 * lv["subs"]
+            assert reg.get("bench_pubsub_speedup_at_max").value == \
+                ps["speedup_at_max"]
         # sendfile probe: rows or a visible, degrade-verified skip
         sf = doc["sendfile"]
         if sf.get("skipped"):
@@ -103,6 +117,16 @@ class TestValidator:
         bad = json.loads(json.dumps(doc))
         del bad["shm"]["schemes"]["shm"]["shm_deposits_total"]
         assert any("shm_deposits_total" in p for p in validate_bench(bad))
+
+    def test_flags_missing_pubsub(self):
+        doc = _tiny_doc()
+        bad = json.loads(json.dumps(doc))
+        del bad["pubsub"]
+        assert any("pubsub" in p for p in validate_bench(bad))
+        if not doc["pubsub"].get("skipped"):
+            bad = json.loads(json.dumps(doc))
+            del bad["pubsub"]["levels"][0]["shm"]["fanout_posts"]
+            assert any("single-copy" in p for p in validate_bench(bad))
 
     def test_cli_check_round_trip(self, tmp_path, capsys):
         doc = _tiny_doc()

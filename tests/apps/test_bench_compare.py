@@ -58,6 +58,23 @@ def _doc(**over):
                             "shm_fallbacks_total": 0},
                     "tcp": {"bytes_per_s": 1.0e9},
                 }},
+        "pubsub": {"size": 1 * MB, "events": 20,
+                   "levels": [
+                       {"subs": 2,
+                        "shm": {"seconds": 0.02, "events_per_s": 1000.0,
+                                "delivered_bytes_per_s": 2.0e9,
+                                "fanout_posts": 20, "shared_refs": 40},
+                        "tcp": {"seconds": 0.04, "events_per_s": 500.0,
+                                "delivered_bytes_per_s": 1.0e9},
+                        "speedup": 2.0},
+                       {"subs": 8,
+                        "shm": {"seconds": 0.02, "events_per_s": 1000.0,
+                                "delivered_bytes_per_s": 8.0e9,
+                                "fanout_posts": 20, "shared_refs": 160},
+                        "tcp": {"seconds": 0.16, "events_per_s": 125.0,
+                                "delivered_bytes_per_s": 1.0e9},
+                        "speedup": 8.0}],
+                   "speedup_at_max": 8.0},
         "sgcdr": {"repeats": 3,
                   "sizes": [{"size": 64 * KB, "blob_mb_per_s": 900.0,
                              "sg_mb_per_s": 2100.0, "improvement": 2.333},
@@ -140,6 +157,31 @@ class TestCompareLogic:
         bad = [r for r in compare_bench(old, new, tolerance=0.9)
                if not r["ok"]]
         assert [r["metric"] for r in bad] == ["shm.speedup"]
+
+    def test_pubsub_gated_at_largest_common_fanout(self):
+        doc = _doc()
+        metrics = {r["metric"] for r in compare_bench(doc, _clone(doc))}
+        assert "pubsub@8.shm_events_per_s" in metrics
+        assert "pubsub@8.speedup" in metrics
+        assert "pubsub@2.shm_events_per_s" not in metrics
+
+    def test_pubsub_regression_fails_the_gate(self):
+        old = _doc()
+        new = _clone(old)
+        new["pubsub"]["levels"][1]["shm"]["events_per_s"] = 100.0  # 10x
+        rows = compare_bench(old, new, tolerance=0.75)
+        bad = {r["metric"] for r in rows if not r["ok"]}
+        assert bad == {"pubsub@8.shm_events_per_s"}
+
+    def test_skipped_pubsub_is_not_punished(self):
+        old = _doc()
+        new = _clone(old)
+        new["pubsub"] = {"skipped": True,
+                         "reason": "no usable shared memory",
+                         "degrade_path_ok": True, "levels": []}
+        rows = compare_bench(old, new)
+        assert all(r["ok"] for r in rows)
+        assert not any(r["metric"].startswith("pubsub") for r in rows)
 
     def test_sendfile_regression_fails_per_size(self):
         old = _doc()

@@ -150,3 +150,42 @@ class TestRoundTripPropertyMulti:
         ior = IOR.for_object("IDL:T:1.0", *profiles)
         out = IOR.from_string(ior.to_string())
         assert out.iiop_profiles() == profiles
+
+class TestIdentity:
+    def _profiles(self):
+        return (IIOPProfile(host="tcp!h", port=99, object_key=b"key42"),
+                IIOPProfile(host="shm!h", port=99, object_key=b"key42"))
+
+    def test_profile_order_independent(self):
+        p1, p2 = self._profiles()
+        a = IOR.for_object("IDL:Demo/Sink:1.0", p1, p2)
+        b = IOR.for_object("IDL:Demo/Sink:1.0", p2, p1)
+        assert a.identity() == b.identity()
+
+    def test_single_vs_multi_profile_same_key(self):
+        p1, p2 = self._profiles()
+        single = IOR.for_object("IDL:Demo/Sink:1.0", p1)
+        multi = IOR.for_object("IDL:Demo/Sink:1.0", p1, p2)
+        assert single.identity() == multi.identity()
+
+    def test_distinct_objects_differ(self):
+        p1, _ = self._profiles()
+        other = IIOPProfile(host="tcp!h", port=99, object_key=b"other")
+        a = IOR.for_object("IDL:Demo/Sink:1.0", p1)
+        b = IOR.for_object("IDL:Demo/Sink:1.0", other)
+        assert a.identity() != b.identity()
+
+    def test_type_id_distinguishes(self):
+        p1, _ = self._profiles()
+        a = IOR.for_object("IDL:Demo/Sink:1.0", p1)
+        b = IOR.for_object("IDL:Demo/Source:1.0", p1)
+        assert a.identity() != b.identity()
+
+    def test_profile_less_ior_never_raises(self):
+        bare = IOR(type_id="IDL:Demo/Sink:1.0",
+                   profiles=((0x7F42, b"opaque"),))
+        with pytest.raises(IORError):
+            bare.iiop_profile()  # the old keying path raised here
+        ident = bare.identity()
+        assert ident == bare.identity()  # stable and hashable
+        hash(ident)

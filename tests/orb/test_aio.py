@@ -160,3 +160,53 @@ class TestCancellation:
             release.set()
             client.shutdown()
             server.shutdown()
+
+    def test_cancel_during_send_hop_releases_late_reply(
+            self, test_api, monkeypatch):
+        """The nastier race: cancellation lands while the marshal+send
+        is still on the executor thread — the awaiter never reaches the
+        reply wait, but the send completes anyway and registers a
+        reply nobody will collect.  The registration must be retired
+        and the late reply's buffers reclaimed."""
+        from repro.orb.proxy import IIOPProxy
+
+        pool = BufferPool()
+        impl = make_store_impl(test_api)
+        server = ORB(ORBConfig(scheme="tcp"))
+        client = ORB(ORBConfig(scheme="tcp"), pool=pool)
+        in_send = threading.Event()
+        cancelled = threading.Event()
+        orig_send = IIOPProxy._send_attempt_sync
+
+        def held_send(proxy, *a, **kw):
+            in_send.set()
+            assert cancelled.wait(10.0)
+            return orig_send(proxy, *a, **kw)
+
+        monkeypatch.setattr(IIOPProxy, "_send_attempt_sync", held_send)
+        try:
+            stub = client.string_to_object(
+                server.object_to_string(server.activate(impl)))
+            ast = async_api(stub)
+
+            async def go():
+                task = asyncio.create_task(ast.get(256 * 1024))
+                loop = asyncio.get_running_loop()
+                assert await loop.run_in_executor(None, in_send.wait, 10)
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                cancelled.set()
+
+            asyncio.run(go())
+
+            def no_leak():
+                s = pool.stats()
+                acquired = s["hits"] + s["misses"]
+                return acquired > 0 and acquired == s["reclaims"]
+
+            assert _settle(no_leak), pool.stats()
+        finally:
+            cancelled.set()
+            client.shutdown()
+            server.shutdown()

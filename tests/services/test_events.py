@@ -130,3 +130,79 @@ class TestConsumerEviction:
             supp_orb.shutdown()
             healthy_orb.shutdown()
             chan_orb.shutdown()
+
+
+class TestIdentityKeyedDisconnect:
+    def _stub(self, orb, servant_orb, ref, reverse=False):
+        """Rebind ``ref`` onto ``orb``; optionally with the IOR's
+        profiles in reverse order (same object, different reference)."""
+        stub = orb.string_to_object(servant_orb.object_to_string(ref))
+        if reverse:
+            ior = stub.ior
+            flipped = type(ior)(type_id=ior.type_id,
+                                profiles=tuple(reversed(ior.profiles)))
+            stub = type(stub)(orb, flipped)
+        return stub
+
+    def test_disconnect_matches_reordered_profiles(self):
+        """Disconnecting with an equivalent reference whose profiles
+        are listed in a different order must still remove the consumer
+        — identity is the object, not the profile ordering."""
+        chan_orb = ORB(ORBConfig(scheme="loop"))
+        cons_orb = ORB(ORBConfig(scheme="tcp", extra_schemes=("shm",)))
+        try:
+            channel = chan_orb.activate(EventChannelImpl())
+            impl = QueueingConsumer()
+            ref = cons_orb.activate(impl)
+            assert len(ref.ior.profiles) >= 2  # reordering is meaningful
+            channel.connect_consumer(self._stub(chan_orb, cons_orb, ref))
+            assert channel.n_consumers() == 1
+            channel.disconnect_consumer(
+                self._stub(chan_orb, cons_orb, ref, reverse=True))
+            assert channel.n_consumers() == 0
+        finally:
+            cons_orb.shutdown()
+            chan_orb.shutdown()
+
+    def test_disconnect_leaves_other_consumers(self):
+        chan_orb = ORB(ORBConfig(scheme="loop"))
+        cons_orb = ORB(ORBConfig(scheme="loop"))
+        try:
+            channel = chan_orb.activate(EventChannelImpl())
+            keep, drop = QueueingConsumer(), QueueingConsumer()
+            keep_ref = cons_orb.activate(keep)
+            drop_ref = cons_orb.activate(drop)
+            for ref in (keep_ref, drop_ref):
+                channel.connect_consumer(
+                    self._stub(chan_orb, cons_orb, ref))
+            channel.disconnect_consumer(
+                self._stub(chan_orb, cons_orb, drop_ref))
+            channel.push(ZCOctetSequence.from_data(b"still here"))
+            assert keep.received == 1
+            assert drop.received == 0
+        finally:
+            cons_orb.shutdown()
+            chan_orb.shutdown()
+
+
+class TestChannelLifecycle:
+    def test_destroy_disconnects_and_blocks_push(self, channel_setup):
+        channel, consumers = channel_setup
+        api = events_api()
+        channel.push(ZCOctetSequence.from_data(b"pre"))
+        channel.destroy()
+        assert channel.n_consumers() == 0
+        with pytest.raises(api.Events_Disconnected):
+            channel.push(ZCOctetSequence.from_data(b"post"))
+        for impl in consumers:
+            assert impl.received == 1  # nothing delivered after destroy
+        assert channel.events_delivered() == 2
+
+    def test_destroy_is_idempotent(self):
+        orb = ORB(ORBConfig(scheme="loop"))
+        try:
+            channel = orb.activate(EventChannelImpl())
+            channel.destroy()
+            channel.destroy()
+        finally:
+            orb.shutdown()

@@ -68,3 +68,12 @@ def test_telemetry_quickstart():
     assert "tracing never enabled" in out
     assert "repro-top" in out
     assert "done." in out
+
+
+def test_pubsub_quickstart():
+    out = run_example("pubsub_quickstart.py", "--subs", "3",
+                      "--frames", "4")
+    assert "subscribed 3 colocated + 1 tcp subscriber" in out
+    assert "single-copy fan-out:" in out
+    assert "typed event round trip:" in out
+    assert "done." in out

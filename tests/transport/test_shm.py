@@ -326,3 +326,247 @@ class TestShmORB:
         finally:
             client.shutdown()
             server.shutdown()
+
+
+class TestRefcountedSlots:
+    """The v2 arena protocol: POSTED slots carry a reader refcount."""
+
+    def test_plain_post_has_refcount_one(self, arena):
+        slot, _ = arena.alloc()
+        arena.post(slot)
+        assert arena.refcount(slot) == 1
+        arena.free(slot)
+        assert arena.refcount(slot) == 0
+        assert arena.free_slots == 4
+
+    def test_shared_post_frees_on_last_release(self, arena):
+        slot, _ = arena.alloc()
+        arena.post_shared(slot, readers=3)
+        assert arena.refcount(slot) == 3
+        assert arena.free_slots == 3
+        arena.free(slot)
+        arena.free(slot)
+        assert arena.free_slots == 3  # two of three readers released
+        assert arena.refcount(slot) == 1
+        arena.free(slot)  # last reader
+        assert arena.free_slots == 4
+        assert arena.refcount(slot) == 0
+
+    def test_post_shared_validates_reader_count(self, arena):
+        slot, _ = arena.alloc()
+        with pytest.raises(ValueError, match="readers"):
+            arena.post_shared(slot, readers=0)
+        with pytest.raises(ValueError, match="readers"):
+            arena.post_shared(slot, readers=256)
+        arena.post_shared(slot, readers=255)  # the protocol ceiling
+        assert arena.refcount(slot) == 255
+
+    def test_take_shared_ref_drains_the_plan(self, arena):
+        slot, _ = arena.alloc()
+        arena.post_shared(slot, readers=2)
+        assert arena.shared_pending(slot) == 2
+        assert arena.take_shared_ref(slot)
+        assert arena.take_shared_ref(slot)
+        assert arena.shared_pending(slot) == 0
+        assert not arena.take_shared_ref(slot)  # plan exhausted
+
+    def test_abort_shared_ref_releases_the_planned_reader(self, arena):
+        slot, _ = arena.alloc()
+        arena.post_shared(slot, readers=2)
+        arena.abort_shared_ref(slot)  # one planned send failed
+        assert arena.refcount(slot) == 1
+        arena.free(slot)  # the surviving reader releases
+        assert arena.free_slots == 4
+
+    def test_refcount_survives_peer_attach(self, arena):
+        """The refcount lives in the mapped header, so an attaching
+        peer sees and decrements the same byte."""
+        slot, _ = arena.alloc()
+        arena.post_shared(slot, readers=2)
+        peer = ShmArena(arena.path, arena.slot_size, arena.slot_count,
+                        create=False)
+        try:
+            assert peer.refcount(slot) == 2
+            peer.free(slot)
+            assert arena.refcount(slot) == 1
+            arena.free(slot)
+            assert peer.free_slots == 4
+        finally:
+            peer.close()
+
+    def test_alloc_voids_stale_fanout_plan(self, arena):
+        slot, _ = arena.alloc()
+        arena.post_shared(slot, readers=2)
+        arena.free(slot)
+        arena.free(slot)  # slot fully released, plan never drained
+        got, _ = arena.alloc()
+        assert got == slot  # lowest free slot is reused
+        assert arena.shared_pending(slot) == 0
+        assert not arena.take_shared_ref(slot)
+
+    def test_reclaim_stale_force_frees_posted_slots(self, arena):
+        slot, _ = arena.alloc()
+        arena.post_shared(slot, readers=5)  # readers that died mid-read
+        assert arena.reclaim_stale(max_age=3600.0) == 0  # too young
+        assert arena.reclaim_stale(max_age=0.0) == 1
+        assert arena.free_slots == 4
+        assert arena.refcount(slot) == 0
+        assert arena.stale_reclaims == 1
+
+    def test_reclaim_stale_skips_live_owned_slots(self, arena):
+        buf = arena.acquire(1024)
+        assert arena.reclaim_stale(max_age=0.0) == 0
+        assert arena.free_slots == 3
+        buf.release()
+
+    def test_locate_matches_shared_posted_slot(self, arena):
+        """marshal's stage_in_arena passes shared-posted views through
+        untouched because locate() still claims them."""
+        buf = arena.acquire(4096)
+        view = buf.view()
+        slot, _ = arena.locate(view)
+        arena.post_shared(slot, readers=2)
+        assert arena.locate(view) == (slot, 0)
+        arena.take_shared_ref(slot)
+        arena.take_shared_ref(slot)
+        assert arena.locate(view) is None  # plan drained: sends are done
+        arena.free(slot)
+        arena.free(slot)
+
+
+class TestSharedArenaFanout:
+    """One ShmTransport in shared-send mode: every outbound connection
+    advertises the same send arena, so one posted slot serves N links."""
+
+    @pytest.fixture
+    def fanout(self):
+        transport = ShmTransport(slot_size=SIZE_64K, slot_count=4,
+                                 slot_wait=0.05, shared_send_arena=True)
+        c1, s1, l1 = _stream_pair(transport)
+        c2, s2, l2 = _stream_pair(transport)
+        yield transport, (c1, s1), (c2, s2)
+        for s in (c1, s1, c2, s2):
+            s.close()
+        l1.close()
+        l2.close()
+        transport.close()
+
+    def test_connections_share_one_send_arena(self, fanout):
+        transport, (c1, _), (c2, _) = fanout
+        assert c1.send_arena is not None
+        assert c1.send_arena is c2.send_arena
+        assert c1.send_arena is transport.shared_arena
+
+    def test_one_post_fans_out_to_two_links(self, fanout):
+        transport, (c1, s1), (c2, s2) = fanout
+        arena = transport.shared_arena
+        payload = b"\x5a" * 8192
+        staged = arena.acquire(len(payload))
+        staged.view()[:] = payload
+        slot, _ = arena.locate(staged.view())
+        arena.post_shared(slot, readers=2)
+        assert arena.used_slots == 1
+
+        desc = DepositDescriptor(deposit_id=1, size=len(payload))
+        pool = BufferPool()
+        tiers = []
+        for sender in (c1, c2):
+            tier, _ = sender.send_deposit(staged.view())
+            tiers.append(tier)
+        from repro.transport.shm import SEND_SHARED
+        assert tiers == [SEND_SHARED, SEND_SHARED]
+        assert c1.shm_shared_refs_sent == 1
+        assert c2.shm_shared_refs_sent == 1
+
+        bufs = []
+        for receiver in (s1, s2):
+            buf, via = receiver.recv_deposit(desc, pool)
+            assert via
+            assert buf.tobytes() == payload
+            bufs.append(buf)
+        assert arena.used_slots == 1  # both map the same slot
+        bufs[0].release()
+        assert arena.used_slots == 1  # one reader still holds it
+        bufs[1].release()
+        assert arena.used_slots == 0  # last release frees the slot
+
+    def test_dropped_buffer_releases_via_finalizer(self, fanout):
+        """A receiver that dies mid-read drops its MappedBuffer; the
+        finalizer must still decrement the slot's refcount."""
+        transport, (c1, s1), (c2, s2) = fanout
+        arena = transport.shared_arena
+        staged = arena.acquire(1024)
+        slot, _ = arena.locate(staged.view())
+        arena.post_shared(slot, readers=2)
+        for sender in (c1, c2):
+            sender.send_deposit(staged.view())
+        desc = DepositDescriptor(deposit_id=1, size=1024)
+        pool = BufferPool()
+        buf1, _ = s1.recv_deposit(desc, pool)
+        buf2, _ = s2.recv_deposit(desc, pool)
+        buf1.release()
+        del buf2  # never released explicitly — crashed reader
+        gc.collect()
+        assert arena.used_slots == 0
+
+    def test_failed_send_is_compensated(self, fanout):
+        """abort_shared_ref() stands in for a reader whose send failed
+        before its record left, so the slot still drains to FREE."""
+        transport, (c1, s1), _ = fanout
+        arena = transport.shared_arena
+        staged = arena.acquire(1024)
+        slot, _ = arena.locate(staged.view())
+        arena.post_shared(slot, readers=2)
+        c1.send_deposit(staged.view())  # reader 1 sent
+        arena.abort_shared_ref(slot)    # reader 2's send failed
+        buf, _ = s1.recv_deposit(DepositDescriptor(deposit_id=1, size=1024),
+                                 BufferPool())
+        buf.release()
+        assert arena.used_slots == 0
+
+    def test_exhausted_plan_degrades_to_copy(self, fanout):
+        """With the fan-out plan drained, a further send of the same
+        view must not re-post the shared slot it doesn't own."""
+        transport, (c1, s1), (c2, s2) = fanout
+        from repro.transport.shm import SEND_COPY
+        arena = transport.shared_arena
+        staged = arena.acquire(1024)
+        staged.view()[:] = b"\x11" * 1024
+        slot, _ = arena.locate(staged.view())
+        arena.post_shared(slot, readers=1)  # plan covers only c1
+        tier1, _ = c1.send_deposit(staged.view())
+        tier2, _ = c2.send_deposit(staged.view())
+        assert tier2 == SEND_COPY  # fresh slot, not a stolen reference
+        desc = DepositDescriptor(deposit_id=1, size=1024)
+        pool = BufferPool()
+        b1, _ = s1.recv_deposit(desc, pool)
+        b2, _ = s2.recv_deposit(desc, pool)
+        assert b1.tobytes() == b2.tobytes() == b"\x11" * 1024
+        b1.release()
+        b2.release()
+        assert arena.used_slots == 0
+
+    def test_stream_close_leaves_shared_arena_open(self, fanout):
+        transport, (c1, s1), (c2, _) = fanout
+        c1.close()
+        s1.close()
+        assert not transport.shared_arena.closed
+        assert c2.send_arena is transport.shared_arena
+        transport.close()
+        assert transport.shared_arena is None or \
+            transport.shared_arena.closed
+
+    def test_private_mode_still_owns_per_connection_arenas(self):
+        """The default (non-shared) transport is unchanged: each
+        connection owns its arena and closes it with the stream."""
+        transport = ShmTransport(slot_size=SIZE_64K, slot_count=4)
+        client, server, listener = _stream_pair(transport)
+        try:
+            assert transport.shared_arena is None
+            assert client.owns_send_arena
+            arena = client.send_arena
+            client.close()
+            assert arena.closed
+        finally:
+            server.close()
+            listener.close()
